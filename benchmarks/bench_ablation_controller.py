@@ -1,0 +1,69 @@
+"""Ablation A1 — why JOINT flow + DVFS control wins.
+
+Section IV-A: "The reason LC_FUZZY outperforms all other techniques in
+energy savings is due to the joint control of flow rate and DVFS at
+run-time based on each core thermal and utilization status."
+
+This ablation disables one knob at a time:
+
+* flow-only — fuzzy pump control, cores pinned at nominal V/F;
+* DVFS-only — fuzzy per-core V/F, pump pinned at the worst-case maximum;
+* joint — the paper's LC_FUZZY.
+
+All three must hold the thermal envelope; the joint controller must
+save at least as much system energy as either single-knob variant.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core import SystemSimulator, LiquidFuzzy, LiquidLoadBalancing
+from repro.geometry import build_3d_mpsoc
+from repro.workload import web_server_trace
+
+
+def run_variant(flow_control: bool, dvfs_control: bool):
+    stack = build_3d_mpsoc(2)
+    trace = web_server_trace(threads=32, duration=60)
+    policy = LiquidFuzzy(flow_control=flow_control, dvfs_control=dvfs_control)
+    return SystemSimulator(stack, policy, trace).run()
+
+
+def test_joint_control_ablation(benchmark):
+    joint = benchmark.pedantic(
+        lambda: run_variant(True, True), rounds=1, iterations=1
+    )
+    flow_only = run_variant(True, False)
+    dvfs_only = run_variant(False, True)
+    baseline = SystemSimulator(
+        build_3d_mpsoc(2),
+        LiquidLoadBalancing(),
+        web_server_trace(threads=32, duration=60),
+    ).run()
+
+    table = Table(
+        "Ablation — joint vs single-knob fuzzy control (2-tier, web, 60 s)",
+        ["Variant", "Peak [degC]", "Chip [kJ]", "Pump [kJ]", "System [kJ]"],
+    )
+    for result in (baseline, flow_only, dvfs_only, joint):
+        table.add_row(
+            result.policy,
+            f"{result.peak_temperature_c:.1f}",
+            f"{result.chip_energy_j / 1e3:.2f}",
+            f"{result.pump_energy_j / 1e3:.2f}",
+            f"{result.total_energy_j / 1e3:.2f}",
+        )
+    print()
+    print(table)
+
+    # Everyone must respect the envelope.
+    for result in (baseline, flow_only, dvfs_only, joint):
+        assert result.hotspot_percent_any == 0.0
+    # Each knob contributes: flow-only beats the baseline on pump energy,
+    # DVFS-only beats it on chip energy.
+    assert flow_only.pump_energy_j < baseline.pump_energy_j
+    assert dvfs_only.chip_energy_j < baseline.chip_energy_j
+    # The joint controller dominates both single-knob variants.
+    assert joint.total_energy_j <= flow_only.total_energy_j + 1.0
+    assert joint.total_energy_j <= dvfs_only.total_energy_j + 1.0
+    assert joint.total_energy_j < baseline.total_energy_j

@@ -1,0 +1,52 @@
+"""Ablation A2 — thermal-grid resolution convergence.
+
+DESIGN.md fixes the system-simulation grid at 23 x 20 cells per level;
+this ablation verifies that the steady-state peak temperature of the
+2-tier liquid stack is grid-converged at that resolution (successive
+refinements change the peak by well under a kelvin) and reports the
+cost of refinement.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import Table
+from repro.geometry import build_3d_mpsoc
+from repro.thermal import CompactThermalModel
+
+RESOLUTIONS = ((12, 10), (23, 20), (46, 40))
+
+
+def peak_at(nx, ny):
+    stack = build_3d_mpsoc(2)
+    model = CompactThermalModel(stack, nx=nx, ny=ny)
+    powers = {
+        (layer.name, block.name): 5.0
+        for layer, block in stack.iter_blocks()
+        if block.kind == "core"
+    }
+    return model.steady_state(powers).max(), model.grid.size
+
+
+def test_grid_convergence(benchmark):
+    benchmark.pedantic(lambda: peak_at(23, 20), rounds=3, iterations=1)
+
+    table = Table(
+        "Ablation — grid resolution of the compact model (2-tier, 40 W)",
+        ["Grid", "Unknowns", "Peak [degC]", "Solve [ms]"],
+    )
+    peaks = []
+    for nx, ny in RESOLUTIONS:
+        t0 = time.perf_counter()
+        peak, size = peak_at(nx, ny)
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        peaks.append(peak)
+        table.add_row(f"{nx} x {ny}", size, f"{peak - 273.15:.2f}", f"{elapsed_ms:.0f}")
+    print()
+    print(table)
+
+    # The production resolution (middle) sits within 1 K of the fine one.
+    assert abs(peaks[1] - peaks[2]) < 1.0
+    # Even the coarse grid is within 2.5 K — usable for quick tests.
+    assert abs(peaks[0] - peaks[2]) < 2.5

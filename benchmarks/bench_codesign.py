@@ -1,0 +1,71 @@
+"""Ablation A4 — electro-thermal co-design of cavity and floorplan.
+
+Section II-C: "Electro-thermal co-design is mandatory to define the
+optimal fluid cavity and corresponding floorplan to achieve highest
+computational performance at minimal chip and pumping power needs, for
+the given temperature constraints" and "low pressure drop structures
+should be targeted for 3D MPSoCs".
+
+Two quantified design levers:
+
+* tier ordering — where the core tiers sit in the 4-tier stack moves
+  the steady peak by several kelvin at identical total power;
+* cavity width/flow co-design — at loose junction limits the widest
+  (TSV-permitting) channel is the cheapest to pump; tightening the
+  limit eliminates wide channels and multiplies the pumping bill.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.design import codesign_cavity, tier_ordering_study
+from repro.geometry import TSVArray
+from repro.units import celsius_to_kelvin
+
+
+def test_tier_ordering_and_cavity_codesign(benchmark):
+    orderings = benchmark.pedantic(
+        lambda: tier_ordering_study(4), rounds=1, iterations=1
+    )
+
+    table = Table(
+        "A4a — tier-ordering study (4-tier liquid, equal power)",
+        ["Pattern (bottom->top)", "Peak [degC]"],
+    )
+    for pattern, peak in sorted(orderings.items(), key=lambda kv: kv[1]):
+        table.add_row(pattern, f"{peak - 273.15:.2f}")
+    print()
+    print(table)
+
+    # Interleaving beats stacking the two core tiers together.
+    assert orderings["mmcc"] > min(orderings["cmcm"], orderings["mcmc"])
+    # The ordering lever is worth multiple kelvin.
+    assert max(orderings.values()) - min(orderings.values()) > 2.0
+
+    tsv = TSVArray(diameter=50e-6, pitch=150e-6)
+    design_table = Table(
+        "A4b — cavity co-design vs junction limit (2-tier, TSV-bounded)",
+        ["Limit [degC]", "Best width [um]", "Flow [ml/min]", "Pumping [W]"],
+    )
+    best_by_limit = {}
+    for limit_c in (65.0, 58.0, 52.0):
+        points = codesign_cavity(2, limit_k=celsius_to_kelvin(limit_c), tsv=tsv)
+        if points:
+            best = points[0]
+            best_by_limit[limit_c] = best
+            design_table.add_row(
+                f"{limit_c:.0f}",
+                f"{best.channel_width * 1e6:.0f}",
+                f"{best.flow_ml_min:.1f}",
+                f"{best.pumping_power_w:.4f}",
+            )
+        else:
+            design_table.add_row(f"{limit_c:.0f}", "-", "infeasible", "-")
+    print()
+    print(design_table)
+
+    assert 65.0 in best_by_limit, "the loose limit must be feasible"
+    # Tightening the limit never cheapens the pump bill.
+    limits = sorted(best_by_limit, reverse=True)
+    pump = [best_by_limit[l].pumping_power_w for l in limits]
+    assert all(b >= a for a, b in zip(pump, pump[1:]))

@@ -1,0 +1,122 @@
+"""Experiment F6 — Fig. 6: hot-spot time per policy.
+
+Regenerates the bar groups of Fig. 6: the per-core-averaged and any-core
+percentages of time above the 85 degC threshold, per policy and stack,
+for the average over all workloads and for the maximum-utilisation
+benchmark.  The benchmark measures one representative closed-loop
+simulation (2-tier LC_FUZZY on the database trace).
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core import SystemSimulator, LiquidFuzzy
+from repro.geometry import build_3d_mpsoc
+from repro.workload import database_trace
+
+from benchmarks.conftest import average_over_workloads
+
+
+def representative_run():
+    stack = build_3d_mpsoc(2)
+    trace = database_trace(duration=10)
+    return SystemSimulator(stack, LiquidFuzzy(), trace).run()
+
+
+def test_fig6_hotspots(benchmark, policy_grid):
+    benchmark.pedantic(representative_run, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 6 — % of time with hot spots (>85 degC)",
+        [
+            "Config",
+            "avg/core (avg workloads)",
+            "any-core (avg workloads)",
+            "avg/core (max util)",
+            "any-core (max util)",
+        ],
+    )
+    configs = [
+        (2, "AC_LB"),
+        (2, "AC_TDVFS_LB"),
+        (2, "LC_LB"),
+        (2, "LC_FUZZY"),
+        (4, "AC_LB"),
+        (4, "LC_LB"),
+        (4, "LC_FUZZY"),
+    ]
+    stats = {}
+    for tiers, policy in configs:
+        avg_avg = average_over_workloads(
+            policy_grid, tiers, policy, "hotspot_percent_avg"
+        )
+        any_avg = average_over_workloads(
+            policy_grid, tiers, policy, "hotspot_percent_any"
+        )
+        max_res = policy_grid[(tiers, policy, "max-utilisation")]
+        stats[(tiers, policy)] = (avg_avg, any_avg)
+        table.add_row(
+            f"{tiers}-tier {policy}",
+            f"{avg_avg:.1f}",
+            f"{any_avg:.1f}",
+            f"{max_res.hotspot_percent_avg:.1f}",
+            f"{max_res.hotspot_percent_any:.1f}",
+        )
+    print()
+    print(table)
+
+    # Peak temperatures quoted in Section IV-A's prose.
+    peaks = Table(
+        "Section IV-A peak temperatures — paper vs measured",
+        ["Config", "Paper [degC]", "Measured [degC]", "In band"],
+    )
+    from repro.analysis import PAPER_CLAIMS, within_band
+
+    def peak_over_workloads(tiers, policy):
+        return max(
+            policy_grid[(tiers, policy, wl)].peak_temperature_c
+            for wl in ("web", "database", "multimedia", "max-utilisation")
+        )
+
+    peak_checks = [
+        ("2-tier AC_LB", "ac_lb_2tier_peak_c", peak_over_workloads(2, "AC_LB")),
+        (
+            "2-tier AC_TDVFS_LB",
+            "ac_tdvfs_2tier_peak_c",
+            peak_over_workloads(2, "AC_TDVFS_LB"),
+        ),
+        ("4-tier AC_LB", "ac_4tier_peak_c", peak_over_workloads(4, "AC_LB")),
+        ("2-tier LC_LB", "lc_lb_2tier_peak_c", peak_over_workloads(2, "LC_LB")),
+        (
+            "2-tier LC_FUZZY",
+            "lc_fuzzy_2tier_peak_c",
+            peak_over_workloads(2, "LC_FUZZY"),
+        ),
+    ]
+    peak_ok = True
+    for label, key, value in peak_checks:
+        claim = PAPER_CLAIMS[key]
+        in_band = within_band(claim, value)
+        peak_ok = peak_ok and in_band
+        peaks.add_row(label, claim.value, f"{value:.1f}", in_band)
+    print()
+    print(peaks)
+    assert peak_ok
+    # 4-tier liquid runs cooler than 2-tier liquid (more cavities).
+    assert peak_over_workloads(4, "LC_LB") < peak_over_workloads(2, "LC_LB")
+
+    # Paper claims encoded as assertions:
+    # 1. "the integration of liquid-cooling removes all the hot spots"
+    for tiers in (2, 4):
+        for policy in ("LC_LB", "LC_FUZZY"):
+            assert policy_grid[(tiers, policy, "max-utilisation")].hotspot_percent_any == 0.0
+            assert average_over_workloads(
+                policy_grid, tiers, policy, "hotspot_percent_any"
+            ) == 0.0
+    # 2. "TDVFS help reduce the hot spots in air-cooled systems"
+    assert stats[(2, "AC_TDVFS_LB")][0] < stats[(2, "AC_LB")][0]
+    # 3. Air-cooled systems do exhibit hot spots.
+    assert stats[(2, "AC_LB")][1] > 0.0
+    # 4. The 4-tier air-cooled stack is unmanageable (hot essentially
+    #    always under load).
+    assert policy_grid[(4, "AC_LB", "max-utilisation")].hotspot_percent_any > 95.0

@@ -1,0 +1,117 @@
+"""Experiment F7 — Fig. 7: system/pump energy and performance delay.
+
+Regenerates the Fig. 7 bars: total system energy (chip + cooling
+network) and pump energy normalised to the 2-tier AC_LB run, plus the
+performance degradation per policy, for the average workload and the
+maximum-utilisation benchmark.  Asserts the paper's headline numbers:
+
+* LC_FUZZY vs LC_LB cooling-energy savings ~50 % (2-tier) / ~52 % (4-tier);
+* LC_FUZZY vs LC_LB system-energy savings ~14 % / ~18 %;
+* up to ~67 % cooling / ~30 % system savings versus worst-case flow
+  (measured on an idle-dominated workload);
+* liquid-cooled policies suffer no measurable performance degradation.
+
+The benchmark times one representative closed-loop simulation.
+"""
+
+import pytest
+
+from repro.analysis import Table, PAPER_CLAIMS, within_band
+from repro.core import SystemSimulator, LiquidFuzzy, LiquidLoadBalancing
+from repro.geometry import build_3d_mpsoc
+from repro.workload import idle_trace, database_trace
+
+from benchmarks.conftest import (
+    average_over_app_workloads,
+    average_over_workloads,
+)
+
+
+def representative_run():
+    stack = build_3d_mpsoc(2)
+    return SystemSimulator(stack, LiquidFuzzy(), database_trace(duration=10)).run()
+
+
+def test_fig7_energy(benchmark, policy_grid):
+    benchmark.pedantic(representative_run, rounds=1, iterations=1)
+
+    reference = average_over_workloads(policy_grid, 2, "AC_LB", "total_energy_j")
+    table = Table(
+        "Fig. 7 — normalised energy and performance degradation (avg workloads)",
+        ["Config", "System energy", "Pump energy", "Degradation max [%]"],
+    )
+    configs = [
+        (2, "AC_LB"),
+        (2, "AC_TDVFS_LB"),
+        (2, "LC_LB"),
+        (2, "LC_FUZZY"),
+        (4, "AC_LB"),
+        (4, "LC_LB"),
+        (4, "LC_FUZZY"),
+    ]
+    for tiers, policy in configs:
+        system = average_over_workloads(policy_grid, tiers, policy, "total_energy_j")
+        pump = average_over_workloads(policy_grid, tiers, policy, "pump_energy_j")
+        degradation = policy_grid[(tiers, policy, "max-utilisation")].degradation_percent
+        table.add_row(
+            f"{tiers}-tier {policy}",
+            f"{system / reference:.3f}",
+            f"{pump / reference:.3f}",
+            f"{degradation:.3f}",
+        )
+    print()
+    print(table)
+
+    summary = Table(
+        "Fig. 7 headline savings — paper vs measured",
+        ["Claim", "Paper", "Measured", "In band"],
+    )
+
+    def check(key, measured):
+        claim = PAPER_CLAIMS[key]
+        ok = within_band(claim, measured)
+        summary.add_row(claim.description, claim.value, f"{measured:.1f}", ok)
+        return ok
+
+    results = []
+    for tiers, cool_key, sys_key in (
+        (2, "fuzzy_cooling_saving_2tier_pct", "fuzzy_system_saving_2tier_pct"),
+        (4, "fuzzy_cooling_saving_4tier_pct", "fuzzy_system_saving_4tier_pct"),
+    ):
+        pump_lb = average_over_app_workloads(policy_grid, tiers, "LC_LB", "pump_energy_j")
+        pump_fz = average_over_app_workloads(policy_grid, tiers, "LC_FUZZY", "pump_energy_j")
+        sys_lb = average_over_app_workloads(policy_grid, tiers, "LC_LB", "total_energy_j")
+        sys_fz = average_over_app_workloads(policy_grid, tiers, "LC_FUZZY", "total_energy_j")
+        results.append(check(cool_key, 100.0 * (1.0 - pump_fz / pump_lb)))
+        results.append(check(sys_key, 100.0 * (1.0 - sys_fz / sys_lb)))
+
+    # "Up to" savings: an idle-dominated workload lets the controller sit
+    # at minimum flow and deep DVFS.
+    trace = idle_trace(threads=32, duration=60)
+    lb = SystemSimulator(build_3d_mpsoc(2), LiquidLoadBalancing(), trace).run()
+    fz = SystemSimulator(build_3d_mpsoc(2), LiquidFuzzy(), trace).run()
+    results.append(
+        check("max_cooling_saving_pct", 100.0 * (1.0 - fz.pump_energy_j / lb.pump_energy_j))
+    )
+    results.append(
+        check("max_system_saving_pct", 100.0 * (1.0 - fz.total_energy_j / lb.total_energy_j))
+    )
+
+    fuzzy_deg = max(
+        policy_grid[(t, "LC_FUZZY", "max-utilisation")].degradation_percent
+        for t in (2, 4)
+    )
+    results.append(check("fuzzy_degradation_pct", fuzzy_deg))
+    print()
+    print(summary)
+    assert all(results)
+
+    # Ordering claims of the figure:
+    # liquid policies never throttle meaningfully, TDVFS does.
+    tdvfs_deg = policy_grid[(2, "AC_TDVFS_LB", "max-utilisation")].degradation_percent
+    assert tdvfs_deg > fuzzy_deg
+    # 4-tier stacks consume roughly twice the 2-tier energy.
+    ratio = average_over_workloads(policy_grid, 4, "LC_LB", "total_energy_j") / (
+        average_over_workloads(policy_grid, 2, "LC_LB", "total_energy_j")
+    )
+    assert 1.7 < ratio < 2.8

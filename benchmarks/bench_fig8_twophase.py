@@ -1,0 +1,69 @@
+"""Experiment F8 — Fig. 8: two-phase micro-evaporator hot-spot test.
+
+Regenerates the five-sensor-row series of Fig. 8 (heat flux, HTC and
+fluid/wall/base temperatures) and checks the reported behaviour: the
+refrigerant enters at 30 degC and leaves at 29.5 degC, the HTC under the
+hot spot is ~8x the background, and the wall superheat rises only ~2x.
+The benchmark times the calibrated vehicle solution.
+"""
+
+import pytest
+
+from repro.analysis import Table, PAPER_CLAIMS, within_band
+from repro.twophase import HotSpotTestVehicle
+
+
+def solve_vehicle():
+    return HotSpotTestVehicle().sensor_rows(segments=100)
+
+
+def test_fig8_two_phase_hotspot(benchmark):
+    profile = benchmark.pedantic(solve_vehicle, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 8 — local hot-spot test of the silicon micro-evaporator",
+        [
+            "Sensor row",
+            "Heat flux [W/cm2]",
+            "HTC [W/m2K]",
+            "Fluid [degC]",
+            "Wall [degC]",
+            "Base [degC]",
+        ],
+    )
+    for i in range(len(profile.rows)):
+        table.add_row(
+            profile.rows[i],
+            f"{profile.heat_flux[i] / 1e4:.1f}",
+            f"{profile.htc[i]:.0f}",
+            f"{profile.fluid_c[i]:.2f}",
+            f"{profile.wall_c[i]:.2f}",
+            f"{profile.base_c[i]:.2f}",
+        )
+    print()
+    print(table)
+
+    summary = Table(
+        "Fig. 8 headline values — paper vs measured",
+        ["Claim", "Paper", "Measured", "In band"],
+    )
+    measured = {
+        "fig8_htc_ratio": profile.hotspot_to_background_htc_ratio(),
+        "fig8_superheat_ratio": profile.superheat_ratio(),
+        "fig8_inlet_sat_c": float(profile.fluid_c[0]),
+        "fig8_outlet_sat_c": float(profile.fluid_c[-1]),
+    }
+    ok = True
+    for key, value in measured.items():
+        claim = PAPER_CLAIMS[key]
+        in_band = within_band(claim, value)
+        ok = ok and in_band
+        summary.add_row(claim.description, claim.value, f"{value:.2f}", in_band)
+    print()
+    print(summary)
+    assert ok
+
+    # Shape claims of the figure itself.
+    assert profile.fluid_c[0] > profile.fluid_c[-1]  # falling saturation
+    assert profile.htc.argmax() == 2  # HTC peaks under the hot spot
+    assert profile.wall_c.argmax() == 2  # wall peaks under the hot spot

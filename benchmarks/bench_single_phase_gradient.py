@@ -1,0 +1,87 @@
+"""Experiment S5 — Section II-C single-phase fluid temperature gradient.
+
+"Due to the hydraulic diameter limitations that limits the maximum
+injected flow rate, the fluid temperature increase from inlet to outlet
+in single-phase cooling is significant (e.g. 40 K in case of water as
+coolant at 130 W power dissipation per tier)."
+
+The benchmark dissipates 130 W uniformly in a single tier cooled by one
+Table I cavity, solves the compact model, and checks (a) the outlet rise
+agrees with the analytic energy balance P / (rho cp Q) to a few percent
+and (b) at the flow rate of the [6] experiment the rise is the reported
+~40 K.
+"""
+
+import pytest
+
+from repro.analysis import Table, PAPER_CLAIMS, within_band
+from repro.geometry import Block, Cavity, Floorplan, Layer, StackDesign
+from repro.geometry.stack import default_channel_geometry
+from repro.materials import SILICON, WATER
+from repro.thermal import CompactThermalModel
+from repro.units import ml_per_min_to_m3_per_s, m3_per_s_to_ml_per_min
+
+POWER_PER_TIER = 130.0
+DIE = 10.724e-3  # ~115 mm^2 square-ish die, one tier
+
+
+def build_single_tier():
+    plan = Floorplan(
+        DIE, DIE, [Block("tier", 0.0, 0.0, DIE, DIE, kind="core")], name="tier"
+    )
+    geometry = default_channel_geometry(length=DIE, span=DIE)
+    return StackDesign(
+        name="single tier",
+        width=DIE,
+        height=DIE,
+        elements=[
+            Layer("base", SILICON, 0.3e-3),
+            Cavity("cavity", geometry),
+            Layer("die", SILICON, 0.15e-3, floorplan=plan),
+        ],
+    )
+
+
+def fluid_rise(flow_ml_min: float) -> float:
+    stack = build_single_tier()
+    model = CompactThermalModel(stack, nx=20, ny=20)
+    model.set_flow(flow_ml_min)
+    field = model.steady_state({("die", "tier"): POWER_PER_TIER})
+    cavity = field.layer("cavity")
+    return float(cavity[:, -1].mean() - model.inlet_temperature)
+
+
+def test_single_phase_fluid_gradient(benchmark):
+    # The flow at which the energy balance predicts a 40 K rise.
+    target_rise = PAPER_CLAIMS["single_phase_fluid_rise_k"].value
+    flow_for_40k = POWER_PER_TIER / (
+        WATER.density * WATER.specific_heat * target_rise
+    )
+    flow_ml_min = m3_per_s_to_ml_per_min(flow_for_40k)
+
+    measured = benchmark.pedantic(
+        lambda: fluid_rise(flow_ml_min), rounds=1, iterations=1
+    )
+    claim = PAPER_CLAIMS["single_phase_fluid_rise_k"]
+
+    table = Table(
+        "II-C — water inlet-to-outlet rise at 130 W per tier",
+        ["Flow [ml/min]", "Analytic rise [K]", "Model rise [K]", "In band"],
+    )
+    analytic = POWER_PER_TIER / WATER.heat_capacity_rate(flow_for_40k)
+    ok = within_band(claim, measured)
+    table.add_row(f"{flow_ml_min:.1f}", f"{analytic:.1f}", f"{measured:.1f}", ok)
+
+    # The Table I maximum flow cannot avoid a large gradient either —
+    # the point of the paper's remark.
+    max_flow_rise = fluid_rise(32.3)
+    table.add_row("32.3 (Table I max)",
+                  f"{POWER_PER_TIER / WATER.heat_capacity_rate(ml_per_min_to_m3_per_s(32.3)):.1f}",
+                  f"{max_flow_rise:.1f}", "-")
+    print()
+    print(table)
+
+    assert ok
+    assert measured == pytest.approx(analytic, rel=0.05)
+    # Even at maximum flow the gradient stays tens of kelvin.
+    assert max_flow_rise > 30.0

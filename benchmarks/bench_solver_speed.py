@@ -1,0 +1,85 @@
+"""Experiment S7 — Section II-D compact-model speed.
+
+"3D-ICE ... offers significant speed-ups (up to 975x) over typical
+commercial computational fluid dynamics and thermal simulation tools
+while preserving accuracy (i.e., maximum temperature error of 3.4 %)."
+
+The authors' CFD reference is not available; its role is played by a
+dense direct solver of the same finite-volume system (see
+``repro.thermal.reference``).  The benchmark measures the sparse compact
+path and reports its speed-up and agreement against that reference —
+the same *kind* of comparison at necessarily smaller scale.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.geometry import build_3d_mpsoc
+from repro.thermal import CompactThermalModel, TransientStepper, dense_steady_state
+
+
+def make_model():
+    return CompactThermalModel(build_3d_mpsoc(2), nx=23, ny=20)
+
+
+def core_powers(stack):
+    return {
+        (layer.name, block.name): 5.0
+        for layer, block in stack.iter_blocks()
+        if block.kind == "core"
+    }
+
+
+def sparse_steady(model, powers):
+    return model.steady_state(powers)
+
+
+def test_solver_speed_and_accuracy(benchmark):
+    model = make_model()
+    powers = core_powers(model.stack)
+
+    sparse_result = benchmark.pedantic(
+        lambda: sparse_steady(model, powers), rounds=5, iterations=1
+    )
+
+    t0 = time.perf_counter()
+    sparse_steady(model, powers)
+    sparse_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    dense_result = dense_steady_state(model, powers)
+    dense_s = time.perf_counter() - t0
+
+    speedup = dense_s / sparse_s
+    max_error_k = float(np.abs(sparse_result.values - dense_result.values).max())
+
+    # Transient throughput with the cached-LU stepper (the quantity that
+    # makes minutes-long closed-loop runs practical).
+    stepper = TransientStepper(model, dt=0.1, initial=sparse_result)
+    stepper.step(powers)  # factorise once
+    t0 = time.perf_counter()
+    for _ in range(100):
+        stepper.step(powers)
+    per_step_ms = (time.perf_counter() - t0) / 100 * 1e3
+
+    table = Table(
+        "II-D — compact sparse solver vs dense reference "
+        f"({model.grid.size} unknowns)",
+        ["Quantity", "Value"],
+    )
+    table.add_row("dense reference steady solve [s]", f"{dense_s:.3f}")
+    table.add_row("sparse compact steady solve [s]", f"{sparse_s:.4f}")
+    table.add_row("speed-up [x]", f"{speedup:.0f}")
+    table.add_row("max |error| vs reference [K]", f"{max_error_k:.2e}")
+    table.add_row("transient step (cached LU) [ms]", f"{per_step_ms:.2f}")
+    table.add_row("paper's claim vs CFD", "up to 975x at 3.4% error")
+    print()
+    print(table)
+
+    # Identical physics: the error versus the reference is numerical only.
+    assert max_error_k < 1e-6
+    assert speedup > 5.0
+    assert per_step_ms < 50.0

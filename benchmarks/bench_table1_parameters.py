@@ -1,0 +1,73 @@
+"""Experiment T1 — Table I: thermal and floorplan parameters.
+
+Regenerates the parameter table of the 3D MPSoC model and verifies every
+row is wired into the built system exactly as published.  The benchmark
+times the full model assembly (floorplans -> stack -> sparse matrices).
+"""
+
+import pytest
+
+from repro import constants
+from repro.analysis import Table
+from repro.geometry import build_3d_mpsoc
+from repro.geometry.floorplan import total_area_by_kind
+from repro.materials import SILICON, WIRING, WATER
+from repro.thermal import CompactThermalModel
+
+
+def build_model():
+    return CompactThermalModel(build_3d_mpsoc(2))
+
+
+def test_table1_parameters(benchmark):
+    model = benchmark.pedantic(build_model, rounds=3, iterations=1)
+    stack = model.stack
+
+    table = Table(
+        "Table I — thermal and floorplan parameters",
+        ["Parameter", "Paper", "Model"],
+    )
+    rows = [
+        ("Silicon conductivity [W/mK]", 130.0, SILICON.conductivity),
+        ("Silicon capacitance [J/m3K]", 1_635_660.0, SILICON.vol_heat_capacity),
+        ("Wiring conductivity [W/mK]", 2.25, WIRING.conductivity),
+        ("Wiring capacitance [J/m3K]", 2_174_502.0, WIRING.vol_heat_capacity),
+        ("Water conductivity [W/mK]", 0.6, WATER.conductivity),
+        ("Water capacitance [J/kgK]", 4183.0, WATER.specific_heat),
+        ("Heat sink conductance [W/K]", 10.0, stack.sink_conductance),
+        ("Heat sink capacitance [J/K]", 140.0, stack.sink_capacitance),
+        ("Die thickness [mm]", 0.15, stack.source_layers[0].thickness * 1e3),
+        (
+            "Area per core [mm2]",
+            10.0,
+            stack.source_layers[0].floorplan.blocks_of_kind("core")[0].area * 1e6,
+        ),
+        (
+            "Area per L2 cache [mm2]",
+            19.0,
+            stack.source_layers[1].floorplan.blocks_of_kind("cache")[0].area * 1e6,
+        ),
+        ("Total layer area [mm2]", 115.0, stack.area * 1e6),
+        (
+            "Inter-tier thickness [mm]",
+            0.1,
+            stack.cavities[0].geometry.height * 1e3,
+        ),
+        ("Channel width [mm]", 0.05, stack.cavities[0].geometry.width * 1e3),
+        ("Channel pitch [mm]", 0.15, stack.cavities[0].geometry.pitch * 1e3),
+        ("Flow rate min [ml/min]", 10.0, constants.FLOW_RATE_MIN_ML_MIN),
+        ("Flow rate max [ml/min]", 32.3, constants.FLOW_RATE_MAX_ML_MIN),
+        ("Pump power min [W]", 3.5, constants.PUMP_POWER_MIN),
+        ("Pump power max [W]", 11.176, constants.PUMP_POWER_MAX),
+    ]
+    for name, paper, measured in rows:
+        table.add_row(name, paper, round(measured, 6))
+        assert measured == pytest.approx(paper, rel=1e-6), name
+    print()
+    print(table)
+
+    # Structural checks implied by Table I.
+    core_areas = total_area_by_kind(stack.source_layers[0].floorplan)
+    assert core_areas["core"] == pytest.approx(8 * 10e-6)
+    cache_areas = total_area_by_kind(stack.source_layers[1].floorplan)
+    assert cache_areas["cache"] == pytest.approx(4 * 19e-6)

@@ -1,0 +1,78 @@
+"""Shared machinery of the benchmark harness.
+
+The Fig. 6 and Fig. 7 benchmarks consume the same grid of closed-loop
+simulations (2- and 4-tier stacks x four policies x four workloads), so
+the grid is computed once per session and cached.  Trace duration and
+grid resolution are chosen to keep a full harness run in minutes while
+staying at the calibration resolution of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core import SystemSimulator, SimulationResult, paper_policies
+from repro.geometry import build_3d_mpsoc
+from repro.workload import paper_workload_suite
+
+TRACE_DURATION = 60
+WORKLOADS = ("web", "database", "multimedia", "max-utilisation")
+GridKey = Tuple[int, str, str]  # (tiers, policy, workload)
+
+
+def run_policy_grid() -> Dict[GridKey, SimulationResult]:
+    """All (tiers, policy, workload) closed-loop runs of Section IV-A."""
+    results: Dict[GridKey, SimulationResult] = {}
+    for tiers in (2, 4):
+        threads = 32 * (tiers // 2)
+        suite = paper_workload_suite(threads=threads, duration=TRACE_DURATION)
+        for policy in paper_policies():
+            for workload in WORKLOADS:
+                stack = build_3d_mpsoc(tiers, policy.cooling)
+                sim = SystemSimulator(stack, policy, suite[workload])
+                results[(tiers, policy.name, workload)] = sim.run()
+    return results
+
+
+@pytest.fixture(scope="session")
+def policy_grid() -> Dict[GridKey, SimulationResult]:
+    return run_policy_grid()
+
+
+def average_over_workloads(
+    grid: Dict[GridKey, SimulationResult],
+    tiers: int,
+    policy: str,
+    attribute: str,
+) -> float:
+    """Mean of a result attribute over the benchmark set (Fig. 6/7 'avg')."""
+    values = [
+        getattr(grid[(tiers, policy, workload)], attribute)
+        for workload in WORKLOADS
+    ]
+    return sum(values) / len(values)
+
+
+APP_WORKLOADS = ("web", "database", "multimedia")
+
+
+def average_over_app_workloads(
+    grid: Dict[GridKey, SimulationResult],
+    tiers: int,
+    policy: str,
+    attribute: str,
+) -> float:
+    """Mean over the three application benchmarks only.
+
+    Section IV-A's energy-savings statements refer to "the average
+    workload" — the real-life application classes (web server, database
+    management, multimedia processing); the near-saturation stress
+    benchmark is reported separately as "maximum utilization".
+    """
+    values = [
+        getattr(grid[(tiers, policy, workload)], attribute)
+        for workload in APP_WORKLOADS
+    ]
+    return sum(values) / len(values)

@@ -1,0 +1,105 @@
+"""Explore the inter-tier coolant space of the CMOSAIC abstract:
+"liquid water and two-phase refrigerants to novel engineered
+environmentally friendly nano-fluids".
+
+Builds the 2-tier stack with each coolant and compares steady-state
+peak temperature, die uniformity and hydraulic cost; then sweeps the
+nano-particle loading to show why plain water remains the Table I
+baseline.
+
+Run with:  python examples/coolant_exploration.py
+"""
+
+from repro.analysis import Table
+from repro.geometry import build_3d_mpsoc
+from repro.geometry.stack import default_channel_geometry
+from repro.hydraulics import channel_pressure_drop
+from repro.materials import (
+    ALUMINA,
+    R134A,
+    R236FA,
+    R245FA,
+    WATER,
+    figure_of_merit,
+    make_nanofluid,
+)
+from repro.thermal import CompactThermalModel
+from repro.units import ml_per_min_to_m3_per_s
+
+
+def solve_stack(stack):
+    model = CompactThermalModel(stack, nx=23, ny=20)
+    powers = {
+        (layer.name, block.name): 5.0
+        for layer, block in stack.iter_blocks()
+        if block.kind == "core"
+    }
+    field = model.steady_state(powers)
+    die = field.layer("tier0_die")
+    return field.max() - 273.15, float(die.max() - die.min())
+
+
+def coolant_comparison() -> None:
+    table = Table(
+        "Inter-tier coolants on the 2-tier UltraSPARC T1 stack (40 W)",
+        ["Coolant", "Peak [degC]", "Die spread [K]"],
+    )
+    cases = [
+        ("water (Table I baseline)", build_3d_mpsoc(2)),
+        (
+            "water + 5% Al2O3 nano-fluid",
+            build_3d_mpsoc(2, coolant=make_nanofluid(WATER, ALUMINA, 0.05)),
+        ),
+        ("two-phase R134a", build_3d_mpsoc(2, two_phase=True, refrigerant=R134A)),
+        ("two-phase R236fa", build_3d_mpsoc(2, two_phase=True, refrigerant=R236FA)),
+        ("two-phase R245fa", build_3d_mpsoc(2, two_phase=True, refrigerant=R245FA)),
+    ]
+    for label, stack in cases:
+        peak, spread = solve_stack(stack)
+        table.add_row(label, f"{peak:.1f}", f"{spread:.2f}")
+    print(table)
+    print(
+        "-> evaporating refrigerants hold the whole die within a fraction "
+        "of a kelvin of the loop's saturation temperature;\n"
+        "   they also move 1/5-1/10 the coolant volume (Section III), "
+        "cutting pumping energy by 80-90 %.\n"
+    )
+
+
+def nanofluid_sweep() -> None:
+    geometry = default_channel_geometry()
+    flow = ml_per_min_to_m3_per_s(20.0)
+    table = Table(
+        "Al2O3 nano-fluid loading sweep",
+        [
+            "Loading [%]",
+            "k gain [%]",
+            "viscosity gain [%]",
+            "dp @20 ml/min [bar]",
+            "figure of merit",
+        ],
+    )
+    for phi in (0.0, 0.02, 0.05, 0.08):
+        nf = make_nanofluid(WATER, ALUMINA, phi)
+        table.add_row(
+            f"{100 * phi:.0f}",
+            f"{100 * (nf.conductivity / WATER.conductivity - 1):.1f}",
+            f"{100 * (nf.viscosity / WATER.viscosity - 1):.1f}",
+            f"{channel_pressure_drop(geometry, flow, nf) / 1e5:.2f}",
+            f"{figure_of_merit(WATER, nf):.3f}",
+        )
+    print(table)
+    print(
+        "-> the viscosity penalty tracks the conductivity gain almost "
+        "exactly: nano-fluids buy at most ~1 % of merit, which is why "
+        "the system-level experiments run plain water."
+    )
+
+
+def main() -> None:
+    coolant_comparison()
+    nanofluid_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Compare the four run-time policies of Section IV-A on one workload.
+
+Reproduces the Fig. 6/7 comparison in miniature: AC_LB, AC_TDVFS_LB,
+LC_LB and LC_FUZZY on the 2-tier stack, one workload, with hot-spot
+statistics, energy, degradation and peak temperature per policy.
+
+Run with:  python examples/policy_comparison.py [workload]
+where workload is one of: web, database, multimedia, max-utilisation
+(default: max-utilisation, the most stressful).
+"""
+
+import sys
+
+from repro import SystemSimulator, build_3d_mpsoc, paper_policies
+from repro.analysis import Table
+from repro.workload import paper_workload_suite
+
+
+def main(workload: str = "max-utilisation") -> None:
+    suite = paper_workload_suite(threads=32, duration=60)
+    if workload not in suite:
+        raise SystemExit(f"unknown workload {workload!r}; pick from {sorted(suite)}")
+    trace = suite[workload]
+    print(f"Workload: {trace} (60 s, 32 hardware threads)")
+    print()
+
+    table = Table(
+        f"Policy comparison on the 2-tier 3D MPSoC — '{workload}' workload",
+        [
+            "Policy",
+            "Peak [degC]",
+            "Hot spots any [%]",
+            "Chip [kJ]",
+            "Pump [kJ]",
+            "System [kJ]",
+            "Delay [%]",
+        ],
+    )
+    results = {}
+    for policy in paper_policies():
+        stack = build_3d_mpsoc(2, policy.cooling)
+        result = SystemSimulator(stack, policy, trace).run()
+        results[policy.name] = result
+        table.add_row(
+            result.policy,
+            f"{result.peak_temperature_c:.1f}",
+            f"{result.hotspot_percent_any:.1f}",
+            f"{result.chip_energy_j / 1e3:.2f}",
+            f"{result.pump_energy_j / 1e3:.2f}",
+            f"{result.total_energy_j / 1e3:.2f}",
+            f"{result.degradation_percent:.3f}",
+        )
+    print(table)
+
+    lb = results["LC_LB"]
+    fz = results["LC_FUZZY"]
+    print()
+    print(
+        "LC_FUZZY vs LC_LB: "
+        f"{100 * (1 - fz.pump_energy_j / lb.pump_energy_j):.1f} % cooling-energy and "
+        f"{100 * (1 - fz.total_energy_j / lb.total_energy_j):.1f} % system-energy savings, "
+        f"peak {fz.peak_temperature_c:.1f} vs {lb.peak_temperature_c:.1f} degC."
+    )
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:])

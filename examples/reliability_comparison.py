@@ -1,0 +1,67 @@
+"""Reliability view of the run-time policies.
+
+Energy is not the only currency: LC_LB holds the die cold and flat,
+while LC_FUZZY deliberately lets it ride warmer and *move* with the
+workload — trading pump energy against temperature level and cycling.
+This example grades the policies on both wear mechanisms
+(:mod:`repro.analysis.reliability`):
+
+* Arrhenius acceleration — wear rate from sustained temperature;
+* Coffin-Manson fatigue — damage from temperature cycles.
+
+Run with:  python examples/reliability_comparison.py
+"""
+
+from repro import SystemSimulator, build_3d_mpsoc, paper_policies
+from repro.analysis import Table, reliability_report
+from repro.workload import web_server_trace
+
+
+def main() -> None:
+    trace = web_server_trace(threads=32, duration=120, seed=7)
+    print(f"Workload: {trace} (bursty web server, 120 s)")
+    print()
+
+    table = Table(
+        "Reliability profile per policy (2-tier stack)",
+        [
+            "Policy",
+            "Peak [degC]",
+            "Mean [degC]",
+            "Cycles",
+            "Max swing [K]",
+            "Arrhenius accel.",
+            "System [kJ]",
+        ],
+    )
+    for policy in paper_policies():
+        stack = build_3d_mpsoc(2, policy.cooling)
+        result = SystemSimulator(
+            stack, policy, trace, record_series=True
+        ).run()
+        report = reliability_report(
+            result.series["max_temperature_c"], dt=0.1
+        )
+        table.add_row(
+            result.policy,
+            f"{report['peak_c']:.1f}",
+            f"{report['mean_c']:.1f}",
+            int(report["cycle_count"]),
+            f"{report['max_cycle_amplitude_k']:.1f}",
+            f"{report['mean_arrhenius_acceleration']:.3f}",
+            f"{result.total_energy_j / 1e3:.2f}",
+        )
+    print(table)
+    print(
+        "-> liquid cooling slashes the sustained-temperature (Arrhenius)\n"
+        "   wear relative to air cooling.  But note LC_FUZZY's cycle\n"
+        "   count: chasing the workload with the flow rate trades pump\n"
+        "   energy for an order of magnitude more thermal cycling than\n"
+        "   LC_LB's cold, flat profile — an energy/performance/lifetime\n"
+        "   triangle the paper's energy-only comparison does not show,\n"
+        "   and which this library lets you quantify."
+    )
+
+
+if __name__ == "__main__":
+    main()

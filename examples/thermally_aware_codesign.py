@@ -1,0 +1,104 @@
+"""Thermally-aware design exploration (the paper's title, as a tool).
+
+Three design-time questions answered with the library's exploration
+layer (Section II-C: "Electro-thermal co-design is mandatory to define
+the optimal fluid cavity and corresponding floorplan ... at minimal
+chip and pumping power needs, for the given temperature constraints"):
+
+1. Which tier ordering should a 4-tier stack use?
+2. Which channel width / flow-rate pair meets a junction limit at the
+   lowest pumping power — and how does the answer move as the limit
+   tightens?
+3. How much flow headroom does each workload class leave?
+
+Run with:  python examples/thermally_aware_codesign.py
+"""
+
+from repro.analysis import Table
+from repro.design import codesign_cavity, flow_sweep, tier_ordering_study
+from repro.geometry import TSVArray, build_3d_mpsoc
+from repro.thermal import CompactThermalModel
+from repro.units import celsius_to_kelvin
+from repro.workload import paper_workload_suite
+
+
+def study_tier_ordering() -> None:
+    results = tier_ordering_study(4)
+    table = Table(
+        "4-tier tier-ordering study (c = cores, m = memory; bottom to top)",
+        ["Pattern", "Peak [degC]"],
+    )
+    for pattern, peak in sorted(results.items(), key=lambda kv: kv[1]):
+        table.add_row(pattern, f"{peak - 273.15:.1f}")
+    print(table)
+    best = min(results, key=results.get)
+    print(
+        f"-> '{best}' wins: hot core tiers sit between cavities, cool "
+        "memory tiers take the stack faces.\n"
+    )
+
+
+def study_cavity_codesign() -> None:
+    tsv = TSVArray(diameter=50e-6, pitch=150e-6)
+    for limit_c in (65.0, 58.0, 52.0):
+        points = codesign_cavity(
+            2, limit_k=celsius_to_kelvin(limit_c), tsv=tsv
+        )
+        table = Table(
+            f"Cavity co-design at a {limit_c:.0f} degC junction limit "
+            "(TSV-constrained widths)",
+            ["Width [um]", "Min flow [ml/min]", "dp [bar]", "Pumping [W]"],
+        )
+        if not points:
+            table.add_row("-", "infeasible", "-", "-")
+        for p in points:
+            table.add_row(
+                f"{p.channel_width * 1e6:.0f}",
+                f"{p.flow_ml_min:.1f}",
+                f"{p.pressure_drop_pa / 1e5:.2f}",
+                f"{p.pumping_power_w:.3f}",
+            )
+        print(table)
+        print()
+    print(
+        "-> loose limits favour the widest (cheapest) channels; as the "
+        "limit tightens, wide channels drop out and the designer pays "
+        "pressure drop for heat transfer.\n"
+    )
+
+
+def study_flow_headroom() -> None:
+    stack = build_3d_mpsoc(2)
+    model = CompactThermalModel(stack)
+    suite = paper_workload_suite(threads=32, duration=10)
+    table = Table(
+        "Peak steady temperature [degC] vs per-cavity flow rate",
+        ["Workload"] + [f"{f:.0f} ml/min" for f in (10, 15, 20, 25, 32)],
+    )
+    core_refs = [
+        (layer.name, block.name)
+        for layer, block in stack.iter_blocks()
+        if block.kind == "core"
+    ]
+    for name, trace in suite.items():
+        # Size the steady scenario by the workload's mean utilisation.
+        util = trace.mean_utilisation
+        powers = {ref: 0.7 + 3.5 * util + 0.8 for ref in core_refs}
+        curve = flow_sweep(model, powers, [10.0, 15.0, 20.0, 25.0, 32.0])
+        table.add_row(name, *[f"{peak - 273.15:.1f}" for _, peak in curve])
+    print(table)
+    print(
+        "-> light workloads stay under the 85 degC threshold even at "
+        "minimum flow — the headroom the LC_FUZZY controller converts "
+        "into pumping-energy savings."
+    )
+
+
+def main() -> None:
+    study_tier_ordering()
+    study_cavity_codesign()
+    study_flow_headroom()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Two-phase hot-spot study: the Fig. 8 micro-evaporator experiment.
+
+Solves the 135-channel R245fa micro-evaporator with the 5x7 heater
+layout (third row at 15.1x the background heat flux), prints the Fig. 8
+sensor-row series, and sketches an ASCII rendition of the figure.
+
+Run with:  python examples/two_phase_hotspot.py
+"""
+
+from repro.analysis import Table
+from repro.twophase import HotSpotTestVehicle
+
+
+def ascii_series(label: str, values, unit: str, width: int = 40) -> None:
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    print(f"  {label}")
+    for row, value in enumerate(values, start=1):
+        bar = "#" * (1 + int((value - lo) / span * (width - 1)))
+        print(f"    row {row}: {value:10.2f} {unit}  {bar}")
+
+
+def main() -> None:
+    vehicle = HotSpotTestVehicle()
+    flow = vehicle.operating_mass_flow()
+    print(
+        "Two-phase test vehicle: 135 channels x 85 um, R245fa, "
+        f"{flow * 1e3:.2f} g/s (G = {vehicle.evaporator.mass_flux(flow):.0f} "
+        "kg/m2s), inlet saturation 30.0 degC"
+    )
+    profile = vehicle.sensor_rows()
+
+    table = Table(
+        "Fig. 8 — local hot-spot test of the silicon micro-evaporator",
+        ["Row", "q [W/cm2]", "HTC [W/m2K]", "Fluid [C]", "Wall [C]", "Base [C]"],
+    )
+    for i in range(5):
+        table.add_row(
+            int(profile.rows[i]),
+            f"{profile.heat_flux[i] / 1e4:.1f}",
+            f"{profile.htc[i]:.0f}",
+            f"{profile.fluid_c[i]:.2f}",
+            f"{profile.wall_c[i]:.2f}",
+            f"{profile.base_c[i]:.2f}",
+        )
+    print()
+    print(table)
+
+    print()
+    ascii_series("Heat flux", list(profile.heat_flux / 1e4), "W/cm2")
+    ascii_series("Heat transfer coefficient", list(profile.htc), "W/m2K")
+    ascii_series("Wall temperature", list(profile.wall_c), "degC")
+    ascii_series("Fluid temperature", list(profile.fluid_c), "degC")
+
+    print()
+    print(
+        f"HTC under the hot spot is {profile.hotspot_to_background_htc_ratio():.1f}x "
+        "the background (paper: ~8x);"
+    )
+    print(
+        f"wall superheat rises only {profile.superheat_ratio():.1f}x "
+        "(paper: ~2x, vs 15x it would with water)."
+    )
+    print(
+        f"The refrigerant LEAVES COOLER than it enters: "
+        f"{profile.fluid_c[0]:.2f} -> {profile.fluid_c[-1]:.2f} degC — the "
+        "falling-saturation-pressure signature of flow boiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

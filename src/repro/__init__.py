@@ -1,0 +1,57 @@
+"""repro — thermally-aware design of 3D MPSoCs with inter-tier cooling.
+
+A full Python reproduction of Sabry et al., "Towards Thermally-Aware
+Design of 3D MPSoCs with Inter-Tier Cooling" (DATE 2011): compact
+thermal modelling of 3D stacks with micro-channel liquid cooling
+(3D-ICE-style), single- and two-phase cooling technology models, and the
+run-time fuzzy flow-rate + DVFS management policies of the CMOSAIC
+project.
+
+Quickstart::
+
+    from repro import build_3d_mpsoc, SystemSimulator, LiquidFuzzy
+    from repro.workload import database_trace
+
+    stack = build_3d_mpsoc(tiers=2)
+    result = SystemSimulator(stack, LiquidFuzzy(), database_trace()).run()
+    print(result.peak_temperature_c, result.total_energy_j)
+"""
+
+from .geometry import build_3d_mpsoc, CoolingMode, StackDesign
+from .thermal import CompactThermalModel, TransientStepper, TemperatureSensors
+from .power import PowerModel, NIAGARA_VF_TABLE
+from .hydraulics import PumpModel, TABLE_I_PUMP
+from .core import (
+    SystemSimulator,
+    SimulationResult,
+    FuzzyThermalController,
+    AirLoadBalancing,
+    AirTDVFSLoadBalancing,
+    LiquidLoadBalancing,
+    LiquidFuzzy,
+    paper_policies,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_3d_mpsoc",
+    "CoolingMode",
+    "StackDesign",
+    "CompactThermalModel",
+    "TransientStepper",
+    "TemperatureSensors",
+    "PowerModel",
+    "NIAGARA_VF_TABLE",
+    "PumpModel",
+    "TABLE_I_PUMP",
+    "SystemSimulator",
+    "SimulationResult",
+    "FuzzyThermalController",
+    "AirLoadBalancing",
+    "AirTDVFSLoadBalancing",
+    "LiquidLoadBalancing",
+    "LiquidFuzzy",
+    "paper_policies",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Reporting helpers, paper reference numbers, reliability metrics."""
+
+from .report import Table, format_table, percent_change
+from .paper import PAPER_CLAIMS, Claim, within_band
+from .reliability import (
+    ThermalCycle,
+    extract_cycles,
+    coffin_manson_cycles_to_failure,
+    arrhenius_acceleration,
+    fatigue_damage_index,
+    reliability_report,
+)
+
+__all__ = [
+    "Table",
+    "format_table",
+    "percent_change",
+    "PAPER_CLAIMS",
+    "Claim",
+    "within_band",
+    "ThermalCycle",
+    "extract_cycles",
+    "coffin_manson_cycles_to_failure",
+    "arrhenius_acceleration",
+    "fatigue_damage_index",
+    "reliability_report",
+]

@@ -1,0 +1,173 @@
+"""Every quantitative claim of the paper, with tolerance bands.
+
+The benchmark harness compares its measurements against these values and
+EXPERIMENTS.md records the outcome.  Bands are deliberately generous for
+absolute temperatures/energies (our substrate is a recalibrated compact
+model, not the authors' testbed) and tight for ratios and orderings,
+which are the claims that should transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative statement from the paper.
+
+    Attributes
+    ----------
+    description:
+        What the number is.
+    value:
+        The paper's value.
+    low, high:
+        Acceptance band for the reproduction.
+    source:
+        Where in the paper the claim appears.
+    """
+
+    description: str
+    value: float
+    low: float
+    high: float
+    source: str
+
+
+def within_band(claim: Claim, measured: float) -> bool:
+    """Whether a measurement falls inside the claim's acceptance band."""
+    return claim.low <= measured <= claim.high
+
+
+PAPER_CLAIMS: Dict[str, Claim] = {
+    "ac_lb_2tier_peak_c": Claim(
+        "2-tier AC_LB peak temperature [degC]", 87.0, 82.0, 92.0, "IV-A"
+    ),
+    "ac_tdvfs_2tier_peak_c": Claim(
+        "2-tier AC_TDVFS_LB peak temperature [degC]", 85.0, 82.0, 90.0, "IV-A"
+    ),
+    "ac_4tier_peak_c": Claim(
+        "4-tier AC peak temperature [degC]", 178.0, 150.0, 205.0, "IV-A"
+    ),
+    "lc_lb_2tier_peak_c": Claim(
+        "2-tier LC_LB peak temperature [degC]", 56.0, 50.0, 62.0, "IV-A"
+    ),
+    "lc_fuzzy_2tier_peak_c": Claim(
+        "2-tier LC_FUZZY peak temperature [degC]", 68.0, 62.0, 74.0, "IV-A"
+    ),
+    "fuzzy_cooling_saving_2tier_pct": Claim(
+        "LC_FUZZY vs LC_LB cooling-energy saving, 2-tier average [%]",
+        50.0,
+        30.0,
+        65.0,
+        "IV-A",
+    ),
+    "fuzzy_cooling_saving_4tier_pct": Claim(
+        "LC_FUZZY vs LC_LB cooling-energy saving, 4-tier average [%]",
+        52.0,
+        30.0,
+        65.0,
+        "IV-A",
+    ),
+    "fuzzy_system_saving_2tier_pct": Claim(
+        "LC_FUZZY vs LC_LB system-energy saving, 2-tier average [%]",
+        14.0,
+        8.0,
+        22.0,
+        "IV-A",
+    ),
+    "fuzzy_system_saving_4tier_pct": Claim(
+        "LC_FUZZY vs LC_LB system-energy saving, 4-tier average [%]",
+        18.0,
+        10.0,
+        26.0,
+        "IV-A",
+    ),
+    "max_cooling_saving_pct": Claim(
+        "Maximum cooling-energy saving vs worst-case flow [%]",
+        67.0,
+        55.0,
+        70.0,
+        "abstract",
+    ),
+    "max_system_saving_pct": Claim(
+        "Maximum system-energy saving vs worst-case flow [%]",
+        30.0,
+        20.0,
+        40.0,
+        "abstract",
+    ),
+    "fuzzy_degradation_pct": Claim(
+        "LC_FUZZY performance degradation [%]", 0.01, 0.0, 0.5, "IV-A"
+    ),
+    "fig8_htc_ratio": Claim(
+        "Hot-spot to background HTC ratio (Fig. 8)", 8.0, 6.0, 10.0, "IV-B"
+    ),
+    "fig8_superheat_ratio": Claim(
+        "Hot-spot to background wall-superheat ratio (Fig. 8)",
+        2.0,
+        1.5,
+        2.5,
+        "IV-B",
+    ),
+    "fig8_inlet_sat_c": Claim(
+        "Evaporator inlet saturation temperature [degC]", 30.0, 29.8, 30.2, "IV-B"
+    ),
+    "fig8_outlet_sat_c": Claim(
+        "Evaporator outlet saturation temperature [degC]", 29.5, 29.2, 29.8, "IV-B"
+    ),
+    "scalability_intertier_rise_k": Claim(
+        "Max junction rise, 3 tiers at 250 W/cm^2, inter-tier cooling [K]",
+        55.0,
+        35.0,
+        80.0,
+        "II-C",
+    ),
+    "scalability_backside_rise_k": Claim(
+        "Max junction rise, 3 tiers at 250 W/cm^2, back-side cooling [K]",
+        223.0,
+        150.0,
+        300.0,
+        "II-C",
+    ),
+    "modulation_pressure_factor": Claim(
+        "Pressure-drop improvement from width modulation [x]",
+        2.0,
+        1.5,
+        3.5,
+        "II-C",
+    ),
+    "modulation_pumping_factor": Claim(
+        "Pumping-power improvement from hot-spot-aware modulation [x]",
+        5.0,
+        3.0,
+        8.0,
+        "II-C",
+    ),
+    "single_phase_fluid_rise_k": Claim(
+        "Water inlet-to-outlet rise at 130 W per tier [K]",
+        40.0,
+        30.0,
+        50.0,
+        "II-C",
+    ),
+    "two_phase_flow_fraction": Claim(
+        "Two-phase flow rate as a fraction of water's", 0.15, 0.05, 0.25, "III"
+    ),
+    "two_phase_pump_saving_pct": Claim(
+        "Two-phase pumping-energy saving vs water [%]", 85.0, 75.0, 95.0, "III"
+    ),
+    "staggered_pressure_penalty": Claim(
+        "Staggered vs in-line pin pressure-drop ratio [x]",
+        1.8,
+        1.2,
+        3.0,
+        "II-C",
+    ),
+    "staggered_htc_gain": Claim(
+        "Staggered vs in-line pin HTC ratio [x]", 1.37, 1.1, 1.8, "II-C"
+    ),
+}
+"""Registry keyed by claim id; see EXPERIMENTS.md for the measured values."""

@@ -1,0 +1,67 @@
+"""Plain-text tables for the benchmark harness.
+
+Every benchmark prints the rows/series of the table or figure it
+regenerates; this module renders them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    Attributes
+    ----------
+    title:
+        Caption printed above the table.
+    headers:
+        Column headers.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are stringified."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """Render the table as text."""
+        return format_table(self.title, self.headers, self.rows)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Column-align a header + rows block under a title."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def percent_change(reference: float, value: float) -> float:
+    """Signed percentage change of ``value`` relative to ``reference``."""
+    if reference == 0.0:
+        raise ValueError("reference must be nonzero")
+    return 100.0 * (value - reference) / reference

@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+A thin front-end over the library for users who want results without
+writing Python::
+
+    python -m repro simulate --tiers 2 --policy LC_FUZZY --workload web
+    python -m repro fig8
+    python -m repro claims
+    python -m repro traces --out traces/ --duration 300
+
+The full experiment harness (every table and figure with paper-band
+assertions) lives in ``benchmarks/`` and runs under
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis import PAPER_CLAIMS, Table
+from .core import SystemSimulator, paper_policies
+from .geometry import build_3d_mpsoc
+from .twophase import HotSpotTestVehicle
+from .workload import paper_workload_suite, save_trace_csv
+
+POLICY_NAMES = ("AC_LB", "AC_TDVFS_LB", "LC_LB", "LC_FUZZY")
+
+
+def _policy_by_name(name: str):
+    for policy in paper_policies():
+        if policy.name == name:
+            return policy
+    raise SystemExit(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one closed-loop simulation and print its summary."""
+    policy = _policy_by_name(args.policy)
+    threads = 32 * (args.tiers // 2)
+    suite = paper_workload_suite(threads=threads, duration=args.duration)
+    if args.workload not in suite:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; choose from {sorted(suite)}"
+        )
+    stack = build_3d_mpsoc(args.tiers, policy.cooling)
+    result = SystemSimulator(stack, policy, suite[args.workload]).run()
+
+    table = Table(
+        f"{args.tiers}-tier {policy.name} on '{args.workload}' "
+        f"({args.duration} s)",
+        ["Metric", "Value"],
+    )
+    table.add_row("peak temperature [degC]", f"{result.peak_temperature_c:.1f}")
+    table.add_row("hot-spot time (any core) [%]", f"{result.hotspot_percent_any:.1f}")
+    table.add_row("chip energy [kJ]", f"{result.chip_energy_j / 1e3:.2f}")
+    table.add_row("pump energy [kJ]", f"{result.pump_energy_j / 1e3:.2f}")
+    table.add_row("system energy [kJ]", f"{result.total_energy_j / 1e3:.2f}")
+    table.add_row("mean flow [ml/min]", f"{result.mean_flow_ml_min:.1f}")
+    table.add_row("performance degradation [%]", f"{result.degradation_percent:.3f}")
+    print(table)
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    """Print the Fig. 8 two-phase hot-spot series."""
+    profile = HotSpotTestVehicle().sensor_rows(segments=args.segments)
+    table = Table(
+        "Fig. 8 — two-phase micro-evaporator hot-spot test",
+        ["Row", "q [W/cm2]", "HTC [W/m2K]", "Fluid [C]", "Wall [C]", "Base [C]"],
+    )
+    for i in range(len(profile.rows)):
+        table.add_row(
+            int(profile.rows[i]),
+            f"{profile.heat_flux[i] / 1e4:.1f}",
+            f"{profile.htc[i]:.0f}",
+            f"{profile.fluid_c[i]:.2f}",
+            f"{profile.wall_c[i]:.2f}",
+            f"{profile.base_c[i]:.2f}",
+        )
+    print(table)
+    print(
+        f"HTC ratio {profile.hotspot_to_background_htc_ratio():.2f}x, "
+        f"superheat ratio {profile.superheat_ratio():.2f}x"
+    )
+    return 0
+
+
+def cmd_claims(args: argparse.Namespace) -> int:
+    """List every paper claim tracked by the reproduction."""
+    table = Table(
+        "Paper claims (see EXPERIMENTS.md for measured values)",
+        ["Id", "Description", "Paper value", "Band", "Source"],
+    )
+    for key, claim in PAPER_CLAIMS.items():
+        table.add_row(
+            key,
+            claim.description,
+            claim.value,
+            f"[{claim.low}, {claim.high}]",
+            claim.source,
+        )
+    print(table)
+    return 0
+
+
+def cmd_traces(args: argparse.Namespace) -> int:
+    """Generate the workload suite and save it as CSV files."""
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    suite = paper_workload_suite(
+        threads=args.threads, duration=args.duration, seed=args.seed
+    )
+    for name, trace in suite.items():
+        path = out / f"{name}.csv"
+        save_trace_csv(trace, path)
+        print(f"wrote {path} ({trace.intervals} x {trace.threads})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thermally-aware 3D MPSoC design (Sabry et al., DATE 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one closed-loop simulation")
+    simulate.add_argument("--tiers", type=int, default=2, choices=(2, 4))
+    simulate.add_argument("--policy", default="LC_FUZZY", choices=POLICY_NAMES)
+    simulate.add_argument("--workload", default="database")
+    simulate.add_argument("--duration", type=int, default=60)
+    simulate.set_defaults(func=cmd_simulate)
+
+    fig8 = sub.add_parser("fig8", help="print the two-phase hot-spot series")
+    fig8.add_argument("--segments", type=int, default=100)
+    fig8.set_defaults(func=cmd_fig8)
+
+    claims = sub.add_parser("claims", help="list the tracked paper claims")
+    claims.set_defaults(func=cmd_claims)
+
+    traces = sub.add_parser("traces", help="export the workload suite as CSV")
+    traces.add_argument("--out", default="traces")
+    traces.add_argument("--threads", type=int, default=32)
+    traces.add_argument("--duration", type=int, default=300)
+    traces.add_argument("--seed", type=int, default=0)
+    traces.set_defaults(func=cmd_traces)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

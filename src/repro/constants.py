@@ -1,0 +1,149 @@
+"""Physical constants and paper-anchored model parameters.
+
+Every number taken from the paper (Table I or prose) is annotated with its
+source.  SI units throughout unless a suffix says otherwise.
+"""
+
+# ---------------------------------------------------------------------------
+# Universal constants
+# ---------------------------------------------------------------------------
+
+ZERO_CELSIUS_K = 273.15
+"""0 degC expressed in kelvin."""
+
+GRAVITY = 9.80665
+"""Standard gravitational acceleration [m/s^2]."""
+
+ATMOSPHERIC_PRESSURE = 101_325.0
+"""Standard atmosphere [Pa]."""
+
+# ---------------------------------------------------------------------------
+# Table I — thermal and floorplan parameters of the 3D MPSoC model
+# ---------------------------------------------------------------------------
+
+SILICON_CONDUCTIVITY = 130.0
+"""Thermal conductivity of silicon [W/(m K)] (Table I)."""
+
+SILICON_VOL_HEAT_CAPACITY = 1_635_660.0
+"""Volumetric heat capacity of silicon [J/(m^3 K)] (Table I)."""
+
+WIRING_CONDUCTIVITY = 2.25
+"""Thermal conductivity of the wiring (BEOL) layer [W/(m K)] (Table I)."""
+
+WIRING_VOL_HEAT_CAPACITY = 2_174_502.0
+"""Volumetric heat capacity of the wiring layer [J/(m^3 K)] (Table I)."""
+
+WATER_CONDUCTIVITY = 0.6
+"""Thermal conductivity of liquid water [W/(m K)] (Table I)."""
+
+WATER_SPECIFIC_HEAT = 4183.0
+"""Specific heat of liquid water [J/(kg K)] (Table I)."""
+
+WATER_DENSITY = 997.0
+"""Density of liquid water near room temperature [kg/m^3]."""
+
+WATER_VISCOSITY = 8.9e-4
+"""Dynamic viscosity of liquid water near room temperature [Pa s]."""
+
+HEAT_SINK_CONDUCTANCE = 10.0
+"""Lumped conductance of the air-cooled heat sink [W/K] (Table I)."""
+
+HEAT_SINK_CAPACITANCE = 140.0
+"""Lumped capacitance of the air-cooled heat sink [J/K] (Table I)."""
+
+DIE_THICKNESS = 0.15e-3
+"""Thickness of one die (stack layer) [m] (Table I)."""
+
+CORE_AREA = 10.0e-6
+"""Area of one UltraSPARC T1 core [m^2] (Table I: 10 mm^2)."""
+
+L2_CACHE_AREA = 19.0e-6
+"""Area of one shared L2 cache [m^2] (Table I: 19 mm^2)."""
+
+LAYER_AREA = 115.0e-6
+"""Total area of each stack layer [m^2] (Table I: 115 mm^2)."""
+
+INTERTIER_THICKNESS = 0.1e-3
+"""Thickness of the inter-tier (cavity / bonding) material [m] (Table I)."""
+
+CHANNEL_WIDTH = 0.05e-3
+"""Micro-channel width [m] (Table I: 0.05 mm)."""
+
+CHANNEL_PITCH = 0.15e-3
+"""Micro-channel pitch (channel + wall) [m] (Table I: 0.15 mm)."""
+
+FLOW_RATE_MIN_ML_MIN = 10.0
+"""Minimum coolant flow rate per cavity [ml/min] (Table I)."""
+
+FLOW_RATE_MAX_ML_MIN = 32.3
+"""Maximum coolant flow rate per cavity [ml/min] (Table I).
+
+Section IV-A quotes the same maximum as 0.0323 l/min per cavity.
+"""
+
+PUMP_POWER_MIN = 3.5
+"""Pumping-network power at minimum flow [W] (Table I)."""
+
+PUMP_POWER_MAX = 11.176
+"""Pumping-network power at maximum flow [W] (Table I)."""
+
+PUMP_REFERENCE_CAVITIES = 1
+"""Number of cavities of the stack the Table I pump-power range refers to.
+
+The experimental baseline is the 2-tier stack with one inter-tier cavity
+between its two dies (Section II-A / [9]), so the Table I power range is
+per cavity; multi-cavity stacks scale it by their cavity count.
+"""
+
+# ---------------------------------------------------------------------------
+# Section IV-A — run-time management parameters
+# ---------------------------------------------------------------------------
+
+THERMAL_THRESHOLD_C = 85.0
+"""Hot-spot / DVFS-trigger threshold [degC] (Sections II-D and IV-A)."""
+
+DVFS_RELEASE_THRESHOLD_C = 82.0
+"""Temperature below which AC_TDVFS_LB scales V/F back up [degC]."""
+
+SENSOR_PERIOD = 0.1
+"""Temperature-sensor sampling period [s] (Section IV-A: every 100 ms)."""
+
+TRACE_PERIOD = 1.0
+"""Workload-trace sampling period [s] (Section IV-A: every second)."""
+
+# ---------------------------------------------------------------------------
+# Section III — two-phase cooling reference values
+# ---------------------------------------------------------------------------
+
+R134A_LATENT_HEAT_APPROX = 150e3
+"""Paper's quoted order of magnitude for refrigerant latent heat [J/kg]."""
+
+TWO_PHASE_FLOW_FRACTION = (0.1, 0.2)
+"""Two-phase coolant flow as a fraction of the equivalent water flow
+(Section III: 1/5 to 1/10)."""
+
+# ---------------------------------------------------------------------------
+# Section IV-B — two-phase hot-spot test vehicle (Fig. 8)
+# ---------------------------------------------------------------------------
+
+EVAPORATOR_CHANNEL_COUNT = 135
+"""Number of parallel micro-channels in the two-phase test vehicle."""
+
+EVAPORATOR_CHANNEL_WIDTH = 85e-6
+"""Channel width of the two-phase test vehicle [m]."""
+
+EVAPORATOR_HEATER_ROWS = 5
+EVAPORATOR_HEATER_COLS = 7
+"""The 35 local heaters are organised in a 5 x 7 layout (Section IV-B)."""
+
+EVAPORATOR_BACKGROUND_FLUX = 2.0e4
+"""Background heat flux of the test vehicle [W/m^2] (2 W/cm^2)."""
+
+EVAPORATOR_HOTSPOT_FLUX = 30.2e4
+"""Hot-spot row heat flux [W/m^2] (30.2 W/cm^2, 15.1x the background)."""
+
+EVAPORATOR_INLET_SAT_C = 30.0
+"""Refrigerant inlet saturation temperature [degC] (Fig. 8)."""
+
+EVAPORATOR_OUTLET_SAT_C = 29.5
+"""Refrigerant outlet saturation temperature [degC] (Fig. 8)."""

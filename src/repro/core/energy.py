@@ -1,0 +1,52 @@
+"""Energy accounting for closed-loop simulations.
+
+Fig. 7 reports "the energy consumption in the whole system (chip and
+cooling network)" — this account integrates both streams separately so
+the benchmark can report pump and system energy per policy.
+"""
+
+from __future__ import annotations
+
+
+class EnergyAccount:
+    """Accumulates chip and pump energy over a simulation."""
+
+    def __init__(self) -> None:
+        self.chip_j = 0.0
+        self.pump_j = 0.0
+        self.elapsed = 0.0
+
+    def add(self, chip_w: float, pump_w: float, dt: float) -> None:
+        """Account one control period.
+
+        Parameters
+        ----------
+        chip_w:
+            Chip (dynamic + leakage) power during the period [W].
+        pump_w:
+            Pumping-network power during the period [W].
+        dt:
+            Period length [s].
+        """
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        if chip_w < 0.0 or pump_w < 0.0:
+            raise ValueError("powers must be non-negative")
+        self.chip_j += chip_w * dt
+        self.pump_j += pump_w * dt
+        self.elapsed += dt
+
+    @property
+    def total_j(self) -> float:
+        """System energy: chip plus cooling network [J]."""
+        return self.chip_j + self.pump_j
+
+    @property
+    def mean_chip_w(self) -> float:
+        """Time-averaged chip power [W]."""
+        return self.chip_j / self.elapsed if self.elapsed > 0.0 else 0.0
+
+    @property
+    def mean_pump_w(self) -> float:
+        """Time-averaged pump power [W]."""
+        return self.pump_j / self.elapsed if self.elapsed > 0.0 else 0.0

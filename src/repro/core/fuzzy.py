@@ -1,0 +1,240 @@
+"""A small Mamdani fuzzy-inference engine.
+
+Section II-D: "we have developed a run-time fuzzy-logic thermal
+controller that uses run-time varying flow rate and DVFS to minimize the
+consumed energy while keeping the systems temperature below the thermal
+threshold" [15].  This module provides the generic engine — triangular
+membership functions, min-AND rule firing, max aggregation and centroid
+defuzzification — and :mod:`repro.core.controller` instantiates the
+thermal rule base on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TriangularMF:
+    """A triangular membership function with optional shoulders.
+
+    ``a <= b <= c`` are the left foot, peak and right foot.  Setting
+    ``a == b`` produces a left shoulder (membership 1 for x <= b);
+    ``b == c`` produces a right shoulder.
+    """
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if not self.a <= self.b <= self.c:
+            raise ValueError("membership function requires a <= b <= c")
+        if self.a == self.c:
+            raise ValueError("membership function must have nonzero support")
+
+    def membership(self, x: float) -> float:
+        """Degree of membership of ``x`` in [0, 1]."""
+        if x <= self.a:
+            return 1.0 if self.a == self.b else 0.0
+        if x >= self.c:
+            return 1.0 if self.b == self.c else 0.0
+        if x < self.b:
+            return (x - self.a) / (self.b - self.a)
+        if x > self.b:
+            return (self.c - x) / (self.c - self.b)
+        return 1.0
+
+    def membership_array(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised membership over a sample grid."""
+        out = np.zeros_like(xs)
+        rising = (xs > self.a) & (xs < self.b)
+        falling = (xs > self.b) & (xs < self.c)
+        if self.b > self.a:
+            out[rising] = (xs[rising] - self.a) / (self.b - self.a)
+            out[xs <= self.a] = 1.0 if self.a == self.b else 0.0
+        else:
+            out[xs <= self.b] = 1.0
+        if self.c > self.b:
+            out[falling] = (self.c - xs[falling]) / (self.c - self.b)
+            out[xs >= self.c] = 1.0 if self.b == self.c else 0.0
+        else:
+            out[xs >= self.b] = 1.0
+        out[xs == self.b] = 1.0
+        return out
+
+
+@dataclass(frozen=True)
+class FuzzyVariable:
+    """A linguistic variable over a crisp range.
+
+    Attributes
+    ----------
+    name:
+        Variable name used in rules, e.g. ``"temperature"``.
+    low, high:
+        Crisp range the variable lives on.
+    sets:
+        Mapping from linguistic term (``"low"``, ``"high"`` ...) to its
+        membership function.
+    """
+
+    name: str
+    low: float
+    high: float
+    sets: Mapping[str, TriangularMF]
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise ValueError(f"{self.name}: low must be below high")
+        if not self.sets:
+            raise ValueError(f"{self.name}: at least one fuzzy set required")
+
+    def clamp(self, x: float) -> float:
+        """Clamp a crisp value into the variable range."""
+        return min(self.high, max(self.low, x))
+
+    def fuzzify(self, x: float) -> Dict[str, float]:
+        """Memberships of a crisp value in every set."""
+        x = self.clamp(x)
+        return {term: mf.membership(x) for term, mf in self.sets.items()}
+
+
+@dataclass(frozen=True)
+class FuzzyRule:
+    """IF (antecedents, ANDed) THEN (output variable IS term).
+
+    Attributes
+    ----------
+    antecedents:
+        Mapping ``input variable name -> linguistic term``.
+    consequent:
+        ``(output variable name, linguistic term)``.
+    weight:
+        Rule weight multiplying the firing strength.
+    """
+
+    antecedents: Mapping[str, str]
+    consequent: Tuple[str, str]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.antecedents:
+            raise ValueError("a rule needs at least one antecedent")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError("rule weight must be in (0, 1]")
+
+
+class MamdaniController:
+    """Min-AND / max-aggregation / centroid-defuzzification inference.
+
+    Parameters
+    ----------
+    inputs, outputs:
+        The linguistic variables.
+    rules:
+        The rule base; every referenced variable and term must exist.
+    resolution:
+        Sample count of the output grids used for the centroid.
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[FuzzyVariable],
+        outputs: Sequence[FuzzyVariable],
+        rules: Sequence[FuzzyRule],
+        resolution: int = 101,
+    ) -> None:
+        if resolution < 11:
+            raise ValueError("resolution too coarse for a stable centroid")
+        self.inputs = {v.name: v for v in inputs}
+        self.outputs = {v.name: v for v in outputs}
+        if len(self.inputs) != len(inputs) or len(self.outputs) != len(outputs):
+            raise ValueError("variable names must be unique")
+        self.rules = list(rules)
+        self.resolution = resolution
+        self._grids = {
+            name: np.linspace(var.low, var.high, resolution)
+            for name, var in self.outputs.items()
+        }
+        self._validate_rules()
+
+    def _validate_rules(self) -> None:
+        if not self.rules:
+            raise ValueError("the rule base is empty")
+        for rule in self.rules:
+            for var_name, term in rule.antecedents.items():
+                if var_name not in self.inputs:
+                    raise KeyError(f"unknown input variable {var_name!r}")
+                if term not in self.inputs[var_name].sets:
+                    raise KeyError(f"{var_name} has no term {term!r}")
+            out_name, out_term = rule.consequent
+            if out_name not in self.outputs:
+                raise KeyError(f"unknown output variable {out_name!r}")
+            if out_term not in self.outputs[out_name].sets:
+                raise KeyError(f"{out_name} has no term {out_term!r}")
+
+    def infer(self, values: Mapping[str, float]) -> Dict[str, float]:
+        """Run one inference step.
+
+        Parameters
+        ----------
+        values:
+            Crisp value per input variable (all inputs required).
+
+        Returns
+        -------
+        dict
+            Crisp output per output variable (centroid; the range
+            midpoint if no rule fires).
+        """
+        missing = set(self.inputs) - set(values)
+        if missing:
+            raise KeyError(f"missing inputs: {sorted(missing)}")
+        memberships = {
+            name: var.fuzzify(values[name]) for name, var in self.inputs.items()
+        }
+        aggregated: Dict[str, np.ndarray] = {
+            name: np.zeros(self.resolution) for name in self.outputs
+        }
+        for rule in self.rules:
+            strength = rule.weight * min(
+                memberships[var][term] for var, term in rule.antecedents.items()
+            )
+            if strength <= 0.0:
+                continue
+            out_name, out_term = rule.consequent
+            mf = self.outputs[out_name].sets[out_term]
+            clipped = np.minimum(
+                strength, mf.membership_array(self._grids[out_name])
+            )
+            aggregated[out_name] = np.maximum(aggregated[out_name], clipped)
+        results: Dict[str, float] = {}
+        for name, mu in aggregated.items():
+            grid = self._grids[name]
+            total = mu.sum()
+            if total <= 0.0:
+                results[name] = float(0.5 * (grid[0] + grid[-1]))
+            else:
+                results[name] = float((grid * mu).sum() / total)
+        return results
+
+
+def three_level_variable(
+    name: str, low: float, high: float
+) -> FuzzyVariable:
+    """A variable with overlapping ``low`` / ``medium`` / ``high`` terms."""
+    mid = 0.5 * (low + high)
+    return FuzzyVariable(
+        name=name,
+        low=low,
+        high=high,
+        sets={
+            "low": TriangularMF(low, low, mid),
+            "medium": TriangularMF(low, mid, high),
+            "high": TriangularMF(mid, high, high),
+        },
+    )

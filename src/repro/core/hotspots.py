@@ -1,0 +1,68 @@
+"""Hot-spot statistics (Fig. 6).
+
+Fig. 6 reports, per policy, "the % values averaged per core and the % of
+time hot spots are observed": the *avg* statistic is the per-core
+time-above-threshold fraction averaged over cores, and the *max*
+statistic is the fraction of time at least one core exceeds the
+threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping
+
+from .. import constants
+from ..units import celsius_to_kelvin
+
+
+class HotSpotStats:
+    """Accumulates per-core and any-core threshold-exceedance times.
+
+    Parameters
+    ----------
+    threshold_k:
+        Hot-spot temperature threshold [K]; defaults to the paper's
+        85 degC.
+    """
+
+    def __init__(
+        self,
+        threshold_k: float = celsius_to_kelvin(constants.THERMAL_THRESHOLD_C),
+    ) -> None:
+        self.threshold_k = threshold_k
+        self.elapsed = 0.0
+        self.any_core_time = 0.0
+        self.per_core_time: Dict[Hashable, float] = {}
+        self.peak_k = -float("inf")
+
+    def update(self, temperatures_k: Mapping[Hashable, float], dt: float) -> None:
+        """Account one sensor period of readings."""
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        if not temperatures_k:
+            raise ValueError("no readings given")
+        self.elapsed += dt
+        hot_any = False
+        for core, temp in temperatures_k.items():
+            self.peak_k = max(self.peak_k, temp)
+            self.per_core_time.setdefault(core, 0.0)
+            if temp > self.threshold_k:
+                self.per_core_time[core] += dt
+                hot_any = True
+        if hot_any:
+            self.any_core_time += dt
+
+    @property
+    def percent_any(self) -> float:
+        """% of time at least one core was a hot spot (Fig. 6 "max")."""
+        if self.elapsed <= 0.0:
+            return 0.0
+        return 100.0 * self.any_core_time / self.elapsed
+
+    @property
+    def percent_avg(self) -> float:
+        """Per-core hot time averaged over cores, in % (Fig. 6 "avg")."""
+        if self.elapsed <= 0.0 or not self.per_core_time:
+            return 0.0
+        fractions = [t / self.elapsed for t in self.per_core_time.values()]
+        return 100.0 * sum(fractions) / len(fractions)

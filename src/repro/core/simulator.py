@@ -1,0 +1,256 @@
+"""Closed-loop system simulation: workload → OS → power → thermal → policy.
+
+This is the experimental harness of Section IV-A.  Each run couples
+
+* a workload trace (per-thread utilisation, 1 s intervals),
+* the load-balancing scheduler (thread migration across cores),
+* the block-level power model (dynamic + temperature-dependent leakage),
+* the compact thermal model of the chosen stack (air or liquid), and
+* a run-time management policy (AC_LB, AC_TDVFS_LB, LC_LB, LC_FUZZY)
+
+with the 100 ms sensor/control period of the paper.  Simulations start
+from the steady state of the first workload interval ("we initialize the
+simulations with steady state temperature values") and account chip
+energy, pumping energy, hot-spot statistics and performance degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import constants
+from ..geometry.stack import CoolingMode, StackDesign
+from ..hydraulics.pump import PumpModel, TABLE_I_PUMP
+from ..power.model import PowerModel
+from ..sched.loadbalance import LoadBalancer
+from ..sched.metrics import PerformanceTracker
+from ..thermal.model import CompactThermalModel
+from ..thermal.sensors import TemperatureSensors
+from ..thermal.solver import TransientStepper
+from ..units import kelvin_to_celsius
+from ..workload.traces import WorkloadTrace
+from .energy import EnergyAccount
+from .hotspots import HotSpotStats
+from .policies import Policy
+
+BlockRef = Tuple[str, str]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one closed-loop run.
+
+    All quantities refer to one stack over the full trace duration.
+    """
+
+    policy: str
+    workload: str
+    duration: float
+    peak_temperature_c: float
+    chip_energy_j: float
+    pump_energy_j: float
+    hotspot_percent_avg: float
+    hotspot_percent_any: float
+    degradation_percent: float
+    mean_flow_ml_min: float
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def total_energy_j(self) -> float:
+        """System energy: chip + cooling network [J]."""
+        return self.chip_energy_j + self.pump_energy_j
+
+
+class SystemSimulator:
+    """Runs one (stack, policy, workload) combination.
+
+    Parameters
+    ----------
+    stack:
+        Stack design; its cooling mode must match the policy's.
+    policy:
+        Run-time management policy.
+    trace:
+        Workload trace; must provide
+        ``threads_per_core * cores`` hardware threads.
+    pump:
+        Pumping-network power model (liquid mode).
+    nx, ny:
+        Thermal grid resolution.
+    control_period:
+        Sensor/actuation period [s] (paper: 100 ms).
+    lb_threshold:
+        Queue-difference threshold of the load balancer.
+    sensor_noise:
+        Gaussian sensor noise sigma [K].
+    record_series:
+        Keep per-control-period time series (time, max temperature,
+        flow, chip power) in the result.
+    """
+
+    def __init__(
+        self,
+        stack: StackDesign,
+        policy: Policy,
+        trace: WorkloadTrace,
+        *,
+        pump: PumpModel = TABLE_I_PUMP,
+        nx: int = 23,
+        ny: int = 20,
+        control_period: float = constants.SENSOR_PERIOD,
+        lb_threshold: float = 0.25,
+        sensor_noise: float = 0.0,
+        record_series: bool = False,
+    ) -> None:
+        if policy.cooling is not stack.cooling_mode:
+            raise ValueError(
+                f"policy {policy.name} expects {policy.cooling.value} cooling "
+                f"but the stack is {stack.cooling_mode.value}-cooled"
+            )
+        if control_period <= 0.0:
+            raise ValueError("control period must be positive")
+        steps = round(trace.period / control_period)
+        if steps < 1 or abs(steps * control_period - trace.period) > 1e-9:
+            raise ValueError(
+                "the trace period must be a multiple of the control period"
+            )
+        self.stack = stack
+        self.policy = policy
+        self.trace = trace
+        self.pump = pump
+        self.control_period = control_period
+        self.record_series = record_series
+
+        self.model = CompactThermalModel(stack, nx=nx, ny=ny)
+        self.power_model = PowerModel(stack)
+        self.core_refs: List[BlockRef] = self.power_model.core_refs
+        self.sensors = TemperatureSensors(
+            self.model, refs=self.core_refs, noise_sigma=sensor_noise
+        )
+        if trace.threads < len(self.core_refs):
+            raise ValueError(
+                f"trace provides {trace.threads} threads for "
+                f"{len(self.core_refs)} cores"
+            )
+        self.balancer = LoadBalancer(
+            cores=len(self.core_refs),
+            threads=trace.threads,
+            threshold=lb_threshold,
+        )
+        # A hardware thread at 100 % utilisation occupies one SMT share of
+        # a core's pipeline (4 threads per UltraSPARC T1 core), so its
+        # offered load in core-seconds per second is cores/threads.
+        self._thread_share = len(self.core_refs) / trace.threads
+        self._all_masks = self.model.block_masks()
+
+    # ------------------------------------------------------------------
+
+    def _pump_power(self, flow_ml_min: Optional[float]) -> float:
+        if self.stack.cooling_mode is CoolingMode.AIR or flow_ml_min is None:
+            return 0.0
+        return self.pump.power(flow_ml_min, self.stack.cavity_count)
+
+    def _initial_state(self) -> TransientStepper:
+        """Steady state of the first workload interval at nominal settings."""
+        demands = self.balancer.core_demands(
+            self.trace.interval(0) * self._thread_share
+        )
+        utils = {
+            ref: float(min(1.0, d)) for ref, d in zip(self.core_refs, demands)
+        }
+        powers = self.power_model.block_powers(utils)
+        initial = self.model.steady_state(powers)
+        return TransientStepper(self.model, self.control_period, initial)
+
+    def run(self) -> SimulationResult:
+        """Execute the full trace and return the aggregated result."""
+        self.policy.reset()
+        stepper = self._initial_state()
+        energy = EnergyAccount()
+        hotspots = HotSpotStats()
+        perf = PerformanceTracker(cores=len(self.core_refs))
+        dt = self.control_period
+        steps_per_interval = int(round(self.trace.period / dt))
+        vf_table = self.power_model.vf_table
+
+        utils: Dict[BlockRef, float] = {ref: 0.0 for ref in self.core_refs}
+        flow_sum = 0.0
+        flow_samples = 0
+        series: Dict[str, List[float]] = {
+            "time": [],
+            "max_temperature_c": [],
+            "flow_ml_min": [],
+            "chip_power_w": [],
+        }
+
+        time = 0.0
+        for interval in range(self.trace.intervals):
+            demand_rates = self.balancer.core_demands(
+                self.trace.interval(interval) * self._thread_share
+            )
+            for _ in range(steps_per_interval):
+                readings = self.sensors.read(stepper.state)
+                decision = self.policy.decide(time, readings, utils)
+                if decision.flow_ml_min is not None:
+                    flow = self.pump.clamp_flow(decision.flow_ml_min)
+                    self.model.set_flow(flow)
+                    flow_sum += flow
+                    flow_samples += 1
+                else:
+                    flow = None
+
+                speeds = np.array(
+                    [
+                        vf_table.speed_fraction(
+                            decision.vf_settings.get(ref, 0)
+                        )
+                        for ref in self.core_refs
+                    ]
+                )
+                executed = perf.record(demand_rates, speeds, dt)
+                busy = executed / (speeds * dt)
+                utils = {
+                    ref: float(min(1.0, b))
+                    for ref, b in zip(self.core_refs, busy)
+                }
+
+                block_temps = stepper.state.block_temperatures(
+                    self._all_masks, reduce="mean"
+                )
+                powers = self.power_model.block_powers(
+                    utils, decision.vf_settings, block_temps
+                )
+                chip_w = sum(powers.values())
+                pump_w = self._pump_power(flow)
+
+                stepper.step(powers)
+                time += dt
+                energy.add(chip_w, pump_w, dt)
+                hotspots.update(readings, dt)
+                if self.record_series:
+                    series["time"].append(time)
+                    series["max_temperature_c"].append(
+                        kelvin_to_celsius(max(readings.values()))
+                    )
+                    series["flow_ml_min"].append(flow if flow is not None else 0.0)
+                    series["chip_power_w"].append(chip_w)
+
+        mean_flow = flow_sum / flow_samples if flow_samples else 0.0
+        return SimulationResult(
+            policy=self.policy.name,
+            workload=self.trace.name,
+            duration=time,
+            peak_temperature_c=kelvin_to_celsius(hotspots.peak_k),
+            chip_energy_j=energy.chip_j,
+            pump_energy_j=energy.pump_j,
+            hotspot_percent_avg=hotspots.percent_avg,
+            hotspot_percent_any=hotspots.percent_any,
+            degradation_percent=perf.degradation_percent(),
+            mean_flow_ml_min=mean_flow,
+            series={k: np.asarray(v) for k, v in series.items()}
+            if self.record_series
+            else {},
+        )

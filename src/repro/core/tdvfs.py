@@ -1,0 +1,90 @@
+"""Temperature-triggered DVFS (the paper's AC_TDVFS_LB building block).
+
+Section IV-A: "Temperature-triggered DVFS (AC_DVFS_LB) adjusts the VF
+settings of a core when the core's temperature exceeds 85 degC.  In our
+implementation, as long as the temperature is above the threshold and
+there is a lower setting, we scale down the VF value at every scaling
+interval.  When the temperature falls below another threshold value
+(82 degC), we scale up the VF values."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping
+
+from .. import constants
+from ..power.dvfs import VFTable, NIAGARA_VF_TABLE
+from ..units import celsius_to_kelvin
+
+
+class TemperatureTriggeredDVFS:
+    """Per-core hysteretic frequency throttling.
+
+    Parameters
+    ----------
+    vf_table:
+        Available operating points.
+    trigger_k:
+        Scale down while a core is above this temperature [K].
+    release_k:
+        Scale up once a core falls below this temperature [K].
+    scaling_interval:
+        Minimum time between two setting changes of a core [s].
+    """
+
+    def __init__(
+        self,
+        vf_table: VFTable = NIAGARA_VF_TABLE,
+        trigger_k: float = celsius_to_kelvin(constants.THERMAL_THRESHOLD_C),
+        release_k: float = celsius_to_kelvin(constants.DVFS_RELEASE_THRESHOLD_C),
+        scaling_interval: float = constants.SENSOR_PERIOD,
+    ) -> None:
+        if release_k >= trigger_k:
+            raise ValueError("release threshold must sit below the trigger")
+        if scaling_interval <= 0.0:
+            raise ValueError("scaling interval must be positive")
+        self.vf_table = vf_table
+        self.trigger_k = trigger_k
+        self.release_k = release_k
+        self.scaling_interval = scaling_interval
+        self._settings: Dict[Hashable, int] = {}
+        self._last_change: Dict[Hashable, float] = {}
+
+    def reset(self) -> None:
+        """Forget all per-core state."""
+        self._settings.clear()
+        self._last_change.clear()
+
+    def setting(self, core: Hashable) -> int:
+        """Current VF index of a core (nominal if never seen)."""
+        return self._settings.get(core, 0)
+
+    def update(
+        self, time: float, temperatures: Mapping[Hashable, float]
+    ) -> Dict[Hashable, int]:
+        """Advance the controller one sensor reading.
+
+        Parameters
+        ----------
+        time:
+            Current simulation time [s].
+        temperatures:
+            Latest sensor reading per core [K].
+
+        Returns
+        -------
+        dict
+            VF setting index per core.
+        """
+        for core, temp in temperatures.items():
+            current = self._settings.get(core, 0)
+            last = self._last_change.get(core, -float("inf"))
+            if time - last < self.scaling_interval:
+                continue
+            if temp > self.trigger_k and current < self.vf_table.lowest_index:
+                self._settings[core] = current + 1
+                self._last_change[core] = time
+            elif temp < self.release_k and current > 0:
+                self._settings[core] = current - 1
+                self._last_change[core] = time
+        return {core: self._settings.get(core, 0) for core in temperatures}

@@ -1,0 +1,31 @@
+"""Design-time thermally-aware exploration (Section II-C).
+
+"Electro-thermal co-design is mandatory to define the optimal fluid
+cavity and corresponding floorplan to achieve highest computational
+performance at minimal chip and pumping power needs, for the given
+temperature constraints."
+"""
+
+from .explorer import flow_sweep, minimum_flow_for_limit, tier_ordering_study
+from .codesign import CavityDesignPoint, codesign_cavity
+from .placement import (
+    core_coolness_ranking,
+    thermal_aware_assignment,
+    naive_assignment,
+    placement_gain,
+)
+from .percavity import allocate_cavity_flows, percavity_saving
+
+__all__ = [
+    "flow_sweep",
+    "minimum_flow_for_limit",
+    "tier_ordering_study",
+    "CavityDesignPoint",
+    "codesign_cavity",
+    "core_coolness_ranking",
+    "thermal_aware_assignment",
+    "naive_assignment",
+    "placement_gain",
+    "allocate_cavity_flows",
+    "percavity_saving",
+]

@@ -1,0 +1,42 @@
+"""Geometric descriptions: floorplans, micro-channel cavities, 3D stacks."""
+
+from .floorplan import Block, Floorplan
+from .channels import MicroChannelGeometry
+from .pinfin import PinFinArray, PinShape, PinArrangement
+from .niagara import (
+    core_tier_floorplan,
+    cache_tier_floorplan,
+    DIE_WIDTH,
+    DIE_HEIGHT,
+)
+from .stack import (
+    Layer,
+    Cavity,
+    TwoPhaseCavity,
+    StackDesign,
+    CoolingMode,
+    build_3d_mpsoc,
+    refrigerant_liquid,
+)
+from .tsv import TSVArray
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "MicroChannelGeometry",
+    "PinFinArray",
+    "PinShape",
+    "PinArrangement",
+    "core_tier_floorplan",
+    "cache_tier_floorplan",
+    "DIE_WIDTH",
+    "DIE_HEIGHT",
+    "Layer",
+    "Cavity",
+    "TwoPhaseCavity",
+    "StackDesign",
+    "CoolingMode",
+    "build_3d_mpsoc",
+    "refrigerant_liquid",
+    "TSVArray",
+]

@@ -1,0 +1,157 @@
+"""Micro-channel cavity geometry.
+
+Table I fixes the cavity used in the system-level experiments: 0.05 mm
+channel width at 0.15 mm pitch inside the 0.1 mm inter-tier layer, i.e.
+50 x 100 um channels separated by 100 um silicon walls — matching the
+"channel cross-section less than 100 x 50 um^2" remark of Section II-D.
+
+The thermal model treats the cavity as a homogenised porous layer
+(following the porous-media modelling of the CMOSAIC references [6]):
+each grid cell of the cavity layer contains a liquid fraction ``porosity``
+and a wall fraction, with fin-enhanced convective exchange toward both
+adjacent dies.  This module provides the purely geometric quantities that
+feed the hydraulic and thermal models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..materials.fluids import Liquid
+
+
+@dataclass(frozen=True)
+class MicroChannelGeometry:
+    """A parallel micro-channel cavity etched into a die back side.
+
+    Attributes
+    ----------
+    width:
+        Channel width (in-plane, across the flow) [m].
+    height:
+        Channel height (the cavity/inter-tier thickness) [m].
+    pitch:
+        Channel pitch = channel width + wall width [m].
+    length:
+        Channel length along the flow direction [m].
+    span:
+        Cavity extent across the flow direction [m]; together with the
+        pitch this sets the channel count.
+    """
+
+    width: float
+    height: float
+    pitch: float
+    length: float
+    span: float
+
+    def __post_init__(self) -> None:
+        for field in ("width", "height", "pitch", "length", "span"):
+            if getattr(self, field) <= 0.0:
+                raise ValueError(f"{field} must be positive")
+        if self.width >= self.pitch:
+            raise ValueError("channel width must be smaller than the pitch")
+
+    # -- per-channel geometry -----------------------------------------------
+
+    @property
+    def wall_width(self) -> float:
+        """Width of the silicon wall between adjacent channels [m]."""
+        return self.pitch - self.width
+
+    @property
+    def flow_area(self) -> float:
+        """Cross-sectional flow area of one channel [m^2]."""
+        return self.width * self.height
+
+    @property
+    def wetted_perimeter(self) -> float:
+        """Wetted perimeter of one channel cross-section [m]."""
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def hydraulic_diameter(self) -> float:
+        """Hydraulic diameter ``4 A / P`` of one channel [m]."""
+        return 4.0 * self.flow_area / self.wetted_perimeter
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Short-to-long side ratio of the channel cross-section (0, 1]."""
+        short, long_ = sorted((self.width, self.height))
+        return short / long_
+
+    # -- cavity-level geometry ------------------------------------------------
+
+    @property
+    def channel_count(self) -> int:
+        """Number of parallel channels fitting across the cavity span."""
+        return max(1, int(self.span / self.pitch))
+
+    @property
+    def porosity(self) -> float:
+        """Liquid volume fraction of the homogenised cavity layer [-]."""
+        return self.width / self.pitch
+
+    @property
+    def total_flow_area(self) -> float:
+        """Aggregate flow area of all channels [m^2]."""
+        return self.channel_count * self.flow_area
+
+    # -- flow kinematics --------------------------------------------------------
+
+    def mean_velocity(self, volumetric_flow: float) -> float:
+        """Mean channel velocity for a given cavity flow rate [m/s].
+
+        Parameters
+        ----------
+        volumetric_flow:
+            Total cavity volumetric flow rate [m^3/s], divided evenly over
+            all channels (Section II-A: "the fluid flows through each
+            channel at the same flow rate").
+        """
+        if volumetric_flow < 0.0:
+            raise ValueError("flow rate must be non-negative")
+        return volumetric_flow / self.total_flow_area
+
+    def reynolds(self, volumetric_flow: float, fluid: Liquid) -> float:
+        """Channel Reynolds number for a given cavity flow rate [-]."""
+        velocity = self.mean_velocity(volumetric_flow)
+        return fluid.density * velocity * self.hydraulic_diameter / fluid.viscosity
+
+    def fin_efficiency(self, htc: float, wall_conductivity: float) -> float:
+        """Efficiency of the inter-channel wall acting as a fin [-].
+
+        Classic straight-fin result ``tanh(m H) / (m H)`` with
+        ``m = sqrt(2 h / (k t))`` where ``t`` is the wall width and ``H``
+        the channel height.  Walls span the full cavity, so the model
+        roots half of each wall on each adjacent die.
+        """
+        if htc <= 0.0 or wall_conductivity <= 0.0:
+            raise ValueError("htc and conductivity must be positive")
+        m = math.sqrt(2.0 * htc / (wall_conductivity * self.wall_width))
+        mh = m * (self.height / 2.0)
+        if mh < 1e-12:
+            return 1.0
+        return math.tanh(mh) / mh
+
+    def effective_htc(self, htc: float, wall_conductivity: float) -> float:
+        """Footprint-referenced heat transfer coefficient [W/(m^2 K)].
+
+        Convective exchange between the cavity fluid and ONE adjacent die
+        face, per unit footprint area: the channel floor contributes its
+        area fraction (the porosity) and the two half-height side-wall
+        fins contribute ``eta * height / pitch``.
+        """
+        eta = self.fin_efficiency(htc, wall_conductivity)
+        return htc * (self.porosity + eta * self.height / self.pitch)
+
+    def wall_bypass_coefficient(self, wall_conductivity: float) -> float:
+        """Solid conduction through the walls, per unit footprint [W/(m^2 K)].
+
+        The inter-channel walls directly connect the two dies bounding the
+        cavity; this is the parallel conduction path that remains when the
+        coolant is absent (and the only vertical path in air-cooled mode,
+        where the cavity is not etched).
+        """
+        return wall_conductivity * (1.0 - self.porosity) / self.height

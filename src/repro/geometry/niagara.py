@@ -1,0 +1,110 @@
+"""UltraSPARC T1 (Niagara-1) floorplans for the target 3D MPSoCs.
+
+Section II-A: the 3D MPSoCs are based on the UltraSPARC T1 manufactured at
+the 90 nm node, with 8 multi-threaded cores and a shared L2 cache for every
+two cores; cores and L2 caches are placed on separate tiers (Fig. 1).
+Table I fixes the areas: 10 mm^2 per core, 19 mm^2 per L2 cache and
+115 mm^2 per layer.
+
+The exact intra-tier placement is not published in the paper, so this
+module uses a regular, grid-aligned arrangement with the correct areas:
+
+* Core tier: two rows of four cores (2.5 mm x 4.0 mm each) along the die
+  edges with the crossbar/IO fabric in between (35 mm^2 of ``other``).
+* Cache tier: four L2 banks (4.75 mm x 4.0 mm each) mirroring the core
+  rows, with directory/IO area in between (39 mm^2 of ``other``).
+
+All block edges snap to a 0.25 mm pitch so the default thermal grid
+rasterises them without aliasing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .floorplan import Block, Floorplan, CORE, CACHE, OTHER
+
+DIE_WIDTH = 11.5e-3
+"""Die extent along the channel (flow) direction [m]."""
+
+DIE_HEIGHT = 10.0e-3
+"""Die extent across the channels [m].
+
+``DIE_WIDTH * DIE_HEIGHT`` equals the 115 mm^2 layer area of Table I.
+"""
+
+CORES_PER_TIER = 8
+CACHES_PER_TIER = 4
+
+_CORE_W = 2.5e-3
+_CORE_H = 4.0e-3
+_CACHE_W = 4.75e-3
+_CACHE_H = 4.0e-3
+_ROW_XS_CORE = (0.5e-3, 3.0e-3, 5.5e-3, 8.0e-3)
+_ROW_XS_CACHE = (0.5e-3, 6.25e-3)
+_BOTTOM_Y = 0.0
+_TOP_Y = 6.0e-3
+_MID_Y = 4.0e-3
+_MID_H = 2.0e-3
+
+
+def core_tier_floorplan(first_core: int = 0, name: str = "core tier") -> Floorplan:
+    """Floorplan of a core tier: 8 cores plus crossbar/IO.
+
+    Parameters
+    ----------
+    first_core:
+        Index of the first core on this tier; cores are named
+        ``core{first_core} .. core{first_core + 7}``.  Lets multi-tier
+        stacks keep globally unique core names.
+    name:
+        Floorplan identifier.
+    """
+    blocks: List[Block] = []
+    core = first_core
+    for y in (_BOTTOM_Y, _TOP_Y):
+        for x in _ROW_XS_CORE:
+            blocks.append(
+                Block(f"core{core}", x, y, _CORE_W, _CORE_H, kind=CORE)
+            )
+            core += 1
+    blocks.append(Block("crossbar", 0.0, _MID_Y, DIE_WIDTH, _MID_H, kind=OTHER))
+    for suffix, y in (("bottom", _BOTTOM_Y), ("top", _TOP_Y)):
+        blocks.append(Block(f"io_left_{suffix}", 0.0, y, 0.5e-3, 4.0e-3, kind=OTHER))
+        blocks.append(
+            Block(f"io_right_{suffix}", 10.5e-3, y, 1.0e-3, 4.0e-3, kind=OTHER)
+        )
+    return Floorplan(DIE_WIDTH, DIE_HEIGHT, blocks, name=name)
+
+
+def cache_tier_floorplan(first_cache: int = 0, name: str = "cache tier") -> Floorplan:
+    """Floorplan of a cache tier: 4 shared L2 banks plus directory/IO.
+
+    Parameters
+    ----------
+    first_cache:
+        Index of the first L2 bank; banks are named
+        ``l2_{first_cache} .. l2_{first_cache + 3}``.
+    name:
+        Floorplan identifier.
+    """
+    blocks: List[Block] = []
+    bank = first_cache
+    for y in (_BOTTOM_Y, _TOP_Y):
+        for x in _ROW_XS_CACHE:
+            blocks.append(
+                Block(f"l2_{bank}", x, y, _CACHE_W, _CACHE_H, kind=CACHE)
+            )
+            bank += 1
+    blocks.append(Block("directory", 0.0, _MID_Y, DIE_WIDTH, _MID_H, kind=OTHER))
+    for suffix, y in (("bottom", _BOTTOM_Y), ("top", _TOP_Y)):
+        blocks.append(
+            Block(f"io_left_{suffix}", 0.0, y, 0.5e-3, 4.0e-3, kind=OTHER)
+        )
+        blocks.append(
+            Block(f"io_mid_{suffix}", 5.25e-3, y, 1.0e-3, 4.0e-3, kind=OTHER)
+        )
+        blocks.append(
+            Block(f"io_right_{suffix}", 11.0e-3, y, 0.5e-3, 4.0e-3, kind=OTHER)
+        )
+    return Floorplan(DIE_WIDTH, DIE_HEIGHT, blocks, name=name)

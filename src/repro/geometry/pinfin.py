@@ -1,0 +1,172 @@
+"""Pin-fin heat-transfer cavity geometry.
+
+Section II-C considers two fundamental heat-transfer unit-cell geometries:
+channels and pin fins (circular, square, drop shape), in in-line or
+staggered arrangements, extruded normal to the die surface.  The paper's
+conclusion — circular in-line pins give low pressure drop at acceptable
+convective heat transfer compared to staggered — is reproduced by the
+bank correlations in :mod:`repro.hydraulics.pinfin_bank`, which consume
+the purely geometric quantities defined here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+
+class PinShape(str, Enum):
+    """Cross-sectional shape of a pin fin."""
+
+    CIRCULAR = "circular"
+    SQUARE = "square"
+    DROP = "drop"
+
+
+class PinArrangement(str, Enum):
+    """Array arrangement of a pin-fin bank."""
+
+    INLINE = "inline"
+    STAGGERED = "staggered"
+
+
+_DRAG_SHAPE_FACTOR = {
+    # Relative form-drag factor versus a circular pin; drop-shaped
+    # (streamlined) pins shed less, square pins more.
+    PinShape.CIRCULAR: 1.0,
+    PinShape.SQUARE: 1.35,
+    PinShape.DROP: 0.65,
+}
+
+_PERIMETER_FACTOR = {
+    # Wetted perimeter relative to a circle of the same characteristic
+    # diameter: square = 4d vs pi*d, drop approximated as 1.15x circular.
+    PinShape.CIRCULAR: 1.0,
+    PinShape.SQUARE: 4.0 / math.pi,
+    PinShape.DROP: 1.15,
+}
+
+
+@dataclass(frozen=True)
+class PinFinArray:
+    """A uniform pin-fin array filling an inter-tier cavity.
+
+    Attributes
+    ----------
+    shape:
+        Pin cross-section.
+    arrangement:
+        In-line or staggered grid.
+    diameter:
+        Characteristic pin diameter (side length for square pins) [m].
+    transverse_pitch:
+        Pin pitch across the flow [m].
+    longitudinal_pitch:
+        Pin pitch along the flow [m].
+    height:
+        Pin height = cavity height [m].
+    """
+
+    shape: PinShape
+    arrangement: PinArrangement
+    diameter: float
+    transverse_pitch: float
+    longitudinal_pitch: float
+    height: float
+
+    def __post_init__(self) -> None:
+        for field in ("diameter", "transverse_pitch", "longitudinal_pitch", "height"):
+            if getattr(self, field) <= 0.0:
+                raise ValueError(f"{field} must be positive")
+        if self.diameter >= self.transverse_pitch:
+            raise ValueError("pins must not touch: diameter < transverse pitch")
+        if self.diameter >= self.longitudinal_pitch:
+            raise ValueError("pins must not touch: diameter < longitudinal pitch")
+
+    @property
+    def pin_cross_section(self) -> float:
+        """Cross-sectional (plan-view) area of one pin [m^2]."""
+        if self.shape is PinShape.SQUARE:
+            return self.diameter**2
+        if self.shape is PinShape.DROP:
+            # Circular nose plus a triangular tail of one diameter length.
+            return math.pi * self.diameter**2 / 4.0 + 0.5 * self.diameter**2
+        return math.pi * self.diameter**2 / 4.0
+
+    @property
+    def pin_perimeter(self) -> float:
+        """Wetted perimeter of one pin cross-section [m]."""
+        return math.pi * self.diameter * _PERIMETER_FACTOR[self.shape]
+
+    @property
+    def cell_area(self) -> float:
+        """Plan-view area of one unit cell [m^2]."""
+        return self.transverse_pitch * self.longitudinal_pitch
+
+    @property
+    def porosity(self) -> float:
+        """Fluid volume fraction of the cavity [-]."""
+        porosity = 1.0 - self.pin_cross_section / self.cell_area
+        if porosity <= 0.0:
+            raise ValueError("pin array leaves no flow area")
+        return porosity
+
+    @property
+    def surface_density(self) -> float:
+        """Wetted pin surface per cavity volume [1/m]."""
+        return self.pin_perimeter / self.cell_area
+
+    @property
+    def hydraulic_diameter(self) -> float:
+        """Hydraulic diameter of the porous cavity, ``4 V_fluid / A_wet`` [m].
+
+        Includes the floor and ceiling of the cavity in the wetted area.
+        """
+        fluid_volume = self.porosity * self.cell_area * self.height
+        wetted = self.pin_perimeter * self.height + 2.0 * self.porosity * self.cell_area
+        return 4.0 * fluid_volume / wetted
+
+    @property
+    def max_velocity_ratio(self) -> float:
+        """Ratio of maximum (minimum-gap) to superficial frontal velocity [-].
+
+        For in-line banks the minimum section is the transverse gap; for
+        staggered banks the flow must additionally thread the diagonal
+        gap, which is what raises both heat transfer and pressure drop.
+        """
+        transverse_gap = self.transverse_pitch - self.diameter
+        ratio = self.transverse_pitch / transverse_gap
+        if self.arrangement is PinArrangement.STAGGERED:
+            diagonal = math.hypot(self.longitudinal_pitch, self.transverse_pitch / 2.0)
+            diagonal_gap = diagonal - self.diameter
+            if 2.0 * diagonal_gap < transverse_gap:
+                ratio = self.transverse_pitch / (2.0 * diagonal_gap)
+        return ratio
+
+    @property
+    def drag_shape_factor(self) -> float:
+        """Form-drag multiplier of the pin shape relative to circular [-]."""
+        return _DRAG_SHAPE_FACTOR[self.shape]
+
+    def rows_over(self, length: float) -> int:
+        """Number of pin rows met by the flow over a cavity length [-]."""
+        if length <= 0.0:
+            raise ValueError("length must be positive")
+        return max(1, int(round(length / self.longitudinal_pitch)))
+
+    def velocity(self, volumetric_flow: float, span: float) -> float:
+        """Superficial frontal velocity for a cavity flow rate [m/s].
+
+        Parameters
+        ----------
+        volumetric_flow:
+            Total cavity flow [m^3/s].
+        span:
+            Cavity width across the flow [m].
+        """
+        if span <= 0.0:
+            raise ValueError("span must be positive")
+        if volumetric_flow < 0.0:
+            raise ValueError("flow rate must be non-negative")
+        return volumetric_flow / (span * self.height)

@@ -1,0 +1,155 @@
+"""Through-silicon via (TSV) arrays.
+
+Section II-B: "Our first generation TSV demonstrator chips involve
+SiO2-insulated and fully-filled Cu TSVs having diameters ranging from
+40 um to 100 um, fabricated in a 380 um-thick Si wafer.  The TSVs are
+connected in daisy-chain patterns for the electrical characterization
+tests."  Section II-C adds the design constraint: "the maximal channel
+width [is] given by the TSV spacing" and the TSVs "need to be embedded
+into the heat transfer structure".
+
+This module models the demonstrators:
+
+* geometry and the channel-width constraint the cavity designer obeys,
+* vertical thermal conductance of a TSV (Cu core + SiO2 liner in
+  series radially is negligible; axially the via is a Cu rod),
+* the effective conductivity boost TSVs give the cavity walls they are
+  embedded in, and
+* the daisy-chain electrical resistance used for characterisation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..materials.solids import COPPER, SILICON, SolidMaterial
+
+COPPER_RESISTIVITY = 1.72e-8
+"""Electrical resistivity of electroplated Cu [ohm m]."""
+
+
+@dataclass(frozen=True)
+class TSVArray:
+    """A regular array of Cu-filled, oxide-lined TSVs.
+
+    Attributes
+    ----------
+    diameter:
+        Cu core diameter [m]; the demonstrators span 40-100 um.
+    liner_thickness:
+        SiO2 insulation liner thickness [m] (200 nm thermal oxide in the
+        Section II-B flow).
+    pitch:
+        Centre-to-centre spacing of the array [m].
+    length:
+        Via length = wafer/slab thickness it crosses [m].
+    """
+
+    diameter: float = 50e-6
+    liner_thickness: float = 200e-9
+    pitch: float = 150e-6
+    length: float = 380e-6
+
+    def __post_init__(self) -> None:
+        for field in ("diameter", "liner_thickness", "pitch", "length"):
+            if getattr(self, field) <= 0.0:
+                raise ValueError(f"{field} must be positive")
+        if self.outer_diameter >= self.pitch:
+            raise ValueError("TSVs must not touch: outer diameter < pitch")
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def outer_diameter(self) -> float:
+        """Diameter including the oxide liner [m]."""
+        return self.diameter + 2.0 * self.liner_thickness
+
+    @property
+    def copper_area(self) -> float:
+        """Cu cross-section of one via [m^2]."""
+        return math.pi * self.diameter**2 / 4.0
+
+    @property
+    def area_fraction(self) -> float:
+        """Fraction of the slab plan-view area occupied by Cu [-]."""
+        return self.copper_area / self.pitch**2
+
+    @property
+    def max_channel_width(self) -> float:
+        """Widest channel fitting between adjacent TSV columns [m].
+
+        The Section II-C constraint: channels thread between vias, so
+        their width is bounded by the clear spacing of the array.
+        """
+        return self.pitch - self.outer_diameter
+
+    def allows_channel(self, channel_width: float) -> bool:
+        """Whether a channel of the given width fits the TSV grid."""
+        if channel_width <= 0.0:
+            raise ValueError("channel width must be positive")
+        return channel_width <= self.max_channel_width
+
+    # -- thermal --------------------------------------------------------------
+
+    def via_thermal_conductance(self) -> float:
+        """Axial thermal conductance of one via [W/K]."""
+        return COPPER.conductivity * self.copper_area / self.length
+
+    def effective_vertical_conductivity(
+        self, host: SolidMaterial = SILICON
+    ) -> float:
+        """Plan-averaged vertical conductivity of the via'd slab [W/(m K)].
+
+        Parallel paths: Cu cores over their area fraction, host silicon
+        elsewhere (the thin liner adds a negligible series term axially).
+        Copper conducts ~3x better than silicon, so dense TSV fields
+        measurably stiffen the wall-conduction bypass across a cavity.
+        """
+        phi = self.area_fraction
+        return phi * COPPER.conductivity + (1.0 - phi) * host.conductivity
+
+    def reinforced_wall_material(
+        self, host: SolidMaterial = SILICON
+    ) -> SolidMaterial:
+        """The cavity wall material with embedded TSVs.
+
+        Drop-in for :attr:`repro.geometry.stack.Cavity.wall_material`.
+        """
+        phi = self.area_fraction
+        vol_cp = (
+            phi * COPPER.vol_heat_capacity + (1.0 - phi) * host.vol_heat_capacity
+        )
+        return SolidMaterial(
+            name=f"{host.name} + TSVs ({self.diameter * 1e6:.0f} um)",
+            conductivity=self.effective_vertical_conductivity(host),
+            vol_heat_capacity=vol_cp,
+        )
+
+    # -- electrical -----------------------------------------------------------
+
+    def via_resistance(self) -> float:
+        """DC resistance of one Cu via [ohm]."""
+        return COPPER_RESISTIVITY * self.length / self.copper_area
+
+    def daisy_chain_resistance(self, vias: int, link_resistance: float = 2e-3) -> float:
+        """Resistance of a characterisation daisy chain [ohm].
+
+        ``vias`` vias in series joined by metal links (Section II-B's
+        electrical test structures).
+        """
+        if vias < 1:
+            raise ValueError("a chain needs at least one via")
+        if link_resistance < 0.0:
+            raise ValueError("link resistance must be non-negative")
+        return vias * self.via_resistance() + (vias - 1) * link_resistance
+
+    def liner_capacitance(self) -> float:
+        """Oxide liner capacitance of one via [F].
+
+        Coaxial capacitor: ``C = 2 pi eps L / ln(r_out / r_in)``.
+        """
+        eps_oxide = 3.9 * 8.854e-12
+        r_in = self.diameter / 2.0
+        r_out = r_in + self.liner_thickness
+        return 2.0 * math.pi * eps_oxide * self.length / math.log(r_out / r_in)

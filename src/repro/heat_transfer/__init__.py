@@ -1,0 +1,25 @@
+"""Heat-transfer correlations: single-phase convection, boiling, air sinks."""
+
+from .convection import (
+    laminar_nusselt_rect,
+    channel_htc,
+    cavity_effective_htc,
+)
+from .boiling import (
+    cooper_pool_boiling_htc,
+    convective_film_htc,
+    flow_boiling_htc,
+    FlowBoilingModel,
+)
+from .airsink import AirHeatSink
+
+__all__ = [
+    "laminar_nusselt_rect",
+    "channel_htc",
+    "cavity_effective_htc",
+    "cooper_pool_boiling_htc",
+    "convective_film_htc",
+    "flow_boiling_htc",
+    "FlowBoilingModel",
+    "AirHeatSink",
+]

@@ -1,0 +1,51 @@
+"""Lumped air-cooled heat sink (the conventional back-side path).
+
+Table I models the air-cooling alternative as a single lump: 10 W/K to
+ambient with 140 J/K of thermal mass.  Section I/II argue this path "only
+scales with the die size" and cannot cool stacked hot spots — the model
+reproduces exactly that failure mode for the 4-tier stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants
+
+
+@dataclass(frozen=True)
+class AirHeatSink:
+    """A lumped heat sink attached to the top of an air-cooled stack.
+
+    Attributes
+    ----------
+    conductance:
+        Sink-to-ambient thermal conductance [W/K] (Table I: 10 W/K).
+    capacitance:
+        Sink thermal capacitance [J/K] (Table I: 140 J/K).
+    fan_power:
+        Electrical fan power while the system runs [W].  The paper's
+        energy accounting does not charge the air-cooled baseline for fan
+        energy, so the default is zero; it is exposed for sensitivity
+        studies.
+    """
+
+    conductance: float = constants.HEAT_SINK_CONDUCTANCE
+    capacitance: float = constants.HEAT_SINK_CAPACITANCE
+    fan_power: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.conductance <= 0.0 or self.capacitance <= 0.0:
+            raise ValueError("sink conductance and capacitance must be positive")
+        if self.fan_power < 0.0:
+            raise ValueError("fan power must be non-negative")
+
+    def steady_rise(self, power: float) -> float:
+        """Steady sink-over-ambient temperature rise at a heat load [K]."""
+        if power < 0.0:
+            raise ValueError("power must be non-negative")
+        return power / self.conductance
+
+    def time_constant(self) -> float:
+        """Sink RC time constant [s]."""
+        return self.capacitance / self.conductance

@@ -1,0 +1,167 @@
+"""Flow-boiling heat transfer for two-phase inter-tier cooling.
+
+Section III/IV-B report the defining experimental observation of the
+CMOSAIC micro-evaporators (Agostini [1,2], Costa-Patry [10]): the local
+flow-boiling heat transfer coefficient rises steeply with the local heat
+flux — under a 15x heat-flux hot spot the HTC is ~8x higher, so the wall
+superheat rises only ~2x.  Flow boiling is also "only a weak function of
+the flow rate".
+
+Two models are provided:
+
+* :func:`cooper_pool_boiling_htc` — the classic Cooper (1984) nucleate
+  pool-boiling correlation (``h ~ q^0.67``), kept for reference and
+  comparison.
+* :class:`FlowBoilingModel` — the model the evaporator simulations use: a
+  nucleate term with flux exponent and prefactor fitted to the hot-spot
+  behaviour of the Costa-Patry R245fa experiments [10] (exponent 0.765
+  reproduces the reported 8x HTC / 2x superheat pair exactly, since
+  ``15.1^0.765 = 8.0`` and ``15.1^(1-0.765) = 1.9``), asymptotically
+  combined with a convective-film term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..materials.refrigerants import Refrigerant
+
+
+def cooper_pool_boiling_htc(
+    refrigerant: Refrigerant,
+    temperature_k: float,
+    heat_flux: float,
+    surface_roughness_um: float = 1.0,
+) -> float:
+    """Cooper (1984) nucleate pool-boiling coefficient [W/(m^2 K)].
+
+    ``h = 55 p_r^(0.12 - 0.2 log10 Rp) (-log10 p_r)^-0.55 M^-0.5 q^0.67``
+    with the molar mass in g/mol and the roughness Rp in micrometres.
+    """
+    if heat_flux <= 0.0:
+        raise ValueError("heat flux must be positive")
+    if surface_roughness_um <= 0.0:
+        raise ValueError("roughness must be positive")
+    p_r = refrigerant.reduced_pressure(temperature_k)
+    if not 0.0 < p_r < 1.0:
+        raise ValueError("reduced pressure outside (0, 1)")
+    exponent = 0.12 - 0.2 * math.log10(surface_roughness_um)
+    molar_mass_g = refrigerant.molar_mass * 1e3
+    return (
+        55.0
+        * p_r**exponent
+        * (-math.log10(p_r)) ** -0.55
+        * molar_mass_g**-0.5
+        * heat_flux**0.67
+    )
+
+
+def convective_film_htc(
+    refrigerant: Refrigerant,
+    temperature_k: float,
+    quality: float,
+    hydraulic_diameter: float,
+    laminar_nusselt: float = 4.36,
+) -> float:
+    """Convective (film-evaporation) contribution [W/(m^2 K)].
+
+    Laminar liquid-film coefficient enhanced by the two-phase multiplier
+    ``F = (1 + x (rho_l/rho_v - 1))^0.35`` — the standard density-ratio
+    enhancement form.  Weakly flow-dependent by construction, matching the
+    qualitative claim of Section III.
+    """
+    if hydraulic_diameter <= 0.0:
+        raise ValueError("hydraulic diameter must be positive")
+    if not 0.0 <= quality <= 1.0:
+        raise ValueError("quality must be in [0, 1]")
+    h_liquid = laminar_nusselt * refrigerant.liquid_conductivity / hydraulic_diameter
+    density_ratio = refrigerant.liquid_density / refrigerant.vapour_density(
+        temperature_k
+    )
+    enhancement = (1.0 + quality * (density_ratio - 1.0)) ** 0.2
+    return h_liquid * enhancement
+
+
+@dataclass(frozen=True)
+class FlowBoilingModel:
+    """Flux-dominated flow-boiling HTC model fitted to the CMOSAIC data.
+
+    ``h_nb = prefactor * Fp(p_r, M) * q^exponent`` where ``Fp`` is the
+    Cooper pressure/molar-mass function, asymptotically combined with the
+    convective film term: ``h = (h_nb^3 + h_cb^3)^(1/3)``.
+
+    Attributes
+    ----------
+    exponent:
+        Heat-flux exponent of the nucleate term.  The default 0.85 is
+        fitted so the full Fig. 8 test-vehicle model (nucleate +
+        convective film, asymptotically combined) yields the ~8x HTC and
+        ~2x superheat ratios reported in Section IV-B for the 15.1x flux
+        hot spot.  (Micro-channel flow-boiling data at these fluxes show
+        markedly steeper flux dependence than Cooper's pool value of
+        0.67.)
+    prefactor:
+        Multiplier on the Cooper pressure function (Cooper's own value is
+        55 with exponent 0.67); the default 18 reproduces the ~4.8
+        kW/(m^2 K) background HTC of Fig. 8 for R245fa at 30 degC with
+        the steeper fitted exponent.
+    """
+
+    exponent: float = 0.85
+    prefactor: float = 18.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.exponent < 1.0:
+            raise ValueError("exponent must be in (0, 1)")
+        if self.prefactor <= 0.0:
+            raise ValueError("prefactor must be positive")
+
+    def pressure_function(
+        self, refrigerant: Refrigerant, temperature_k: float
+    ) -> float:
+        """Cooper-type reduced-pressure / molar-mass factor [-]."""
+        p_r = refrigerant.reduced_pressure(temperature_k)
+        molar_mass_g = refrigerant.molar_mass * 1e3
+        return (
+            p_r**0.12 * (-math.log10(p_r)) ** -0.55 * molar_mass_g**-0.5
+        )
+
+    def nucleate_htc(
+        self, refrigerant: Refrigerant, temperature_k: float, heat_flux: float
+    ) -> float:
+        """Nucleate-boiling contribution [W/(m^2 K)]."""
+        if heat_flux <= 0.0:
+            raise ValueError("heat flux must be positive")
+        factor = self.pressure_function(refrigerant, temperature_k)
+        # With prefactor=55 and exponent=0.67 this recovers Cooper at
+        # Rp = 1 um roughness.
+        return self.prefactor * factor * heat_flux**self.exponent
+
+    def htc(
+        self,
+        refrigerant: Refrigerant,
+        temperature_k: float,
+        heat_flux: float,
+        quality: float,
+        hydraulic_diameter: float,
+    ) -> float:
+        """Local flow-boiling coefficient [W/(m^2 K)]."""
+        h_nb = self.nucleate_htc(refrigerant, temperature_k, heat_flux)
+        h_cb = convective_film_htc(
+            refrigerant, temperature_k, quality, hydraulic_diameter
+        )
+        return (h_nb**3 + h_cb**3) ** (1.0 / 3.0)
+
+
+def flow_boiling_htc(
+    refrigerant: Refrigerant,
+    temperature_k: float,
+    heat_flux: float,
+    quality: float,
+    hydraulic_diameter: float,
+) -> float:
+    """Flow-boiling coefficient with the default fitted model [W/(m^2 K)]."""
+    return FlowBoilingModel().htc(
+        refrigerant, temperature_k, heat_flux, quality, hydraulic_diameter
+    )

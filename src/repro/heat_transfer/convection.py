@@ -1,0 +1,67 @@
+"""Single-phase convective heat transfer in micro-channels.
+
+The Table I channels run at Re ~ 40-120 with thermal entry lengths short
+relative to the die, so the fully developed laminar Nusselt number for
+rectangular ducts (uniform heat flux, four-wall heating — Shah & London)
+sets the heat transfer coefficient.
+"""
+
+from __future__ import annotations
+
+from ..geometry.channels import MicroChannelGeometry
+from ..materials.fluids import Liquid
+from ..materials.solids import SolidMaterial, SILICON
+
+
+def laminar_nusselt_rect(aspect_ratio: float) -> float:
+    """Fully developed laminar Nusselt number of a rectangular duct [-].
+
+    Shah & London polynomial for the H1 (axially uniform heat flux)
+    boundary condition:
+
+    ``Nu = 8.235 (1 - 2.0421 a + 3.0853 a^2 - 2.4765 a^3 + 1.0578 a^4 -
+    0.1861 a^5)``
+
+    with ``a`` the short-to-long side ratio in (0, 1].
+    """
+    if not 0.0 < aspect_ratio <= 1.0:
+        raise ValueError("aspect ratio must be in (0, 1]")
+    a = aspect_ratio
+    return 8.235 * (
+        1.0
+        - 2.0421 * a
+        + 3.0853 * a**2
+        - 2.4765 * a**3
+        + 1.0578 * a**4
+        - 0.1861 * a**5
+    )
+
+
+def channel_htc(geometry: MicroChannelGeometry, fluid: Liquid) -> float:
+    """Wall heat transfer coefficient inside one channel [W/(m^2 K)].
+
+    ``h = Nu k_f / D_h`` — independent of the flow rate in the fully
+    developed laminar regime, which is why Section III can call flow
+    boiling "only a weak function of the flow rate" *in contrast* to the
+    strong flow-rate dependence of the bulk fluid heating that dominates
+    single-phase cavities.
+    """
+    nu = laminar_nusselt_rect(geometry.aspect_ratio)
+    return nu * fluid.conductivity / geometry.hydraulic_diameter
+
+
+def cavity_effective_htc(
+    geometry: MicroChannelGeometry,
+    fluid: Liquid,
+    wall_material: SolidMaterial = SILICON,
+) -> float:
+    """Footprint-referenced cavity heat transfer coefficient [W/(m^2 K)].
+
+    Combines the in-channel coefficient with the fin-enhanced wetted area
+    of the homogenised cavity (see
+    :meth:`repro.geometry.channels.MicroChannelGeometry.effective_htc`).
+    This is the coefficient coupling the cavity fluid cells to each
+    adjacent die in the compact thermal model.
+    """
+    htc = channel_htc(geometry, fluid)
+    return geometry.effective_htc(htc, wall_material.conductivity)

@@ -1,0 +1,45 @@
+"""Hydraulic models: laminar friction, pumps, flow networks, pin-fin banks."""
+
+from .friction import (
+    shah_london_f_re,
+    channel_pressure_drop,
+    channel_hydraulic_resistance,
+    pumping_power,
+)
+from .pump import PumpModel, TABLE_I_PUMP
+from .network import HydraulicNetwork, parallel_channel_flows
+from .pinfin_bank import pinfin_pressure_drop, pinfin_htc
+from .modulation import (
+    ChannelSegment,
+    ModulatedCavity,
+    design_modulated_cavity,
+    uniform_worst_case_cavity,
+)
+from .twophase_dp import (
+    homogeneous_density,
+    homogeneous_viscosity,
+    two_phase_pressure_gradient,
+)
+from .cluster import ClusterCoolingNetwork, stacks_for_budget
+
+__all__ = [
+    "shah_london_f_re",
+    "channel_pressure_drop",
+    "channel_hydraulic_resistance",
+    "pumping_power",
+    "PumpModel",
+    "TABLE_I_PUMP",
+    "HydraulicNetwork",
+    "parallel_channel_flows",
+    "pinfin_pressure_drop",
+    "pinfin_htc",
+    "ChannelSegment",
+    "ModulatedCavity",
+    "design_modulated_cavity",
+    "uniform_worst_case_cavity",
+    "homogeneous_density",
+    "homogeneous_viscosity",
+    "two_phase_pressure_gradient",
+    "ClusterCoolingNetwork",
+    "stacks_for_budget",
+]

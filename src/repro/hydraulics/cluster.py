@@ -1,0 +1,93 @@
+"""Cluster-level pumping network.
+
+Section II-D: "in an HPC cluster, the maximum pumping network energy
+required to inject the fluid to all stacks in this cluster is a
+significant overhead to the whole system, because it represents about
+70 Watts (indeed similar to the overall energy consumption of a 2-tier
+3D MPSoC)."
+
+A cluster shares one pumping network across many stacks; this model
+aggregates the per-stack map of :class:`repro.hydraulics.pump.PumpModel`
+and answers the sizing questions behind that remark: how many stacks a
+70 W pumping budget feeds, and what a cluster-wide flow-control policy
+saves relative to worst-case flow everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .pump import PumpModel, TABLE_I_PUMP
+
+PAPER_CLUSTER_PUMP_BUDGET_W = 70.0
+"""The Section II-D cluster pumping figure [W]."""
+
+
+@dataclass(frozen=True)
+class ClusterCoolingNetwork:
+    """A pumping network serving many identical stacks.
+
+    Attributes
+    ----------
+    stacks:
+        Number of 3D MPSoC stacks in the cluster.
+    cavities_per_stack:
+        Inter-tier cavities per stack (1 for the 2-tier target).
+    pump:
+        The per-stack pump-power map.
+    """
+
+    stacks: int
+    cavities_per_stack: int = 1
+    pump: PumpModel = TABLE_I_PUMP
+
+    def __post_init__(self) -> None:
+        if self.stacks < 1:
+            raise ValueError("a cluster needs at least one stack")
+        if self.cavities_per_stack < 1:
+            raise ValueError("each stack needs at least one cavity")
+
+    def power(self, flow_ml_min: float) -> float:
+        """Cluster pumping power with every cavity at one flow rate [W]."""
+        return self.stacks * self.pump.power(
+            flow_ml_min, self.cavities_per_stack
+        )
+
+    def power_per_stack_flows(self, flows_ml_min: Sequence[float]) -> float:
+        """Cluster pumping power with per-stack flow commands [W].
+
+        This is what a cluster-level manager running LC_FUZZY per stack
+        produces: each stack's pump branch follows its own thermal state.
+        """
+        if len(flows_ml_min) != self.stacks:
+            raise ValueError("one flow command per stack required")
+        return sum(
+            self.pump.power(flow, self.cavities_per_stack)
+            for flow in flows_ml_min
+        )
+
+    def max_power(self) -> float:
+        """Worst-case (all stacks at maximum flow) cluster power [W]."""
+        return self.power(self.pump.flow_max_ml_min)
+
+    def saving_vs_worst_case(self, flows_ml_min: Sequence[float]) -> float:
+        """Fractional saving of per-stack control vs worst-case flow [-]."""
+        worst = self.max_power()
+        return 1.0 - self.power_per_stack_flows(flows_ml_min) / worst
+
+
+def stacks_for_budget(
+    budget_w: float = PAPER_CLUSTER_PUMP_BUDGET_W,
+    cavities_per_stack: int = 1,
+    pump: PumpModel = TABLE_I_PUMP,
+) -> int:
+    """Number of stacks a pumping budget feeds at worst-case flow.
+
+    With the Table I pump and the paper's 70 W cluster figure this is
+    six 2-tier stacks — the cluster the Section II-D remark describes.
+    """
+    if budget_w <= 0.0:
+        raise ValueError("budget must be positive")
+    per_stack = pump.power(pump.flow_max_ml_min, cavities_per_stack)
+    return int(budget_w / per_stack)

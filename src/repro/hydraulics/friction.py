@@ -1,0 +1,115 @@
+"""Laminar single-phase pressure drop in rectangular micro-channels.
+
+The Table I channels run deep in the laminar regime (Re ~ 120 at the
+maximum flow rate), so the fully developed Shah & London solution for
+rectangular ducts applies.  The paper's design observations — "low
+pressure drop structures should be targeted" and the width-modulation
+trade-off of Section II-C — all derive from this Poiseuille-type model,
+where pressure drop scales inversely with the square of the hydraulic
+diameter at fixed mass flow.
+"""
+
+from __future__ import annotations
+
+from ..geometry.channels import MicroChannelGeometry
+from ..materials.fluids import Liquid
+
+MINOR_LOSS_COEFFICIENT = 1.5
+"""Combined inlet contraction + outlet expansion loss coefficient [-]."""
+
+
+def shah_london_f_re(aspect_ratio: float) -> float:
+    """Fanning friction factor times Reynolds number for rectangular ducts.
+
+    Shah & London (1978) fifth-order polynomial in the aspect ratio
+    ``alpha`` = short side / long side, valid for fully developed laminar
+    flow:
+
+    ``f*Re = 24 (1 - 1.3553 a + 1.9467 a^2 - 1.7012 a^3 + 0.9564 a^4 -
+    0.2537 a^5)``
+
+    Parameters
+    ----------
+    aspect_ratio:
+        Channel aspect ratio in (0, 1]; 0 is the parallel-plate limit
+        (f*Re = 24), 1 the square duct (f*Re = 14.23).
+    """
+    if not 0.0 < aspect_ratio <= 1.0:
+        raise ValueError("aspect ratio must be in (0, 1]")
+    a = aspect_ratio
+    return 24.0 * (
+        1.0
+        - 1.3553 * a
+        + 1.9467 * a**2
+        - 1.7012 * a**3
+        + 0.9564 * a**4
+        - 0.2537 * a**5
+    )
+
+
+def channel_pressure_drop(
+    geometry: MicroChannelGeometry,
+    volumetric_flow: float,
+    fluid: Liquid,
+    include_minor_losses: bool = True,
+) -> float:
+    """Pressure drop across one cavity at a given total flow rate [Pa].
+
+    Fully developed laminar friction over the channel length plus optional
+    inlet/outlet minor losses.  The flow is divided evenly over all
+    parallel channels.
+
+    Parameters
+    ----------
+    geometry:
+        Cavity channel geometry.
+    volumetric_flow:
+        Total cavity flow rate [m^3/s].
+    fluid:
+        Coolant.
+    include_minor_losses:
+        Add the inlet/outlet dynamic-pressure losses.
+    """
+    if volumetric_flow < 0.0:
+        raise ValueError("flow rate must be non-negative")
+    if volumetric_flow == 0.0:
+        return 0.0
+    velocity = geometry.mean_velocity(volumetric_flow)
+    f_re = shah_london_f_re(geometry.aspect_ratio)
+    # dp = 4 f (L/Dh) (rho u^2 / 2) with f = fRe / Re  ==>  2 fRe mu L u / Dh^2
+    friction = (
+        2.0
+        * f_re
+        * fluid.viscosity
+        * geometry.length
+        * velocity
+        / geometry.hydraulic_diameter**2
+    )
+    minor = 0.0
+    if include_minor_losses:
+        minor = MINOR_LOSS_COEFFICIENT * fluid.density * velocity**2 / 2.0
+    return friction + minor
+
+
+def channel_hydraulic_resistance(
+    geometry: MicroChannelGeometry, fluid: Liquid
+) -> float:
+    """Linear hydraulic resistance dp/dQ of one cavity [Pa s/m^3].
+
+    Laminar friction is linear in the flow rate, so a single resistance
+    describes the cavity; minor losses are quadratic and excluded here.
+    Used by the flow-distribution network of
+    :mod:`repro.hydraulics.network`.
+    """
+    reference_flow = 1e-7  # any value: the relation is linear
+    dp = channel_pressure_drop(
+        geometry, reference_flow, fluid, include_minor_losses=False
+    )
+    return dp / reference_flow
+
+
+def pumping_power(pressure_drop: float, volumetric_flow: float) -> float:
+    """Hydraulic (ideal) pumping power dp * Q [W]."""
+    if pressure_drop < 0.0 or volumetric_flow < 0.0:
+        raise ValueError("pressure drop and flow must be non-negative")
+    return pressure_drop * volumetric_flow

@@ -1,0 +1,120 @@
+"""Pressure drop and heat transfer of pin-fin banks.
+
+Section II-C compares pin arrangements (in-line, staggered) and shapes
+(circular, square, drop) and concludes that "circular in-line pins result
+in low pressure drop at acceptable convective heat transfer, compared to
+staggered arrangement".
+
+The correlations below are Zukauskas-style engineering approximations for
+laminar cross-flow over tube banks, adapted to micro pin fins:
+
+* Heat transfer: ``Nu = C(arr) Re_max^0.5 Pr^0.36`` with the classic
+  low-Reynolds constants, in-line C = 0.52 and staggered C = 0.71.
+* Friction: per-row Euler number ``Eu = K(arr) / Re_max`` (creeping-flow
+  scaling appropriate for Re_max ~ 10-300 in micro cavities), with
+  in-line K = 180 and staggered K = 320, multiplied by the pin-shape drag
+  factor (drop < circular < square).
+
+Absolute values are approximate; the reproduced claim is the *ordering*
+(staggered buys ~1.4x heat transfer for ~1.8x pressure drop) which is
+insensitive to the exact constants.
+"""
+
+from __future__ import annotations
+
+from ..geometry.pinfin import PinArrangement, PinFinArray
+from ..materials.fluids import Liquid
+
+_NU_COEFFICIENT = {
+    PinArrangement.INLINE: 0.52,
+    PinArrangement.STAGGERED: 0.71,
+}
+
+_EULER_COEFFICIENT = {
+    PinArrangement.INLINE: 180.0,
+    PinArrangement.STAGGERED: 320.0,
+}
+
+
+def _max_velocity_reynolds(
+    array: PinFinArray, volumetric_flow: float, span: float, fluid: Liquid
+) -> float:
+    """Reynolds number built on the minimum-gap velocity and pin diameter."""
+    superficial = array.velocity(volumetric_flow, span)
+    u_max = superficial * array.max_velocity_ratio
+    return fluid.density * u_max * array.diameter / fluid.viscosity
+
+
+def pinfin_pressure_drop(
+    array: PinFinArray,
+    volumetric_flow: float,
+    length: float,
+    span: float,
+    fluid: Liquid,
+) -> float:
+    """Pressure drop of a pin-fin cavity [Pa].
+
+    Parameters
+    ----------
+    array:
+        Pin-fin array geometry.
+    volumetric_flow:
+        Total cavity flow rate [m^3/s].
+    length:
+        Cavity length along the flow [m].
+    span:
+        Cavity width across the flow [m].
+    fluid:
+        Coolant.
+    """
+    if volumetric_flow < 0.0:
+        raise ValueError("flow rate must be non-negative")
+    if volumetric_flow == 0.0:
+        return 0.0
+    re_max = _max_velocity_reynolds(array, volumetric_flow, span, fluid)
+    superficial = array.velocity(volumetric_flow, span)
+    u_max = superficial * array.max_velocity_ratio
+    euler = _EULER_COEFFICIENT[array.arrangement] / re_max
+    euler *= array.drag_shape_factor
+    rows = array.rows_over(length)
+    return rows * euler * fluid.density * u_max**2 / 2.0
+
+
+def pinfin_htc(
+    array: PinFinArray,
+    volumetric_flow: float,
+    span: float,
+    fluid: Liquid,
+) -> float:
+    """Pin-surface heat transfer coefficient of the bank [W/(m^2 K)].
+
+    Zukauskas-style ``Nu = C Re_max^0.5 Pr^0.36`` on the pin diameter.
+    """
+    if volumetric_flow <= 0.0:
+        raise ValueError("flow rate must be positive")
+    re_max = _max_velocity_reynolds(array, volumetric_flow, span, fluid)
+    nu = (
+        _NU_COEFFICIENT[array.arrangement]
+        * re_max**0.5
+        * fluid.prandtl() ** 0.36
+    )
+    return nu * fluid.conductivity / array.diameter
+
+
+def pinfin_footprint_htc(
+    array: PinFinArray,
+    volumetric_flow: float,
+    span: float,
+    fluid: Liquid,
+    fin_efficiency: float = 0.85,
+) -> float:
+    """Heat transfer coefficient referenced to the cavity footprint.
+
+    Combines the pin-surface coefficient with the wetted-area density of
+    the bank: ``h_eff = h * (porosity + eta * A_pin / A_footprint)``.
+    """
+    if not 0.0 < fin_efficiency <= 1.0:
+        raise ValueError("fin efficiency must be in (0, 1]")
+    h = pinfin_htc(array, volumetric_flow, span, fluid)
+    pin_area_ratio = array.surface_density * array.height
+    return h * (array.porosity + fin_efficiency * pin_area_ratio)

@@ -1,0 +1,98 @@
+"""Pumping-network power model.
+
+Section II-D: "the energy spent in the pump that injects the coolant can
+be very significant ... about 70 Watts [for an HPC cluster], indeed
+similar to the overall energy consumption of a 2-tier 3D MPSoC".  Table I
+quotes the per-stack pumping-network power range 3.5 - 11.176 W over the
+10 - 32.3 ml/min per-cavity flow range.
+
+Those two endpoints are almost exactly proportional (power/flow ratio
+0.350 vs 0.346 W per ml/min), so the model interpolates *linearly* in the
+flow rate and scales with the number of cavities relative to the 2-cavity
+(2-tier) reference stack the Table I range describes.  This construction
+preserves the paper's headline "up to 67 %" cooling-energy saving, which
+is precisely ``1 - 3.5 / 11.176 = 68.7 %`` — the ratio of minimum to
+maximum pumping power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants
+
+
+@dataclass(frozen=True)
+class PumpModel:
+    """Linear flow-to-power map of the coolant pumping network.
+
+    Attributes
+    ----------
+    flow_min_ml_min, flow_max_ml_min:
+        Admissible per-cavity flow-rate range [ml/min].
+    power_min, power_max:
+        Network electrical power at the range endpoints, for a stack with
+        ``reference_cavities`` cavities [W].
+    reference_cavities:
+        Cavity count of the stack the power endpoints refer to.
+    """
+
+    flow_min_ml_min: float = constants.FLOW_RATE_MIN_ML_MIN
+    flow_max_ml_min: float = constants.FLOW_RATE_MAX_ML_MIN
+    power_min: float = constants.PUMP_POWER_MIN
+    power_max: float = constants.PUMP_POWER_MAX
+    reference_cavities: int = constants.PUMP_REFERENCE_CAVITIES
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.flow_min_ml_min < self.flow_max_ml_min:
+            raise ValueError("flow range must be positive and ordered")
+        if not 0.0 <= self.power_min < self.power_max:
+            raise ValueError("power range must be non-negative and ordered")
+        if self.reference_cavities < 1:
+            raise ValueError("reference cavity count must be >= 1")
+
+    def clamp_flow(self, flow_ml_min: float) -> float:
+        """Clamp a requested per-cavity flow rate into the pump range."""
+        return min(self.flow_max_ml_min, max(self.flow_min_ml_min, flow_ml_min))
+
+    def power(self, flow_ml_min: float, cavities: int) -> float:
+        """Pumping-network electrical power [W].
+
+        Parameters
+        ----------
+        flow_ml_min:
+            Per-cavity flow rate [ml/min]; must lie within the pump range.
+        cavities:
+            Number of cavities served (all at the same flow rate, as in
+            Section II-A).
+        """
+        if cavities < 1:
+            raise ValueError("cavity count must be >= 1")
+        if not (
+            self.flow_min_ml_min - 1e-9
+            <= flow_ml_min
+            <= self.flow_max_ml_min + 1e-9
+        ):
+            raise ValueError(
+                f"flow {flow_ml_min} ml/min outside pump range "
+                f"[{self.flow_min_ml_min}, {self.flow_max_ml_min}]"
+            )
+        span = self.flow_max_ml_min - self.flow_min_ml_min
+        fraction = (flow_ml_min - self.flow_min_ml_min) / span
+        reference_power = self.power_min + fraction * (
+            self.power_max - self.power_min
+        )
+        return reference_power * cavities / self.reference_cavities
+
+    def max_saving_fraction(self) -> float:
+        """Largest achievable cooling-energy saving vs. max flow [-].
+
+        Running at minimum instead of maximum flow the whole time saves
+        ``1 - power_min / power_max``; with the Table I endpoints this is
+        the paper's "up to 67 %" (more precisely 68.7 %).
+        """
+        return 1.0 - self.power_min / self.power_max
+
+
+TABLE_I_PUMP = PumpModel()
+"""The pumping network of the paper's experimental setup (Table I)."""

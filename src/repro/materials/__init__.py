@@ -1,0 +1,50 @@
+"""Material property models: solids, liquid coolants and refrigerants."""
+
+from .solids import (
+    SolidMaterial,
+    SILICON,
+    WIRING,
+    COPPER,
+    SILICON_DIOXIDE,
+    PYREX,
+    THERMAL_INTERFACE,
+)
+from .fluids import Liquid, WATER
+from .refrigerants import (
+    Refrigerant,
+    R134A,
+    R236FA,
+    R245FA,
+    REFRIGERANTS,
+)
+from .nanofluids import (
+    NanoParticle,
+    ALUMINA,
+    COPPER_OXIDE,
+    SILICA,
+    make_nanofluid,
+    figure_of_merit,
+)
+
+__all__ = [
+    "SolidMaterial",
+    "SILICON",
+    "WIRING",
+    "COPPER",
+    "SILICON_DIOXIDE",
+    "PYREX",
+    "THERMAL_INTERFACE",
+    "Liquid",
+    "WATER",
+    "Refrigerant",
+    "R134A",
+    "R236FA",
+    "R245FA",
+    "REFRIGERANTS",
+    "NanoParticle",
+    "ALUMINA",
+    "COPPER_OXIDE",
+    "SILICA",
+    "make_nanofluid",
+    "figure_of_merit",
+]

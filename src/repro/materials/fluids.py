@@ -1,0 +1,110 @@
+"""Single-phase liquid coolant properties.
+
+The system-level experiments of the paper use liquid water in the
+inter-tier cavities; Table I fixes its conductivity and specific heat.
+Density and viscosity (needed for pressure-drop and Reynolds-number
+calculations in :mod:`repro.hydraulics`) use standard values, with an
+optional Vogel-type temperature dependence for the viscosity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import constants
+
+
+@dataclass(frozen=True)
+class Liquid:
+    """An incompressible single-phase liquid coolant.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    density:
+        Mass density [kg/m^3].
+    specific_heat:
+        Specific heat capacity cp [J/(kg K)].
+    conductivity:
+        Thermal conductivity [W/(m K)].
+    viscosity:
+        Dynamic viscosity at the reference temperature [Pa s].
+    """
+
+    name: str
+    density: float
+    specific_heat: float
+    conductivity: float
+    viscosity: float
+
+    def __post_init__(self) -> None:
+        for field in ("density", "specific_heat", "conductivity", "viscosity"):
+            if getattr(self, field) <= 0.0:
+                raise ValueError(f"{self.name}: {field} must be positive")
+
+    @property
+    def vol_heat_capacity(self) -> float:
+        """Volumetric heat capacity rho*cp [J/(m^3 K)]."""
+        return self.density * self.specific_heat
+
+    def heat_capacity_rate(self, volumetric_flow: float) -> float:
+        """Capacity rate mdot*cp of a stream of this liquid [W/K].
+
+        Parameters
+        ----------
+        volumetric_flow:
+            Volumetric flow rate [m^3/s].
+        """
+        if volumetric_flow < 0.0:
+            raise ValueError("flow rate must be non-negative")
+        return volumetric_flow * self.density * self.specific_heat
+
+    def prandtl(self) -> float:
+        """Prandtl number at the reference temperature [-]."""
+        return self.viscosity * self.specific_heat / self.conductivity
+
+    def viscosity_at(self, temperature_k: float) -> float:
+        """Dynamic viscosity with Vogel-type temperature dependence [Pa s].
+
+        Calibrated for water (mu halves roughly every 25 K near room
+        temperature); for other liquids the reference value is returned
+        scaled by the same law, which is adequate for the laminar
+        pressure-drop trends explored here.
+        """
+        if temperature_k <= 0.0:
+            raise ValueError("temperature must be positive")
+        # Vogel equation for water: mu = A * exp(B / (T - C)).
+        vogel_a = 2.414e-5
+        vogel_b = 247.8
+        vogel_c = 140.0
+        mu_water = vogel_a * 10 ** (vogel_b / (temperature_k - vogel_c))
+        mu_water_ref = vogel_a * 10 ** (vogel_b / (293.15 - vogel_c))
+        return self.viscosity * mu_water / mu_water_ref
+
+
+WATER = Liquid(
+    name="water",
+    density=constants.WATER_DENSITY,
+    specific_heat=constants.WATER_SPECIFIC_HEAT,
+    conductivity=constants.WATER_CONDUCTIVITY,
+    viscosity=constants.WATER_VISCOSITY,
+)
+
+
+def log_mean_temperature_difference(
+    hot_in: float, hot_out: float, cold_in: float, cold_out: float
+) -> float:
+    """Log-mean temperature difference of a counter/parallel stream pair [K].
+
+    Utility for sanity-checking cavity heat exchange against classic
+    heat-exchanger theory in tests.
+    """
+    delta_a = hot_in - cold_out
+    delta_b = hot_out - cold_in
+    if delta_a <= 0.0 or delta_b <= 0.0:
+        raise ValueError("temperature differences must be positive")
+    if math.isclose(delta_a, delta_b, rel_tol=1e-12):
+        return delta_a
+    return (delta_a - delta_b) / math.log(delta_a / delta_b)

@@ -1,0 +1,102 @@
+"""Solid material properties used in the 3D stack thermal model.
+
+Values for silicon and the wiring (BEOL) layer come straight from Table I
+of the paper; the remaining materials appear in the manufacturing flow
+(Section II-B: SiO2 TSV liners, Cu fill, pyrex lids) and use standard
+handbook values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants
+
+
+@dataclass(frozen=True)
+class SolidMaterial:
+    """An isotropic solid described by its bulk thermal properties.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    conductivity:
+        Thermal conductivity [W/(m K)].
+    vol_heat_capacity:
+        Volumetric heat capacity rho*cp [J/(m^3 K)].
+    """
+
+    name: str
+    conductivity: float
+    vol_heat_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.conductivity <= 0.0:
+            raise ValueError(f"{self.name}: conductivity must be positive")
+        if self.vol_heat_capacity <= 0.0:
+            raise ValueError(f"{self.name}: heat capacity must be positive")
+
+    def conductance(self, area: float, length: float) -> float:
+        """Thermal conductance of a prism of this material [W/K].
+
+        Parameters
+        ----------
+        area:
+            Cross-sectional area normal to the heat flow [m^2].
+        length:
+            Length along the heat-flow direction [m].
+        """
+        if area <= 0.0 or length <= 0.0:
+            raise ValueError("area and length must be positive")
+        return self.conductivity * area / length
+
+    def capacitance(self, volume: float) -> float:
+        """Thermal capacitance of a volume of this material [J/K]."""
+        if volume <= 0.0:
+            raise ValueError("volume must be positive")
+        return self.vol_heat_capacity * volume
+
+
+SILICON = SolidMaterial(
+    name="silicon",
+    conductivity=constants.SILICON_CONDUCTIVITY,
+    vol_heat_capacity=constants.SILICON_VOL_HEAT_CAPACITY,
+)
+
+WIRING = SolidMaterial(
+    name="wiring",
+    conductivity=constants.WIRING_CONDUCTIVITY,
+    vol_heat_capacity=constants.WIRING_VOL_HEAT_CAPACITY,
+)
+
+COPPER = SolidMaterial(
+    name="copper",
+    conductivity=400.0,
+    vol_heat_capacity=3.45e6,
+)
+
+SILICON_DIOXIDE = SolidMaterial(
+    name="silicon dioxide",
+    conductivity=1.4,
+    vol_heat_capacity=1.64e6,
+)
+
+PYREX = SolidMaterial(
+    name="pyrex",
+    conductivity=1.005,
+    vol_heat_capacity=1.64e6,
+)
+
+THERMAL_INTERFACE = SolidMaterial(
+    name="thermal interface material",
+    conductivity=4.0,
+    vol_heat_capacity=2.0e6,
+)
+
+BOND = SolidMaterial(
+    name="die bond",
+    conductivity=3.0,
+    vol_heat_capacity=2.17e6,
+)
+"""Inter-tier adhesive/oxide bond of the air-cooled (non-etched) stack."""

@@ -1,0 +1,14 @@
+"""Power modelling of the UltraSPARC-T1-based 3D MPSoCs."""
+
+from .dvfs import OperatingPoint, VFTable, NIAGARA_VF_TABLE
+from .leakage import LeakageModel
+from .model import PowerModel, PowerBreakdown
+
+__all__ = [
+    "OperatingPoint",
+    "VFTable",
+    "NIAGARA_VF_TABLE",
+    "LeakageModel",
+    "PowerModel",
+    "PowerBreakdown",
+]

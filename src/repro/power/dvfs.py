@@ -1,0 +1,97 @@
+"""Dynamic voltage and frequency scaling (DVFS) operating points.
+
+Section IV-A uses temperature-triggered DVFS and the fuzzy controller's
+utilisation-driven DVFS on a 90 nm UltraSPARC T1 (nominal 1.2 GHz at
+1.2 V, [13]).  The table below spans the voltage range conventionally
+available at that node; dynamic power scales as ``f V^2`` and leakage
+roughly linearly with ``V`` between settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One voltage/frequency setting.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Core clock frequency [Hz].
+    voltage:
+        Supply voltage [V].
+    """
+
+    frequency_hz: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0.0 or self.voltage <= 0.0:
+            raise ValueError("frequency and voltage must be positive")
+
+
+class VFTable:
+    """An ordered set of operating points, fastest first.
+
+    Index 0 is the nominal (maximum-performance) setting; higher indices
+    are progressively slower/lower-voltage.
+    """
+
+    def __init__(self, points: Sequence[OperatingPoint]) -> None:
+        if not points:
+            raise ValueError("a VF table needs at least one point")
+        freqs = [p.frequency_hz for p in points]
+        if sorted(freqs, reverse=True) != freqs:
+            raise ValueError("operating points must be ordered fastest first")
+        self.points: List[OperatingPoint] = list(points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index: int) -> OperatingPoint:
+        return self.points[index]
+
+    @property
+    def nominal(self) -> OperatingPoint:
+        """The maximum-performance setting."""
+        return self.points[0]
+
+    @property
+    def lowest_index(self) -> int:
+        """Index of the slowest setting."""
+        return len(self.points) - 1
+
+    def clamp(self, index: int) -> int:
+        """Clamp a setting index into the table range."""
+        return max(0, min(self.lowest_index, index))
+
+    def speed_fraction(self, index: int) -> float:
+        """Relative throughput f/f_nominal of a setting [-]."""
+        return self.points[self.clamp(index)].frequency_hz / self.nominal.frequency_hz
+
+    def dynamic_scale(self, index: int) -> float:
+        """Dynamic-power scale factor ``(f/f0)(V/V0)^2`` of a setting [-]."""
+        point = self.points[self.clamp(index)]
+        nominal = self.nominal
+        return (point.frequency_hz / nominal.frequency_hz) * (
+            point.voltage / nominal.voltage
+        ) ** 2
+
+    def leakage_scale(self, index: int) -> float:
+        """Leakage scale factor ``V/V0`` of a setting [-]."""
+        point = self.points[self.clamp(index)]
+        return point.voltage / self.nominal.voltage
+
+
+NIAGARA_VF_TABLE = VFTable(
+    [
+        OperatingPoint(frequency_hz=1.2e9, voltage=1.2),
+        OperatingPoint(frequency_hz=1.0e9, voltage=1.1),
+        OperatingPoint(frequency_hz=0.8e9, voltage=1.0),
+        OperatingPoint(frequency_hz=0.6e9, voltage=0.9),
+    ]
+)
+"""Operating points of the 90 nm UltraSPARC T1 target."""

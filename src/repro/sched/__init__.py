@@ -1,0 +1,6 @@
+"""OS-level scheduling: load balancing and performance accounting."""
+
+from .loadbalance import LoadBalancer
+from .metrics import PerformanceTracker
+
+__all__ = ["LoadBalancer", "PerformanceTracker"]

@@ -1,0 +1,100 @@
+"""Dynamic load balancing (the paper's LB policy).
+
+Section IV-A: "Dynamic load balancing (LB) balances the workload by
+moving threads from a core's queue to another if the difference in queue
+lengths is over a threshold."  Queue length here is the offered load of
+the threads assigned to a core (in core-seconds per second); every
+scheduling interval the balancer migrates threads from the most- to the
+least-loaded queue until all pairwise differences fall under the
+threshold (or no single migration can improve further).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class LoadBalancer:
+    """Threshold-triggered thread migration across cores.
+
+    Parameters
+    ----------
+    cores:
+        Number of cores.
+    threads:
+        Number of hardware threads to place.
+    threshold:
+        Queue-length difference (in units of offered load) that triggers
+        a migration.
+    max_migrations:
+        Safety bound on migrations per rebalancing call.
+    """
+
+    def __init__(
+        self,
+        cores: int,
+        threads: int,
+        threshold: float = 0.25,
+        max_migrations: int = 64,
+    ) -> None:
+        if cores < 1 or threads < 1:
+            raise ValueError("cores and threads must be positive")
+        if threshold <= 0.0:
+            raise ValueError("threshold must be positive")
+        if max_migrations < 1:
+            raise ValueError("max_migrations must be positive")
+        self.cores = cores
+        self.threads = threads
+        self.threshold = threshold
+        self.max_migrations = max_migrations
+        # Initial placement: round-robin, as an OS would boot the system.
+        self.assignment = np.arange(threads) % cores
+        self.migrations = 0
+
+    def queue_lengths(self, thread_demands: Sequence[float]) -> np.ndarray:
+        """Offered load per core under the current assignment."""
+        demands = np.asarray(thread_demands, dtype=float)
+        if demands.shape != (self.threads,):
+            raise ValueError(f"expected {self.threads} thread demands")
+        if np.any(demands < 0.0):
+            raise ValueError("thread demands must be non-negative")
+        queues = np.zeros(self.cores)
+        np.add.at(queues, self.assignment, demands)
+        return queues
+
+    def rebalance(self, thread_demands: Sequence[float]) -> np.ndarray:
+        """Migrate threads until queue differences fall below the threshold.
+
+        Each migration moves the thread whose demand best closes the gap
+        from the most-loaded to the least-loaded core.  Returns the
+        updated assignment (also kept as state).
+        """
+        demands = np.asarray(thread_demands, dtype=float)
+        queues = self.queue_lengths(demands)
+        for _ in range(self.max_migrations):
+            hi = int(queues.argmax())
+            lo = int(queues.argmin())
+            gap = queues[hi] - queues[lo]
+            if gap <= self.threshold:
+                break
+            candidates = np.nonzero(self.assignment == hi)[0]
+            if candidates.size == 0:
+                break
+            # Moving demand d changes the gap by 2d; the ideal d is gap/2.
+            ideal = gap / 2.0
+            move = candidates[np.argmin(np.abs(demands[candidates] - ideal))]
+            if demands[move] <= 0.0 or demands[move] >= gap:
+                # Moving this thread would not reduce the imbalance.
+                break
+            self.assignment[move] = lo
+            queues[hi] -= demands[move]
+            queues[lo] += demands[move]
+            self.migrations += 1
+        return self.assignment
+
+    def core_demands(self, thread_demands: Sequence[float]) -> np.ndarray:
+        """Per-core offered load after rebalancing [core-s/s]."""
+        self.rebalance(thread_demands)
+        return self.queue_lengths(thread_demands)

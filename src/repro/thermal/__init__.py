@@ -1,0 +1,25 @@
+"""Compact transient thermal model of 3D stacks with inter-tier cooling.
+
+A Python reimplementation of the modelling approach of 3D-ICE [17]
+(Sridhar et al., ICCAD 2010): finite-volume RC networks for the solid
+layers plus advective fluid cells for the micro-channel cavities, solved
+with sparse direct methods.
+"""
+
+from .grid import ThermalGrid
+from .field import TemperatureField
+from .model import CompactThermalModel
+from .solver import TransientStepper
+from .sensors import TemperatureSensors
+from .reference import dense_steady_state
+from .blockmodel import BlockThermalModel
+
+__all__ = [
+    "ThermalGrid",
+    "TemperatureField",
+    "CompactThermalModel",
+    "TransientStepper",
+    "TemperatureSensors",
+    "dense_steady_state",
+    "BlockThermalModel",
+]

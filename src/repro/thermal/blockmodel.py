@@ -1,0 +1,416 @@
+"""Block-level compact thermal model for design-time exploration.
+
+Section II-D motivates two modelling speeds: run-time management works
+on the cell-grid model (:mod:`repro.thermal.model`), while design-time
+architecture exploration — floorplan variants, cavity choices, tier
+orderings, thousands of evaluations — needs something still faster.
+This module provides the classic block-level RC abstraction (one node
+per floorplan block, HotSpot-style, extended with advective cavity
+segments): two to three orders of magnitude fewer unknowns than the
+grid model at a few kelvin of accuracy (validated in the test suite).
+
+Topology per stack:
+
+* every block of every source layer is a node (capacitance from its
+  share of the die volume);
+* passive layers become one node per overlapping *block footprint* of
+  the nearest source layer (keeping vertical 1-D chains aligned);
+  for simplicity and robustness this model folds passive layers into
+  the vertical resistances instead of giving them nodes;
+* every cavity is a chain of ``segments`` fluid nodes along the flow
+  with upwind advection, each coupled to the block nodes above and
+  below through the fin-enhanced footprint HTC over the shared area;
+* air mode attaches the Table I sink lump behind the top layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.floorplan import Block
+from ..geometry.stack import Cavity, CoolingMode, Layer, StackDesign, TwoPhaseCavity
+from ..heat_transfer.convection import cavity_effective_htc
+from ..units import ml_per_min_to_m3_per_s
+from .model import DEFAULT_AMBIENT_K, DEFAULT_INLET_K, TWO_PHASE_ANCHOR_W_PER_K
+
+BlockRef = Tuple[str, str]
+
+
+def _overlap_length(a0: float, a1: float, b0: float, b1: float) -> float:
+    """Length of the overlap of two 1-D intervals."""
+    return max(0.0, min(a1, b1) - max(a0, b0))
+
+
+class BlockThermalModel:
+    """One-node-per-block steady/transient thermal model.
+
+    Parameters
+    ----------
+    stack:
+        The stack to model.
+    segments:
+        Number of axial fluid segments per cavity.
+    ambient, inlet_temperature:
+        Boundary temperatures [K] (same defaults as the grid model).
+    """
+
+    def __init__(
+        self,
+        stack: StackDesign,
+        segments: int = 8,
+        ambient: float = DEFAULT_AMBIENT_K,
+        inlet_temperature: float = DEFAULT_INLET_K,
+    ) -> None:
+        if segments < 2:
+            raise ValueError("need at least two cavity segments")
+        self.stack = stack
+        self.segments = segments
+        self.ambient = float(ambient)
+        self.inlet_temperature = float(inlet_temperature)
+        self._flow_ml_min = 32.3
+        self._index: Dict[object, int] = {}
+        self._build_topology()
+        self._assemble()
+
+    # ------------------------------------------------------------------
+
+    def _node(self, key: object) -> int:
+        if key not in self._index:
+            self._index[key] = len(self._index)
+        return self._index[key]
+
+    def _build_topology(self) -> None:
+        self.block_nodes: Dict[BlockRef, int] = {}
+        self.fluid_nodes: List[List[int]] = []
+        self._layer_of_level: Dict[int, Layer] = {}
+        for layer in self.stack.source_layers:
+            assert layer.floorplan is not None
+            for block in layer.floorplan.blocks:
+                ref = (layer.name, block.name)
+                self.block_nodes[ref] = self._node(("block", ref))
+        for cavity_idx, cavity in enumerate(self.stack.cavities):
+            nodes = [
+                self._node(("fluid", cavity_idx, seg))
+                for seg in range(self.segments)
+            ]
+            self.fluid_nodes.append(nodes)
+        self.sink_node: Optional[int] = None
+        if self.stack.cooling_mode is CoolingMode.AIR:
+            self.sink_node = self._node(("sink",))
+
+    @property
+    def size(self) -> int:
+        """Number of unknowns."""
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+
+    def _vertical_path(self, lower_idx: int, upper_idx: int) -> float:
+        """Series thermal resistance * area between two element levels.
+
+        Sums half-thicknesses of the two endpoint elements plus the full
+        thicknesses of all solid elements between them [m^2 K / W].
+        """
+        elements = self.stack.elements
+        resistance = 0.0
+        lower = elements[lower_idx]
+        upper = elements[upper_idx]
+        if isinstance(lower, Layer):
+            resistance += lower.thickness / (2.0 * lower.material.conductivity)
+        if isinstance(upper, Layer):
+            resistance += upper.thickness / (2.0 * upper.material.conductivity)
+        for element in elements[lower_idx + 1 : upper_idx]:
+            if isinstance(element, Layer):
+                resistance += element.thickness / element.material.conductivity
+            else:
+                raise ValueError("cavity encountered inside a solid path")
+        return resistance
+
+    def _assemble(self) -> None:
+        n = self.size
+        a = np.zeros((n, n))
+        c = np.zeros(n)
+        b_base = np.zeros(n)
+        b_adv = np.zeros(n)
+        adv = np.zeros((n, n))
+        elements = self.stack.elements
+
+        def add_edge(i: int, j: int, g: float) -> None:
+            a[i, i] += g
+            a[j, j] += g
+            a[i, j] -= g
+            a[j, i] -= g
+
+        # Block capacitances and lateral conduction within each layer.
+        for layer in self.stack.source_layers:
+            level = elements.index(layer)
+            assert layer.floorplan is not None
+            blocks = layer.floorplan.blocks
+            for block in blocks:
+                i = self.block_nodes[(layer.name, block.name)]
+                c[i] = layer.material.vol_heat_capacity * block.area * layer.thickness
+            for bi, first in enumerate(blocks):
+                for second in blocks[bi + 1 :]:
+                    shared = self._shared_edge(first, second)
+                    if shared <= 0.0:
+                        continue
+                    centre_distance = np.hypot(
+                        (first.x + first.x2) / 2 - (second.x + second.x2) / 2,
+                        (first.y + first.y2) / 2 - (second.y + second.y2) / 2,
+                    )
+                    g = (
+                        layer.material.conductivity
+                        * shared
+                        * layer.thickness
+                        / centre_distance
+                    )
+                    add_edge(
+                        self.block_nodes[(layer.name, first.name)],
+                        self.block_nodes[(layer.name, second.name)],
+                        g,
+                    )
+            del level
+
+        # Vertical coupling: block <-> cavity segments, block <-> block
+        # across solid-only gaps, and the air sink.
+        source_levels = [elements.index(layer) for layer in self.stack.source_layers]
+        cavity_levels = [
+            elements.index(cavity) for cavity in self.stack.cavities
+        ]
+        seg_len = self.stack.width / self.segments
+
+        for cavity_idx, cavity in enumerate(self.stack.cavities):
+            level = cavity_levels[cavity_idx]
+            geometry = cavity.geometry
+            if isinstance(cavity, TwoPhaseCavity):
+                h_eff = geometry.effective_htc(
+                    cavity.boiling_htc(), cavity.wall_material.conductivity
+                )
+            else:
+                h_eff = cavity_effective_htc(
+                    geometry, cavity.coolant, cavity.wall_material
+                )
+            wall_g_per_area = geometry.wall_bypass_coefficient(
+                cavity.wall_material.conductivity
+            )
+            # Fluid capacitance per segment.
+            for seg, node in enumerate(self.fluid_nodes[cavity_idx]):
+                volume = seg_len * self.stack.height * cavity.thickness
+                phi = geometry.porosity
+                c[node] = volume * (
+                    phi * cavity.coolant.vol_heat_capacity
+                    + (1.0 - phi) * cavity.wall_material.vol_heat_capacity
+                )
+                if isinstance(cavity, TwoPhaseCavity):
+                    anchor = TWO_PHASE_ANCHOR_W_PER_K * (
+                        self.stack.area / (seg_len * self.stack.height)
+                    )
+                    a[node, node] += anchor
+                    b_base[node] += anchor * cavity.saturation_k
+            # Advective chain.
+            if not isinstance(cavity, TwoPhaseCavity):
+                for seg, node in enumerate(self.fluid_nodes[cavity_idx]):
+                    adv[node, node] += 1.0
+                    if seg == 0:
+                        b_adv[node] += 1.0
+                    else:
+                        adv[node, self.fluid_nodes[cavity_idx][seg - 1]] -= 1.0
+            # Coupling to the source layers above and below.
+            for direction in (-1, +1):
+                neighbour_level = self._nearest_source_level(
+                    level, direction, source_levels
+                )
+                if neighbour_level is None:
+                    continue
+                layer = elements[neighbour_level]
+                assert isinstance(layer, Layer) and layer.floorplan is not None
+                lo, hi = sorted((level, neighbour_level))
+                # Solid path from the layer node to the cavity surface.
+                solid_r_area = self._solid_resistance_to_cavity(
+                    neighbour_level, level
+                )
+                for block in layer.floorplan.blocks:
+                    i = self.block_nodes[(layer.name, block.name)]
+                    for seg, node in enumerate(self.fluid_nodes[cavity_idx]):
+                        overlap_x = _overlap_length(
+                            block.x, block.x2, seg * seg_len, (seg + 1) * seg_len
+                        )
+                        if overlap_x <= 0.0:
+                            continue
+                        area = overlap_x * block.height
+                        r = solid_r_area / area + 1.0 / (h_eff * area)
+                        add_edge(i, node, 1.0 / r)
+                del lo, hi
+
+        # Wall bypass + solid gaps between consecutive source layers.
+        for lower_level, upper_level in zip(source_levels, source_levels[1:]):
+            between = elements[lower_level + 1 : upper_level]
+            cavity_between = [e for e in between if isinstance(e, Cavity)]
+            lower = elements[lower_level]
+            upper = elements[upper_level]
+            assert isinstance(lower, Layer) and isinstance(upper, Layer)
+            if cavity_between:
+                cavity = cavity_between[0]
+                geometry = cavity.geometry
+                g_per_area = geometry.wall_bypass_coefficient(
+                    cavity.wall_material.conductivity
+                )
+                r_extra = self._vertical_gap_resistance(
+                    lower_level, upper_level, skip_cavities=True
+                )
+            else:
+                g_per_area = None
+                r_extra = self._vertical_path(lower_level, upper_level)
+            for l_block in lower.floorplan.blocks:
+                for u_block in upper.floorplan.blocks:
+                    ox = _overlap_length(l_block.x, l_block.x2, u_block.x, u_block.x2)
+                    oy = _overlap_length(l_block.y, l_block.y2, u_block.y, u_block.y2)
+                    area = ox * oy
+                    if area <= 0.0:
+                        continue
+                    if g_per_area is not None:
+                        r = r_extra / area + 1.0 / (g_per_area * area)
+                    else:
+                        r = r_extra / area
+                    add_edge(
+                        self.block_nodes[(lower.name, l_block.name)],
+                        self.block_nodes[(upper.name, u_block.name)],
+                        1.0 / r,
+                    )
+
+        # Air sink behind the top source layer.
+        if self.sink_node is not None:
+            top_level = source_levels[-1]
+            top = elements[top_level]
+            assert isinstance(top, Layer) and top.floorplan is not None
+            r_area = self._vertical_path(top_level, len(elements) - 1)
+            for block in top.floorplan.blocks:
+                i = self.block_nodes[(top.name, block.name)]
+                add_edge(i, self.sink_node, block.area / r_area)
+            a[self.sink_node, self.sink_node] += self.stack.sink_conductance
+            b_base[self.sink_node] += self.stack.sink_conductance * self.ambient
+            c[self.sink_node] = self.stack.sink_capacitance
+
+        self._a_base = a
+        self._adv = adv
+        self._b_base = b_base
+        self._b_adv = b_adv
+        self._capacitance = c
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _shared_edge(a: Block, b: Block) -> float:
+        """Length of the shared boundary of two abutting blocks [m]."""
+        tol = 1e-9
+        if abs(a.x2 - b.x) < tol or abs(b.x2 - a.x) < tol:
+            return _overlap_length(a.y, a.y2, b.y, b.y2)
+        if abs(a.y2 - b.y) < tol or abs(b.y2 - a.y) < tol:
+            return _overlap_length(a.x, a.x2, b.x, b.x2)
+        return 0.0
+
+    def _nearest_source_level(
+        self, cavity_level: int, direction: int, source_levels: List[int]
+    ) -> Optional[int]:
+        """The first source-layer level on one side of a cavity."""
+        candidates = [
+            lvl
+            for lvl in source_levels
+            if (lvl - cavity_level) * direction > 0
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda lvl: abs(lvl - cavity_level))
+
+    def _solid_resistance_to_cavity(
+        self, layer_level: int, cavity_level: int
+    ) -> float:
+        """Area-resistance from a source-layer node to a cavity face."""
+        lo, hi = sorted((layer_level, cavity_level))
+        elements = self.stack.elements
+        layer = elements[layer_level]
+        assert isinstance(layer, Layer)
+        resistance = layer.thickness / (2.0 * layer.material.conductivity)
+        for element in elements[lo + 1 : hi]:
+            if isinstance(element, Layer):
+                resistance += element.thickness / element.material.conductivity
+        return resistance
+
+    def _vertical_gap_resistance(
+        self, lower_level: int, upper_level: int, skip_cavities: bool
+    ) -> float:
+        """Area-resistance of the solid parts of an inter-layer gap."""
+        elements = self.stack.elements
+        lower = elements[lower_level]
+        upper = elements[upper_level]
+        assert isinstance(lower, Layer) and isinstance(upper, Layer)
+        resistance = lower.thickness / (2.0 * lower.material.conductivity)
+        resistance += upper.thickness / (2.0 * upper.material.conductivity)
+        for element in elements[lower_level + 1 : upper_level]:
+            if isinstance(element, Layer):
+                resistance += element.thickness / element.material.conductivity
+            elif not skip_cavities:
+                raise ValueError("unexpected cavity")
+        return resistance
+
+    # ------------------------------------------------------------------
+    # public API (mirrors the grid model)
+    # ------------------------------------------------------------------
+
+    @property
+    def flow_ml_min(self) -> float:
+        """Current per-cavity flow rate [ml/min]."""
+        return self._flow_ml_min
+
+    def set_flow(self, flow_ml_min: float) -> None:
+        """Set the per-cavity flow rate [ml/min]."""
+        if flow_ml_min <= 0.0:
+            raise ValueError("flow rate must be positive")
+        self._flow_ml_min = float(flow_ml_min)
+
+    def _capacity_rate_per_segment(self) -> float:
+        cavities = [
+            c for c in self.stack.cavities if not isinstance(c, TwoPhaseCavity)
+        ]
+        if not cavities:
+            return 0.0
+        coolant = cavities[0].coolant
+        return coolant.heat_capacity_rate(
+            ml_per_min_to_m3_per_s(self._flow_ml_min)
+        )
+
+    def system_matrix(self) -> np.ndarray:
+        """The dense conductance+advection matrix ``A(f)``."""
+        return self._a_base + self._capacity_rate_per_segment() * self._adv
+
+    def boundary_rhs(self) -> np.ndarray:
+        """The boundary source vector ``b(f)``."""
+        return (
+            self._b_base
+            + self._capacity_rate_per_segment()
+            * self.inlet_temperature
+            * self._b_adv
+        )
+
+    def steady_state(
+        self, block_powers: Dict[BlockRef, float]
+    ) -> Dict[BlockRef, float]:
+        """Steady block temperatures [K] for given block powers [W]."""
+        q = self.boundary_rhs().copy()
+        for ref, power in block_powers.items():
+            if ref not in self.block_nodes:
+                raise KeyError(f"unknown block {ref}")
+            if power < 0.0:
+                raise ValueError(f"negative power for {ref}")
+            q[self.block_nodes[ref]] += power
+        temperatures = np.linalg.solve(self.system_matrix(), q)
+        return {
+            ref: float(temperatures[node])
+            for ref, node in self.block_nodes.items()
+        }
+
+    def peak(self, block_powers: Dict[BlockRef, float]) -> float:
+        """Peak block temperature [K]."""
+        return max(self.steady_state(block_powers).values())

@@ -1,0 +1,76 @@
+"""Temperature fields produced by the compact thermal model."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .grid import ThermalGrid
+
+
+class TemperatureField:
+    """A snapshot of all cell temperatures of a stack [K].
+
+    Thin wrapper around the flat solver state that answers the questions
+    the management layer asks: per-layer maps, per-block maxima, stack
+    peak temperature.
+    """
+
+    def __init__(self, grid: ThermalGrid, values: np.ndarray, time: float = 0.0):
+        if values.shape != (grid.size,):
+            raise ValueError(
+                f"state vector has shape {values.shape}, expected ({grid.size},)"
+            )
+        self.grid = grid
+        self.values = values
+        self.time = time
+
+    def layer(self, name: str) -> np.ndarray:
+        """The ``(ny, nx)`` temperature map of one stack element [K]."""
+        level = self.grid.level_of(name)
+        return self.grid.level_view(self.values, level).copy()
+
+    def max(self) -> float:
+        """Peak temperature over the whole stack [K]."""
+        end = self.grid.levels * self.grid.cells_per_level
+        return float(self.values[:end].max())
+
+    def sink_temperature(self) -> float:
+        """Temperature of the lumped air-sink node [K] (air mode only)."""
+        return float(self.values[self.grid.sink_index])
+
+    def block_temperatures(
+        self, masks: Dict[Tuple[str, str], np.ndarray], reduce: str = "max"
+    ) -> Dict[Tuple[str, str], float]:
+        """Aggregate temperatures over floorplan blocks [K].
+
+        Parameters
+        ----------
+        masks:
+            Mapping from ``(layer name, block name)`` to a boolean
+            ``(ny, nx)`` cell mask (see
+            :meth:`repro.thermal.model.CompactThermalModel.block_masks`).
+        reduce:
+            ``"max"`` or ``"mean"`` over the block's cells.
+        """
+        if reduce not in ("max", "mean"):
+            raise ValueError("reduce must be 'max' or 'mean'")
+        out: Dict[Tuple[str, str], float] = {}
+        for (layer_name, block_name), mask in masks.items():
+            level = self.grid.level_of(layer_name)
+            view = self.grid.level_view(self.values, level)
+            cells = view[mask]
+            if cells.size == 0:
+                raise ValueError(
+                    f"block {block_name} on {layer_name} owns no grid cells; "
+                    "refine the grid"
+                )
+            out[(layer_name, block_name)] = float(
+                cells.max() if reduce == "max" else cells.mean()
+            )
+        return out
+
+    def copy(self) -> "TemperatureField":
+        """An independent copy of this field."""
+        return TemperatureField(self.grid, self.values.copy(), self.time)

@@ -1,0 +1,114 @@
+"""Spatial discretisation of a 3D stack into thermal cells.
+
+Every stack element (solid layer or cavity) becomes one vertical level of
+``nx x ny`` cells; an air-cooled stack appends one extra lumped node for
+the heat sink.  The grid owns all index bookkeeping so the model assembly
+code can speak in ``(level, iy, ix)`` coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..geometry.stack import StackDesign, CoolingMode
+
+
+@dataclass
+class ThermalGrid:
+    """Cell grid of a stack: ``levels x ny x nx`` plus an optional sink node.
+
+    Attributes
+    ----------
+    stack:
+        The discretised stack design.
+    nx:
+        Number of cells along the flow direction (stack width).
+    ny:
+        Number of cells across the flow (stack height).
+    """
+
+    stack: StackDesign
+    nx: int = 23
+    ny: int = 20
+    _level_names: List[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.nx < 2 or self.ny < 2:
+            raise ValueError("grid needs at least 2x2 cells per level")
+        self._level_names = [e.name for e in self.stack.elements]
+
+    # -- dimensions -----------------------------------------------------------
+
+    @property
+    def levels(self) -> int:
+        """Number of stacked cell levels (one per stack element)."""
+        return len(self.stack.elements)
+
+    @property
+    def cells_per_level(self) -> int:
+        """Cells in one level."""
+        return self.nx * self.ny
+
+    @property
+    def has_sink_node(self) -> bool:
+        """Whether the grid carries the lumped air-sink node."""
+        return self.stack.cooling_mode is CoolingMode.AIR
+
+    @property
+    def size(self) -> int:
+        """Total number of unknowns."""
+        return self.levels * self.cells_per_level + (1 if self.has_sink_node else 0)
+
+    @property
+    def dx(self) -> float:
+        """Cell extent along the flow [m]."""
+        return self.stack.width / self.nx
+
+    @property
+    def dy(self) -> float:
+        """Cell extent across the flow [m]."""
+        return self.stack.height / self.ny
+
+    @property
+    def cell_area(self) -> float:
+        """Cell footprint area [m^2]."""
+        return self.dx * self.dy
+
+    # -- indexing ------------------------------------------------------------
+
+    def index(self, level: int, iy: int, ix: int) -> int:
+        """Flat index of cell ``(level, iy, ix)``."""
+        if not (0 <= level < self.levels):
+            raise IndexError(f"level {level} out of range")
+        if not (0 <= iy < self.ny and 0 <= ix < self.nx):
+            raise IndexError(f"cell ({iy}, {ix}) out of range")
+        return level * self.cells_per_level + iy * self.nx + ix
+
+    @property
+    def sink_index(self) -> int:
+        """Flat index of the lumped sink node."""
+        if not self.has_sink_node:
+            raise AttributeError("this stack has no air-sink node")
+        return self.levels * self.cells_per_level
+
+    def level_of(self, name: str) -> int:
+        """Level index of a stack element by name."""
+        return self._level_names.index(name)
+
+    def level_slice(self, level: int) -> slice:
+        """Slice of the flat state vector covering one level."""
+        start = level * self.cells_per_level
+        return slice(start, start + self.cells_per_level)
+
+    def level_view(self, vector: np.ndarray, level: int) -> np.ndarray:
+        """A ``(ny, nx)`` view of one level of a flat state vector."""
+        return vector[self.level_slice(level)].reshape(self.ny, self.nx)
+
+    def cell_centres(self) -> Tuple[np.ndarray, np.ndarray]:
+        """In-plane cell-centre coordinates ``(xs, ys)`` [m]."""
+        xs = (np.arange(self.nx) + 0.5) * self.dx
+        ys = (np.arange(self.ny) + 0.5) * self.dy
+        return xs, ys

@@ -1,0 +1,526 @@
+"""Assembly of the compact RC thermal model (3D-ICE-equivalent).
+
+The stack is discretised into one ``nx x ny`` cell level per stack
+element.  Solid cells exchange heat with their six neighbours through
+series conductances; cavity levels are homogenised porous fluid levels
+(liquid fraction = channel porosity) that
+
+* couple convectively to the dies above and below through the
+  fin-enhanced footprint coefficient of the channel geometry,
+* carry a direct wall-conduction bypass between those dies, and
+* transport enthalpy downstream with an upwind advective term
+  ``mdot cp (T_upwind - T_cell)`` per cell row — the 3D-ICE "4-resistor
+  + advection" liquid cell in homogenised form.
+
+The system is written as ``C dT/dt = -A(f) T + P + b(f)`` where only the
+advective part of ``A`` and ``b`` depends on the flow rate ``f``, and it
+does so *linearly*:
+
+``A(f) = A_base + c(f) A_adv``,  ``b(f) = b_base + c(f) T_in b_adv``
+
+with ``c(f) = rho cp f / ny`` the per-row capacity rate.  Heat transfer
+coefficients are flow-independent in the fully developed laminar regime,
+so changing the flow rate at run time never requires reassembly — the
+transient stepper merely swaps (cached) LU factors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix
+from scipy.sparse.linalg import spsolve
+
+from .. import constants
+from ..geometry.stack import Cavity, CoolingMode, Layer, StackDesign, TwoPhaseCavity
+from ..heat_transfer.convection import cavity_effective_htc
+from ..units import celsius_to_kelvin, ml_per_min_to_m3_per_s
+from .field import TemperatureField
+from .grid import ThermalGrid
+
+DEFAULT_AMBIENT_K = celsius_to_kelvin(46.0)
+"""Default air ambient [K].
+
+The paper does not state the ambient; 46 degC is the rack/heat-sink inlet
+value calibrated (once, see DESIGN.md section 7) so the air-cooled 2-tier
+UltraSPARC T1 peaks near the 87 degC the paper reports while the 4-tier
+stack lands at the reported ~178 degC.
+"""
+
+DEFAULT_INLET_K = celsius_to_kelvin(27.0)
+"""Default coolant inlet temperature [K] (chilled-loop supply)."""
+
+BlockRef = Tuple[str, str]
+
+TWO_PHASE_ANCHOR_W_PER_K = 10.0
+"""Per-cell conductance anchoring two-phase fluid cells at saturation
+[W/K].
+
+An evaporating refrigerant absorbs heat "without an increase in its
+temperature ... because simply more liquid evaporates into vapor"
+(Section III) — i.e. the fluid behaves as a constant-temperature
+reservoir until dry-out.  The anchor is ~10^3 times larger than any
+convective cell conductance, making the cells effectively Dirichlet
+nodes without harming the matrix conditioning.
+"""
+
+
+class CompactThermalModel:
+    """Compact transient/steady thermal model of a :class:`StackDesign`.
+
+    Parameters
+    ----------
+    stack:
+        The stack to model.
+    nx, ny:
+        In-plane grid resolution (cells along / across the flow).
+    ambient:
+        Air ambient temperature [K] (air-cooled mode).
+    inlet_temperature:
+        Coolant inlet temperature [K] (liquid mode).
+    """
+
+    def __init__(
+        self,
+        stack: StackDesign,
+        nx: int = 23,
+        ny: int = 20,
+        ambient: float = DEFAULT_AMBIENT_K,
+        inlet_temperature: float = DEFAULT_INLET_K,
+    ) -> None:
+        self.stack = stack
+        self.grid = ThermalGrid(stack, nx=nx, ny=ny)
+        self.ambient = float(ambient)
+        self.inlet_temperature = float(inlet_temperature)
+        self._flow_ml_min = constants.FLOW_RATE_MAX_ML_MIN
+        self._masks: Optional[Dict[BlockRef, np.ndarray]] = None
+        self._cells_per_block: Optional[Dict[BlockRef, int]] = None
+        self._assemble()
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+
+    def _assemble(self) -> None:
+        grid = self.grid
+        elements = self.stack.elements
+        n = grid.size
+        area = grid.cell_area
+        dx, dy = grid.dx, grid.dy
+
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        adv_rows: List[int] = []
+        adv_cols: List[int] = []
+        adv_vals: List[float] = []
+        b_base = np.zeros(n)
+        b_adv = np.zeros(n)
+        capacitance = np.zeros(n)
+
+        def add_edge(i: int, j: int, g: float) -> None:
+            rows.extend((i, j, i, j))
+            cols.extend((i, j, j, i))
+            vals.extend((g, g, -g, -g))
+
+        def vertical_half_resistance(element, a: float) -> float:
+            """Half-cell vertical resistance of a solid element [K/W]."""
+            assert isinstance(element, Layer)
+            return element.thickness / (2.0 * element.material.conductivity * a)
+
+        # Per-level lateral conductivities and volumetric capacities.
+        lateral_kx: List[float] = []
+        lateral_ky: List[float] = []
+        for element in elements:
+            if isinstance(element, Cavity):
+                geom = element.geometry
+                phi = geom.porosity
+                k_w = element.wall_material.conductivity
+                k_f = element.coolant.conductivity
+                lateral_kx.append(phi * k_f + (1.0 - phi) * k_w)
+                lateral_ky.append(1.0 / (phi / k_f + (1.0 - phi) / k_w))
+                c_v = (
+                    phi * element.coolant.vol_heat_capacity
+                    + (1.0 - phi) * element.wall_material.vol_heat_capacity
+                )
+            else:
+                lateral_kx.append(element.material.conductivity)
+                lateral_ky.append(element.material.conductivity)
+                c_v = element.material.vol_heat_capacity
+            level = elements.index(element)
+            volume = area * element.thickness
+            capacitance[grid.level_slice(level)] = c_v * volume
+
+        # Lateral conduction within each level.
+        for level, element in enumerate(elements):
+            t = element.thickness
+            gx = lateral_kx[level] * (dy * t) / dx
+            gy = lateral_ky[level] * (dx * t) / dy
+            for iy in range(grid.ny):
+                for ix in range(grid.nx):
+                    i = grid.index(level, iy, ix)
+                    if ix + 1 < grid.nx:
+                        add_edge(i, grid.index(level, iy, ix + 1), gx)
+                    if iy + 1 < grid.ny:
+                        add_edge(i, grid.index(level, iy + 1, ix), gy)
+
+        # Vertical coupling between adjacent levels.
+        for level in range(len(elements) - 1):
+            lower = elements[level]
+            upper = elements[level + 1]
+            if isinstance(lower, Cavity) and isinstance(upper, Cavity):
+                raise ValueError("adjacent cavities are not supported")
+            if isinstance(lower, Layer) and isinstance(upper, Layer):
+                r = vertical_half_resistance(lower, area) + vertical_half_resistance(
+                    upper, area
+                )
+                g = 1.0 / r
+                for iy in range(grid.ny):
+                    for ix in range(grid.nx):
+                        add_edge(
+                            grid.index(level, iy, ix),
+                            grid.index(level + 1, iy, ix),
+                            g,
+                        )
+            else:
+                cavity, cavity_level = (
+                    (lower, level) if isinstance(lower, Cavity) else (upper, level + 1)
+                )
+                solid, solid_level = (
+                    (upper, level + 1) if isinstance(lower, Cavity) else (lower, level)
+                )
+                assert isinstance(cavity, Cavity) and isinstance(solid, Layer)
+                if isinstance(cavity, TwoPhaseCavity):
+                    h_eff = cavity.geometry.effective_htc(
+                        cavity.boiling_htc(),
+                        cavity.wall_material.conductivity,
+                    )
+                else:
+                    h_eff = cavity_effective_htc(
+                        cavity.geometry, cavity.coolant, cavity.wall_material
+                    )
+                r = vertical_half_resistance(solid, area) + 1.0 / (h_eff * area)
+                g = 1.0 / r
+                for iy in range(grid.ny):
+                    for ix in range(grid.nx):
+                        add_edge(
+                            grid.index(solid_level, iy, ix),
+                            grid.index(cavity_level, iy, ix),
+                            g,
+                        )
+
+        # Wall-conduction bypass across each cavity (die below <-> die above).
+        for level, element in enumerate(elements):
+            if not isinstance(element, Cavity):
+                continue
+            if level == 0 or level == len(elements) - 1:
+                raise ValueError("cavities must be bounded by solid layers")
+            below = elements[level - 1]
+            above = elements[level + 1]
+            assert isinstance(below, Layer) and isinstance(above, Layer)
+            geom = element.geometry
+            wall_fraction = 1.0 - geom.porosity
+            r = (
+                vertical_half_resistance(below, area)
+                + element.thickness
+                / (element.wall_material.conductivity * wall_fraction * area)
+                + vertical_half_resistance(above, area)
+            )
+            g = 1.0 / r
+            for iy in range(grid.ny):
+                for ix in range(grid.nx):
+                    add_edge(
+                        grid.index(level - 1, iy, ix),
+                        grid.index(level + 1, iy, ix),
+                        g,
+                    )
+
+        # Two-phase cavities: fluid cells anchored at the saturation
+        # temperature (evaporation absorbs heat isothermally).
+        for level, element in enumerate(elements):
+            if not isinstance(element, TwoPhaseCavity):
+                continue
+            for iy in range(grid.ny):
+                for ix in range(grid.nx):
+                    i = grid.index(level, iy, ix)
+                    rows.append(i)
+                    cols.append(i)
+                    vals.append(TWO_PHASE_ANCHOR_W_PER_K)
+                    b_base[i] += TWO_PHASE_ANCHOR_W_PER_K * element.saturation_k
+
+        # Advective transport in single-phase cavities (unit
+        # capacity-rate pattern).  The actual contribution is
+        # c(f) * A_adv with c(f) = rho cp Q / ny.
+        per_cavity_adv: Dict[str, csr_matrix] = {}
+        per_cavity_b: Dict[str, np.ndarray] = {}
+        for level, element in enumerate(elements):
+            if not isinstance(element, Cavity) or isinstance(
+                element, TwoPhaseCavity
+            ):
+                continue
+            c_rows: List[int] = []
+            c_cols: List[int] = []
+            c_vals: List[float] = []
+            c_b = np.zeros(n)
+            for iy in range(grid.ny):
+                for ix in range(grid.nx):
+                    i = grid.index(level, iy, ix)
+                    c_rows.append(i)
+                    c_cols.append(i)
+                    c_vals.append(1.0)
+                    if ix == 0:
+                        c_b[i] = 1.0  # times c(f) * T_inlet
+                    else:
+                        c_rows.append(i)
+                        c_cols.append(grid.index(level, iy, ix - 1))
+                        c_vals.append(-1.0)
+            per_cavity_adv[element.name] = coo_matrix(
+                (c_vals, (c_rows, c_cols)), shape=(n, n)
+            ).tocsr()
+            per_cavity_b[element.name] = c_b
+            adv_rows.extend(c_rows)
+            adv_cols.extend(c_cols)
+            adv_vals.extend(c_vals)
+            b_adv += c_b
+
+        # Lumped air heat sink on top (air mode).
+        if grid.has_sink_node:
+            top_level = len(elements) - 1
+            top = elements[top_level]
+            assert isinstance(top, Layer)
+            sink = grid.sink_index
+            g_cell = 1.0 / vertical_half_resistance(top, area)
+            for iy in range(grid.ny):
+                for ix in range(grid.nx):
+                    add_edge(grid.index(top_level, iy, ix), sink, g_cell)
+            rows.append(sink)
+            cols.append(sink)
+            vals.append(self.stack.sink_conductance)
+            b_base[sink] = self.stack.sink_conductance * self.ambient
+            capacitance[sink] = self.stack.sink_capacitance
+
+        self._a_base = coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        self._a_adv = coo_matrix(
+            (adv_vals, (adv_rows, adv_cols)), shape=(n, n)
+        ).tocsr()
+        self._per_cavity_adv = per_cavity_adv
+        self._per_cavity_b = per_cavity_b
+        self._b_base = b_base
+        self._b_adv = b_adv
+        self._capacitance = capacitance
+        self._flows: Dict[str, float] = {
+            name: self._flow_ml_min for name in per_cavity_adv
+        }
+
+    # ------------------------------------------------------------------
+    # flow handling
+    # ------------------------------------------------------------------
+
+    @property
+    def flow_ml_min(self) -> float:
+        """Current per-cavity flow rate [ml/min].
+
+        When cavities run at *different* flows (see
+        :meth:`set_cavity_flow`), the maximum is reported.
+        """
+        if self._flows:
+            return max(self._flows.values())
+        return self._flow_ml_min
+
+    @property
+    def cavity_flows(self) -> Dict[str, float]:
+        """Current flow rate per single-phase cavity [ml/min]."""
+        return dict(self._flows)
+
+    def flow_signature(self) -> Tuple[Tuple[str, float], ...]:
+        """Hashable description of the current flow state.
+
+        Transient steppers key their cached LU factorisations on this.
+        """
+        return tuple(sorted((n, round(f, 6)) for n, f in self._flows.items()))
+
+    def set_flow(self, flow_ml_min: float) -> None:
+        """Set one common per-cavity coolant flow rate [ml/min].
+
+        All cavities receive the same flow rate, as in the paper's pump
+        architecture (Section II-A).  Ignored (but validated) for
+        air-cooled stacks.
+        """
+        if flow_ml_min <= 0.0:
+            raise ValueError("flow rate must be positive")
+        self._flow_ml_min = float(flow_ml_min)
+        self._flows = {name: float(flow_ml_min) for name in self._flows}
+
+    def set_cavity_flow(self, cavity_name: str, flow_ml_min: float) -> None:
+        """Set one cavity's flow rate independently [ml/min].
+
+        An extension beyond the paper's single shared pump setting: a
+        valve network can starve lightly loaded cavities (e.g. those
+        between cache tiers) while feeding hot ones — see
+        ``benchmarks/bench_ablation_percavity.py`` for the pay-off.
+        """
+        if flow_ml_min <= 0.0:
+            raise ValueError("flow rate must be positive")
+        if cavity_name not in self._flows:
+            raise KeyError(
+                f"no single-phase cavity named {cavity_name!r} "
+                f"(have {sorted(self._flows)})"
+            )
+        self._flows[cavity_name] = float(flow_ml_min)
+
+    def _capacity_rate_per_row(self, flow_ml_min: float) -> float:
+        """Per-cell-row capacity rate c(f) = rho cp Q / ny [W/K]."""
+        if self.stack.cooling_mode is CoolingMode.AIR or not self.stack.cavities:
+            return 0.0
+        coolant = self.stack.cavities[0].coolant
+        volumetric = ml_per_min_to_m3_per_s(flow_ml_min)
+        return coolant.heat_capacity_rate(volumetric) / self.grid.ny
+
+    def system_matrix(self, flow_ml_min: Optional[float] = None) -> csr_matrix:
+        """The conductance+advection matrix ``A(f)``.
+
+        Parameters
+        ----------
+        flow_ml_min:
+            Optional uniform flow override; the stored (possibly
+            per-cavity) flow state applies when omitted.
+        """
+        if not self._per_cavity_adv:
+            return self._a_base
+        if flow_ml_min is not None:
+            c = self._capacity_rate_per_row(flow_ml_min)
+            return self._a_base + c * self._a_adv
+        matrix = self._a_base
+        for name, adv in self._per_cavity_adv.items():
+            matrix = matrix + self._capacity_rate_per_row(self._flows[name]) * adv
+        return matrix
+
+    def boundary_rhs(self, flow_ml_min: Optional[float] = None) -> np.ndarray:
+        """The boundary source vector ``b(f)`` (ambient + inlet terms)."""
+        if not self._per_cavity_adv:
+            return self._b_base
+        if flow_ml_min is not None:
+            c = self._capacity_rate_per_row(flow_ml_min)
+            return self._b_base + c * self.inlet_temperature * self._b_adv
+        rhs = self._b_base.copy()
+        for name, b in self._per_cavity_b.items():
+            c = self._capacity_rate_per_row(self._flows[name])
+            rhs += c * self.inlet_temperature * b
+        return rhs
+
+    @property
+    def capacitance(self) -> np.ndarray:
+        """Per-node thermal capacitance [J/K]."""
+        return self._capacitance
+
+    # ------------------------------------------------------------------
+    # power injection
+    # ------------------------------------------------------------------
+
+    def block_masks(self) -> Dict[BlockRef, np.ndarray]:
+        """Boolean cell masks of every powered floorplan block."""
+        if self._masks is None:
+            masks: Dict[BlockRef, np.ndarray] = {}
+            for layer in self.stack.source_layers:
+                assert layer.floorplan is not None
+                per_block = layer.floorplan.cell_area_fractions(
+                    self.grid.nx, self.grid.ny
+                )
+                for block_name, mask in per_block.items():
+                    masks[(layer.name, block_name)] = mask
+            self._masks = masks
+            self._cells_per_block = {
+                ref: int(mask.sum()) for ref, mask in masks.items()
+            }
+            empty = [ref for ref, count in self._cells_per_block.items() if count == 0]
+            if empty:
+                raise ValueError(
+                    f"blocks {empty} own no grid cells; refine the grid"
+                )
+        return self._masks
+
+    def power_vector(self, block_powers: Dict[BlockRef, float]) -> np.ndarray:
+        """Build the nodal power-injection vector [W].
+
+        Parameters
+        ----------
+        block_powers:
+            Mapping from ``(layer name, block name)`` to block power [W].
+            Every key must name a block of a source layer; blocks without
+            an entry dissipate nothing.
+        """
+        masks = self.block_masks()
+        assert self._cells_per_block is not None
+        p = np.zeros(self.grid.size)
+        for ref, power in block_powers.items():
+            if ref not in masks:
+                raise KeyError(f"unknown block {ref}")
+            if power < 0.0:
+                raise ValueError(f"negative power for block {ref}")
+            level = self.grid.level_of(ref[0])
+            view = p[self.grid.level_slice(level)].reshape(
+                self.grid.ny, self.grid.nx
+            )
+            view[masks[ref]] += power / self._cells_per_block[ref]
+        return p
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+
+    def steady_state(
+        self,
+        block_powers: Dict[BlockRef, float],
+        flow_ml_min: Optional[float] = None,
+    ) -> TemperatureField:
+        """Steady-state temperature field for constant block powers."""
+        a = self.system_matrix(flow_ml_min)
+        q = self.power_vector(block_powers) + self.boundary_rhs(flow_ml_min)
+        values = spsolve(a.tocsc(), q)
+        return TemperatureField(self.grid, values)
+
+    def uniform_field(self, temperature_k: float) -> TemperatureField:
+        """A field with every node at the same temperature."""
+        return TemperatureField(
+            self.grid, np.full(self.grid.size, float(temperature_k))
+        )
+
+    # ------------------------------------------------------------------
+    # energy bookkeeping
+    # ------------------------------------------------------------------
+
+    def heat_removed_by_coolant(self, field: TemperatureField) -> float:
+        """Heat carried out by the coolant in a given state [W].
+
+        Single-phase cavities carry out ``mdot cp (T_outlet - T_inlet)``
+        per row; two-phase cavities absorb through their saturation
+        anchors.  At steady state the sum equals the injected power
+        (energy conservation, verified by the test suite).
+        """
+        total = 0.0
+        for level, element in enumerate(self.stack.elements):
+            if not isinstance(element, Cavity):
+                continue
+            view = self.grid.level_view(field.values, level)
+            if isinstance(element, TwoPhaseCavity):
+                total += float(
+                    TWO_PHASE_ANCHOR_W_PER_K
+                    * (view - element.saturation_k).sum()
+                )
+            else:
+                c = self._capacity_rate_per_row(self._flows[element.name])
+                if c > 0.0:
+                    outlet = view[:, -1]
+                    total += float(
+                        c * (outlet - self.inlet_temperature).sum()
+                    )
+        return total
+
+    def heat_removed_by_sink(self, field: TemperatureField) -> float:
+        """Heat leaving through the air sink in a given state [W]."""
+        if not self.grid.has_sink_node:
+            return 0.0
+        return self.stack.sink_conductance * (
+            field.sink_temperature() - self.ambient
+        )

@@ -1,0 +1,80 @@
+"""On-die temperature sensors.
+
+Section IV-A: "each core has a temperature sensor, which is able to
+provide temperature readings at regular intervals (e.g., every 100 ms)".
+The sensor layer turns a full temperature field into the per-core
+readings the run-time policies consume, optionally with Gaussian noise
+and quantisation to emulate real thermal diodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .field import TemperatureField
+from .model import BlockRef, CompactThermalModel
+
+
+class TemperatureSensors:
+    """Per-block temperature sensors over a thermal model.
+
+    Parameters
+    ----------
+    model:
+        The thermal model being observed.
+    refs:
+        Blocks to instrument; defaults to every core block.
+    noise_sigma:
+        Standard deviation of additive Gaussian read noise [K].
+    quantisation:
+        Sensor LSB [K]; zero disables quantisation.
+    seed:
+        RNG seed for reproducible noise.
+    """
+
+    def __init__(
+        self,
+        model: CompactThermalModel,
+        refs: Optional[List[BlockRef]] = None,
+        noise_sigma: float = 0.0,
+        quantisation: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if noise_sigma < 0.0 or quantisation < 0.0:
+            raise ValueError("noise and quantisation must be non-negative")
+        self.model = model
+        if refs is None:
+            refs = [
+                (layer.name, block.name)
+                for layer, block in model.stack.iter_blocks()
+                if block.kind == "core"
+            ]
+        if not refs:
+            raise ValueError("no sensor locations given")
+        self.refs = list(refs)
+        all_masks = model.block_masks()
+        self._masks = {ref: all_masks[ref] for ref in self.refs}
+        self.noise_sigma = noise_sigma
+        self.quantisation = quantisation
+        self._rng = np.random.default_rng(seed)
+
+    def read(self, field: TemperatureField) -> Dict[BlockRef, float]:
+        """Sample all sensors from a temperature field [K]."""
+        readings = field.block_temperatures(self._masks, reduce="max")
+        if self.noise_sigma > 0.0:
+            for ref in readings:
+                readings[ref] += float(self._rng.normal(0.0, self.noise_sigma))
+        if self.quantisation > 0.0:
+            lsb = self.quantisation
+            readings = {
+                ref: round(value / lsb) * lsb for ref, value in readings.items()
+            }
+        return readings
+
+    def read_max(self, field: TemperatureField) -> Tuple[BlockRef, float]:
+        """The hottest sensor and its reading [K]."""
+        readings = self.read(field)
+        ref = max(readings, key=readings.get)
+        return ref, readings[ref]

@@ -1,0 +1,13 @@
+"""Two-phase (flow boiling) inter-tier cooling models (Section III/IV-B)."""
+
+from .evaporator import MicroEvaporator, EvaporatorSolution, DryoutError
+from .hotspot import HotSpotTestVehicle, FIG8_VEHICLE, SensorRowProfile
+
+__all__ = [
+    "MicroEvaporator",
+    "EvaporatorSolution",
+    "DryoutError",
+    "HotSpotTestVehicle",
+    "FIG8_VEHICLE",
+    "SensorRowProfile",
+]

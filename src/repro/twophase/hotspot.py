@@ -1,0 +1,151 @@
+"""The Fig. 8 hot-spot test vehicle.
+
+Section IV-B: "a 3D chip having 35 local heaters and 35 local temperature
+sensors on one face [10], cooled by a two-phase refrigerant evaporating
+in 135 parallel micro-channels of 85 um width engraved in the opposite
+face.  The 35 local heaters are organized in a 5 x 7 layout, where the
+first two and last two rows have a low heat flux (2 W/cm^2) while the
+third row has a 15 times higher heat flux (30.2 W/cm^2)."
+
+The vehicle wraps :class:`~repro.twophase.evaporator.MicroEvaporator`
+with that heater layout and produces exactly the per-sensor-row series
+plotted in Fig. 8: heat flux, heat transfer coefficient, and fluid /
+wall / base temperatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from .. import constants
+from ..units import celsius_to_kelvin
+from .evaporator import EvaporatorSolution, MicroEvaporator
+
+
+@dataclass
+class SensorRowProfile:
+    """The Fig. 8 series, one value per sensor row.
+
+    Attributes
+    ----------
+    rows:
+        Sensor row numbers (1-based, inlet to outlet).
+    heat_flux:
+        Applied footprint heat flux [W/m^2].
+    htc:
+        Local heat transfer coefficient [W/(m^2 K)].
+    fluid_c, wall_c, base_c:
+        Fluid (saturation), channel-wall and die-base temperatures
+        [degC].
+    """
+
+    rows: np.ndarray
+    heat_flux: np.ndarray
+    htc: np.ndarray
+    fluid_c: np.ndarray
+    wall_c: np.ndarray
+    base_c: np.ndarray
+
+    def hotspot_to_background_htc_ratio(self) -> float:
+        """HTC under the hot-spot row over the background mean [-]."""
+        hot = float(self.htc[2])
+        background = float(np.mean(np.delete(self.htc, 2)))
+        return hot / background
+
+    def superheat_ratio(self) -> float:
+        """Wall superheat under the hot spot over the background mean [-]."""
+        superheat = self.wall_c - self.fluid_c
+        hot = float(superheat[2])
+        background = float(np.mean(np.delete(superheat, 2)))
+        return hot / background
+
+
+@dataclass
+class HotSpotTestVehicle:
+    """The 5 x 7 heater / 135-channel two-phase test chip.
+
+    Attributes
+    ----------
+    evaporator:
+        The underlying multi-microchannel evaporator.
+    background_flux:
+        Heat flux of the low-power heater rows [W/m^2].
+    hotspot_flux:
+        Heat flux of the third row [W/m^2].
+    inlet_saturation_k:
+        Refrigerant saturation temperature at the inlet [K].
+    outlet_saturation_k:
+        Target outlet saturation temperature [K]; the operating mass flow
+        is calibrated to hit it (Fig. 8: 30.0 -> 29.5 degC).
+    """
+
+    evaporator: MicroEvaporator = field(default_factory=MicroEvaporator)
+    background_flux: float = constants.EVAPORATOR_BACKGROUND_FLUX
+    hotspot_flux: float = constants.EVAPORATOR_HOTSPOT_FLUX
+    inlet_saturation_k: float = celsius_to_kelvin(constants.EVAPORATOR_INLET_SAT_C)
+    outlet_saturation_k: float = celsius_to_kelvin(constants.EVAPORATOR_OUTLET_SAT_C)
+    rows: int = constants.EVAPORATOR_HEATER_ROWS
+
+    def __post_init__(self) -> None:
+        if self.rows < 3:
+            raise ValueError("the layout needs at least three heater rows")
+        if self.hotspot_flux <= self.background_flux:
+            raise ValueError("the hot spot must exceed the background flux")
+
+    def flux_profile(self, segments: int) -> np.ndarray:
+        """Per-segment footprint heat flux of the 5-row layout [W/m^2]."""
+        if segments % self.rows != 0:
+            raise ValueError("segments must be a multiple of the heater rows")
+        per = segments // self.rows
+        profile = np.full(segments, self.background_flux)
+        profile[2 * per : 3 * per] = self.hotspot_flux
+        return profile
+
+    def operating_mass_flow(self, segments: int = 100) -> float:
+        """Mass flow calibrated to the Fig. 8 outlet saturation [kg/s]."""
+        return self.evaporator.flow_for_outlet_saturation(
+            self.flux_profile(segments),
+            self.inlet_saturation_k,
+            self.outlet_saturation_k,
+            segments=segments,
+        )
+
+    def solve(self, segments: int = 100) -> EvaporatorSolution:
+        """Full axial solution at the calibrated operating point."""
+        mass_flow = self.operating_mass_flow(segments)
+        return self.evaporator.march(
+            self.flux_profile(segments),
+            mass_flow,
+            self.inlet_saturation_k,
+            segments=segments,
+        )
+
+    def sensor_rows(self, segments: int = 100) -> SensorRowProfile:
+        """The Fig. 8 series: one value per sensor row."""
+        solution = self.solve(segments).row_means(self.rows)
+        zero_c = celsius_to_kelvin(0.0)
+        return SensorRowProfile(
+            rows=np.arange(1, self.rows + 1),
+            heat_flux=solution.heat_flux,
+            htc=solution.htc,
+            fluid_c=solution.saturation_k - zero_c,
+            wall_c=solution.wall_k - zero_c,
+            base_c=solution.base_k - zero_c,
+        )
+
+    def comparison_with_paper(self, segments: int = 100) -> Dict[str, float]:
+        """Headline Fig. 8 quantities vs. the paper's reported values."""
+        profile = self.sensor_rows(segments)
+        return {
+            "htc_ratio": profile.hotspot_to_background_htc_ratio(),
+            "superheat_ratio": profile.superheat_ratio(),
+            "inlet_fluid_c": float(profile.fluid_c[0]),
+            "outlet_fluid_c": float(profile.fluid_c[-1]),
+        }
+
+
+FIG8_VEHICLE = HotSpotTestVehicle()
+"""The test vehicle at the published Fig. 8 operating point."""

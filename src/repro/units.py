@@ -1,0 +1,70 @@
+"""Small unit-conversion helpers.
+
+The library uses SI units internally (m, kg, s, K, W, Pa).  The paper
+quotes several quantities in engineering units (ml/min, degC, W/cm^2);
+these helpers convert at API boundaries so the core never mixes systems.
+"""
+
+from __future__ import annotations
+
+from .constants import ZERO_CELSIUS_K
+
+
+def celsius_to_kelvin(temperature_c: float) -> float:
+    """Convert a temperature from degC to K."""
+    return temperature_c + ZERO_CELSIUS_K
+
+
+def kelvin_to_celsius(temperature_k: float) -> float:
+    """Convert a temperature from K to degC."""
+    return temperature_k - ZERO_CELSIUS_K
+
+
+def ml_per_min_to_m3_per_s(flow_ml_min: float) -> float:
+    """Convert a volumetric flow rate from ml/min to m^3/s."""
+    return flow_ml_min * 1e-6 / 60.0
+
+
+def m3_per_s_to_ml_per_min(flow_m3_s: float) -> float:
+    """Convert a volumetric flow rate from m^3/s to ml/min."""
+    return flow_m3_s * 60.0 / 1e-6
+
+
+def w_per_cm2_to_w_per_m2(flux_w_cm2: float) -> float:
+    """Convert a heat flux from W/cm^2 to W/m^2."""
+    return flux_w_cm2 * 1e4
+
+
+def w_per_m2_to_w_per_cm2(flux_w_m2: float) -> float:
+    """Convert a heat flux from W/m^2 to W/cm^2."""
+    return flux_w_m2 * 1e-4
+
+
+def mm2_to_m2(area_mm2: float) -> float:
+    """Convert an area from mm^2 to m^2."""
+    return area_mm2 * 1e-6
+
+
+def m2_to_mm2(area_m2: float) -> float:
+    """Convert an area from m^2 to mm^2."""
+    return area_m2 * 1e6
+
+
+def um_to_m(length_um: float) -> float:
+    """Convert a length from micrometres to metres."""
+    return length_um * 1e-6
+
+
+def mm_to_m(length_mm: float) -> float:
+    """Convert a length from millimetres to metres."""
+    return length_mm * 1e-3
+
+
+def bar_to_pa(pressure_bar: float) -> float:
+    """Convert a pressure from bar to Pa."""
+    return pressure_bar * 1e5
+
+
+def pa_to_bar(pressure_pa: float) -> float:
+    """Convert a pressure from Pa to bar."""
+    return pressure_pa * 1e-5

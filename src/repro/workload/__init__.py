@@ -1,0 +1,24 @@
+"""Workload traces emulating the paper's UltraSPARC T1 benchmarks."""
+
+from .traces import WorkloadTrace
+from .generators import (
+    web_server_trace,
+    database_trace,
+    multimedia_trace,
+    max_utilisation_trace,
+    idle_trace,
+    paper_workload_suite,
+)
+from .io import load_trace_csv, save_trace_csv
+
+__all__ = [
+    "WorkloadTrace",
+    "load_trace_csv",
+    "save_trace_csv",
+    "web_server_trace",
+    "database_trace",
+    "multimedia_trace",
+    "max_utilisation_trace",
+    "idle_trace",
+    "paper_workload_suite",
+]

@@ -1,0 +1,79 @@
+"""Trace import/export.
+
+The paper's experiments use traces "collected from real applications
+running on an UltraSPARC T1".  Users with their own recordings (mpstat
+dumps, perf logs) can bring them in through the simple CSV convention
+here: one row per sampling interval, one column per hardware thread,
+values in percent (0-100, as OS tools report) or fractions (0-1).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..constants import TRACE_PERIOD
+from .traces import WorkloadTrace
+
+PathLike = Union[str, Path]
+
+
+def save_trace_csv(trace: WorkloadTrace, path: PathLike) -> None:
+    """Write a trace as CSV (header ``thread0..threadN``, percent values)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([f"thread{i}" for i in range(trace.threads)])
+        for row in trace.utilisation:
+            writer.writerow([f"{100.0 * u:.3f}" for u in row])
+
+
+def load_trace_csv(
+    path: PathLike,
+    name: str = "",
+    period: float = TRACE_PERIOD,
+) -> WorkloadTrace:
+    """Read a per-thread utilisation trace from CSV.
+
+    Accepts percent (0-100) or fractional (0-1) values: if no value
+    exceeds 1.5 the file is taken to be fractional, otherwise percent.
+    A header row of non-numeric labels is skipped automatically.
+
+    Parameters
+    ----------
+    path:
+        CSV file to read.
+    name:
+        Trace name; defaults to the file stem.
+    period:
+        Sampling period of the recording [s].
+    """
+    path = Path(path)
+    rows = []
+    with path.open(newline="") as handle:
+        for record in csv.reader(handle):
+            if not record:
+                continue
+            try:
+                rows.append([float(cell) for cell in record])
+            except ValueError:
+                if rows:
+                    raise ValueError(
+                        f"{path}: non-numeric row after data started"
+                    )
+                continue  # header
+    if not rows:
+        raise ValueError(f"{path}: no data rows")
+    data = np.asarray(rows, dtype=float)
+    if np.any(data < 0.0):
+        raise ValueError(f"{path}: negative utilisation values")
+    if data.max() > 1.5:
+        if data.max() > 100.0 + 1e-9:
+            raise ValueError(f"{path}: utilisation above 100 %")
+        data = data / 100.0
+    return WorkloadTrace(
+        name=name or path.stem, utilisation=data, period=period
+    )

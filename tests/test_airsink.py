@@ -1,0 +1,32 @@
+"""Lumped air heat sink."""
+
+import pytest
+
+from repro import constants
+from repro.heat_transfer import AirHeatSink
+
+
+def test_table_i_defaults():
+    sink = AirHeatSink()
+    assert sink.conductance == constants.HEAT_SINK_CONDUCTANCE
+    assert sink.capacitance == constants.HEAT_SINK_CAPACITANCE
+
+
+def test_steady_rise():
+    sink = AirHeatSink()
+    # 70 W (a 2-tier stack) through 10 W/K: 7 K above ambient.
+    assert sink.steady_rise(70.0) == pytest.approx(7.0)
+
+
+def test_time_constant():
+    sink = AirHeatSink()
+    assert sink.time_constant() == pytest.approx(14.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AirHeatSink(conductance=0.0)
+    with pytest.raises(ValueError):
+        AirHeatSink(fan_power=-1.0)
+    with pytest.raises(ValueError):
+        AirHeatSink().steady_rise(-1.0)

@@ -1,0 +1,57 @@
+"""Reporting helpers and the paper-claim registry."""
+
+import pytest
+
+from repro.analysis import Table, format_table, percent_change, PAPER_CLAIMS, within_band
+
+
+def test_table_rendering_alignment():
+    table = Table("Demo", ["policy", "peak [C]"])
+    table.add_row("AC_LB", 87.0)
+    table.add_row("LC_FUZZY", 68.0)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert "AC_LB" in text and "LC_FUZZY" in text
+    # All data lines have equal column starts.
+    assert lines[2].index("peak") == lines[4].index("87.0")
+
+
+def test_table_wrong_cell_count():
+    table = Table("Demo", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row("only one")
+
+
+def test_percent_change():
+    assert percent_change(100.0, 50.0) == pytest.approx(-50.0)
+    assert percent_change(2.0, 3.0) == pytest.approx(50.0)
+    with pytest.raises(ValueError):
+        percent_change(0.0, 1.0)
+
+
+def test_claims_bands_contain_paper_values():
+    for key, claim in PAPER_CLAIMS.items():
+        assert claim.low <= claim.value <= claim.high, key
+
+
+def test_within_band():
+    claim = PAPER_CLAIMS["fig8_htc_ratio"]
+    assert within_band(claim, 8.0)
+    assert not within_band(claim, 20.0)
+
+
+def test_headline_claims_present():
+    for key in (
+        "max_cooling_saving_pct",
+        "max_system_saving_pct",
+        "lc_lb_2tier_peak_c",
+        "fig8_htc_ratio",
+        "scalability_backside_rise_k",
+    ):
+        assert key in PAPER_CLAIMS
+
+
+def test_format_table_standalone():
+    text = format_table("T", ["x"], [["1"], ["22"]])
+    assert text.splitlines()[-1].startswith("22")

@@ -1,0 +1,117 @@
+"""Block-level thermal model: consistency with the grid model."""
+
+import pytest
+
+from repro.geometry import CoolingMode, build_3d_mpsoc
+from repro.thermal import BlockThermalModel, CompactThermalModel
+
+
+def core_powers(stack, watts=5.0):
+    return {
+        (layer.name, block.name): watts
+        for layer, block in stack.iter_blocks()
+        if block.kind == "core"
+    }
+
+
+@pytest.fixture(scope="module", params=[CoolingMode.LIQUID, CoolingMode.AIR])
+def model_pair(request):
+    stack = build_3d_mpsoc(2, request.param)
+    return (
+        BlockThermalModel(stack),
+        CompactThermalModel(stack),
+        core_powers(stack),
+    )
+
+
+def test_node_count_is_tiny(model_pair):
+    block_model, _, _ = model_pair
+    assert block_model.size < 40
+
+
+def test_block_temperatures_track_grid_model(model_pair):
+    """Design-ranking fidelity: every block within 10 K, peak within 5 K."""
+    block_model, grid_model, powers = model_pair
+    block_temps = block_model.steady_state(powers)
+    field = grid_model.steady_state(powers)
+    grid_temps = field.block_temperatures(grid_model.block_masks(), reduce="mean")
+    for ref, temp in block_temps.items():
+        assert temp == pytest.approx(grid_temps[ref], abs=10.0)
+    assert max(block_temps.values()) == pytest.approx(
+        max(grid_temps.values()), abs=5.0
+    )
+
+
+def test_hot_core_is_hot_in_both_models(model_pair):
+    block_model, grid_model, powers = model_pair
+    hot = ("tier0_die", "core3")
+    powers = dict(powers)
+    powers[hot] = 9.0
+    block_temps = block_model.steady_state(powers)
+    field = grid_model.steady_state(powers)
+    grid_temps = field.block_temperatures(grid_model.block_masks(), reduce="mean")
+    hottest_block = max(block_temps, key=block_temps.get)
+    hottest_grid = max(
+        (ref for ref in grid_temps if ref[0] == "tier0_die"),
+        key=grid_temps.get,
+    )
+    assert hottest_block == hot
+    assert hottest_grid == hot
+
+
+def test_flow_ordering_preserved():
+    stack = build_3d_mpsoc(2)
+    model = BlockThermalModel(stack)
+    powers = core_powers(stack)
+    model.set_flow(10.0)
+    hot = model.peak(powers)
+    model.set_flow(32.3)
+    cold = model.peak(powers)
+    assert cold < hot
+
+
+def test_power_monotonicity():
+    stack = build_3d_mpsoc(2)
+    model = BlockThermalModel(stack)
+    low = model.peak(core_powers(stack, 2.0))
+    high = model.peak(core_powers(stack, 8.0))
+    assert high > low
+
+
+def test_two_phase_stack_supported():
+    stack = build_3d_mpsoc(2, two_phase=True)
+    model = BlockThermalModel(stack)
+    temps = model.steady_state(core_powers(stack))
+    cavity = stack.cavities[0]
+    # Every block sits above the loop saturation temperature.
+    assert all(t > cavity.saturation_k for t in temps.values())
+    # And far cooler than single-phase water at the same load.
+    water = BlockThermalModel(build_3d_mpsoc(2))
+    assert max(temps.values()) < water.peak(core_powers(water.stack))
+
+
+def test_energy_input_validation():
+    stack = build_3d_mpsoc(2)
+    model = BlockThermalModel(stack)
+    with pytest.raises(KeyError):
+        model.steady_state({("nope", "nope"): 1.0})
+    with pytest.raises(ValueError):
+        model.steady_state({("tier0_die", "core0"): -1.0})
+    with pytest.raises(ValueError):
+        model.set_flow(0.0)
+    with pytest.raises(ValueError):
+        BlockThermalModel(stack, segments=1)
+
+
+def test_faster_than_grid_model(model_pair):
+    import time
+
+    block_model, grid_model, powers = model_pair
+    t0 = time.perf_counter()
+    for _ in range(10):
+        block_model.steady_state(powers)
+    block_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    grid_model.steady_state(powers)
+    grid_s = time.perf_counter() - t0
+    assert block_s / 10 < grid_s

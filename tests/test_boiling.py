@@ -1,0 +1,89 @@
+"""Flow-boiling heat-transfer models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.heat_transfer import (
+    FlowBoilingModel,
+    cooper_pool_boiling_htc,
+    convective_film_htc,
+    flow_boiling_htc,
+)
+from repro.materials import R134A, R236FA, R245FA
+
+T = 303.15
+DH = 147e-6
+
+
+def test_cooper_flux_exponent():
+    h1 = cooper_pool_boiling_htc(R245FA, T, 1e4)
+    h2 = cooper_pool_boiling_htc(R245FA, T, 2e4)
+    assert h2 / h1 == pytest.approx(2.0**0.67, rel=1e-6)
+
+
+def test_cooper_magnitude_reasonable():
+    # kW/(m^2 K) territory at 10 W/cm^2 for HFC refrigerants.
+    h = cooper_pool_boiling_htc(R236FA, T, 1e5)
+    assert 2e3 < h < 3e4
+
+
+def test_fitted_model_hits_fig8_ratios():
+    """The defining Section IV-B behaviour: a 15.1x flux hot spot raises
+    the HTC ~8x so the superheat only doubles."""
+    m = FlowBoilingModel()
+    h_bg = m.htc(R245FA, T, 2e4, 0.05, DH)
+    h_hs = m.htc(R245FA, T, 30.2e4, 0.08, DH)
+    ratio = h_hs / h_bg
+    superheat_ratio = (30.2e4 / h_hs) / (2e4 / h_bg)
+    assert 6.0 < ratio < 10.0
+    assert 1.5 < superheat_ratio < 2.5
+
+
+def test_film_term_weakly_flow_dependent():
+    """Section III: flow boiling is only a weak function of the flow rate
+    — the model's HTC has no G dependence at all at fixed quality."""
+    m = FlowBoilingModel()
+    assert m.htc(R245FA, T, 5e4, 0.1, DH) == m.htc(R245FA, T, 5e4, 0.1, DH)
+
+
+def test_film_enhancement_grows_with_quality():
+    low = convective_film_htc(R245FA, T, 0.05, DH)
+    high = convective_film_htc(R245FA, T, 0.5, DH)
+    assert high > low
+
+
+def test_asymptotic_blend_bounded_by_components():
+    m = FlowBoilingModel()
+    h_nb = m.nucleate_htc(R245FA, T, 5e4)
+    h_cb = convective_film_htc(R245FA, T, 0.1, DH)
+    h = m.htc(R245FA, T, 5e4, 0.1, DH)
+    assert max(h_nb, h_cb) <= h <= h_nb + h_cb
+
+
+def test_module_level_helper_matches_default_model():
+    assert flow_boiling_htc(R245FA, T, 5e4, 0.1, DH) == pytest.approx(
+        FlowBoilingModel().htc(R245FA, T, 5e4, 0.1, DH)
+    )
+
+
+@given(q=st.floats(1e3, 1e6))
+def test_htc_monotone_in_flux(q):
+    m = FlowBoilingModel()
+    assert m.htc(R245FA, T, q * 1.1, 0.1, DH) > m.htc(R245FA, T, q, 0.1, DH)
+
+
+@pytest.mark.parametrize("refrigerant", [R134A, R236FA, R245FA])
+def test_all_refrigerants_supported(refrigerant):
+    assert FlowBoilingModel().htc(refrigerant, T, 5e4, 0.1, DH) > 0.0
+
+
+def test_invalid_inputs_rejected():
+    m = FlowBoilingModel()
+    with pytest.raises(ValueError):
+        m.nucleate_htc(R245FA, T, 0.0)
+    with pytest.raises(ValueError):
+        convective_film_htc(R245FA, T, 1.5, DH)
+    with pytest.raises(ValueError):
+        FlowBoilingModel(exponent=1.2)
+    with pytest.raises(ValueError):
+        cooper_pool_boiling_htc(R245FA, T, -1.0)

@@ -1,0 +1,97 @@
+"""Micro-channel cavity geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import constants
+from repro.geometry import MicroChannelGeometry
+from repro.geometry.stack import default_channel_geometry
+from repro.materials import WATER
+from repro.units import ml_per_min_to_m3_per_s
+
+
+@pytest.fixture()
+def table_i_geometry():
+    return default_channel_geometry()
+
+
+def test_table_i_dimensions(table_i_geometry):
+    g = table_i_geometry
+    assert g.width == constants.CHANNEL_WIDTH
+    assert g.pitch == constants.CHANNEL_PITCH
+    assert g.height == constants.INTERTIER_THICKNESS
+
+
+def test_cross_section_below_paper_limit(table_i_geometry):
+    # Section II-D: channel cross-section less than 100 x 50 um^2.
+    g = table_i_geometry
+    assert g.width <= 50e-6 + 1e-12
+    assert g.height <= 100e-6 + 1e-12
+
+
+def test_hydraulic_diameter_formula(table_i_geometry):
+    g = table_i_geometry
+    expected = 2.0 * g.width * g.height / (g.width + g.height)
+    assert g.hydraulic_diameter == pytest.approx(expected)
+    assert g.hydraulic_diameter == pytest.approx(66.67e-6, rel=1e-3)
+
+
+def test_porosity_is_one_third(table_i_geometry):
+    assert table_i_geometry.porosity == pytest.approx(1.0 / 3.0)
+
+
+def test_channel_count_across_die(table_i_geometry):
+    # 10 mm span at 0.15 mm pitch -> 66 channels.
+    assert table_i_geometry.channel_count == 66
+
+
+def test_flow_remains_laminar_at_max_rate(table_i_geometry):
+    q = ml_per_min_to_m3_per_s(constants.FLOW_RATE_MAX_ML_MIN)
+    assert table_i_geometry.reynolds(q, WATER) < 300.0
+
+
+def test_mean_velocity_scaling(table_i_geometry):
+    q = ml_per_min_to_m3_per_s(10.0)
+    v1 = table_i_geometry.mean_velocity(q)
+    v2 = table_i_geometry.mean_velocity(2 * q)
+    assert v2 == pytest.approx(2 * v1)
+
+
+def test_fin_efficiency_bounds(table_i_geometry):
+    eta = table_i_geometry.fin_efficiency(40000.0, 130.0)
+    assert 0.0 < eta <= 1.0
+    # Short, thick silicon fins are very efficient.
+    assert eta > 0.9
+
+
+def test_effective_htc_exceeds_porosity_share(table_i_geometry):
+    h = 30000.0
+    h_eff = table_i_geometry.effective_htc(h, 130.0)
+    assert h_eff > h * table_i_geometry.porosity  # fins add area
+    assert h_eff < h * 3.0  # but bounded by total wetted area
+
+
+def test_wall_bypass_coefficient(table_i_geometry):
+    g = table_i_geometry
+    expected = 130.0 * (1.0 - g.porosity) / g.height
+    assert g.wall_bypass_coefficient(130.0) == pytest.approx(expected)
+
+
+@given(
+    width=st.floats(10e-6, 140e-6),
+    height=st.floats(20e-6, 500e-6),
+)
+def test_hydraulic_diameter_below_min_side(width, height):
+    g = MicroChannelGeometry(
+        width=width, height=height, pitch=150e-6 if width < 150e-6 else width * 1.5,
+        length=1e-2, span=1e-2,
+    )
+    assert g.hydraulic_diameter <= 2 * min(width, height)
+    assert 0.0 < g.aspect_ratio <= 1.0
+
+
+def test_width_must_be_below_pitch():
+    with pytest.raises(ValueError):
+        MicroChannelGeometry(
+            width=150e-6, height=100e-6, pitch=150e-6, length=1e-2, span=1e-2
+        )

@@ -1,0 +1,80 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main, build_parser
+
+
+def test_fig8_command(capsys):
+    assert main(["fig8", "--segments", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 8" in out
+    assert "HTC ratio" in out
+
+
+def test_claims_command(capsys):
+    assert main(["claims"]) == 0
+    out = capsys.readouterr().out
+    assert "fig8_htc_ratio" in out
+    assert "EXPERIMENTS.md" in out
+
+
+def test_simulate_command(capsys):
+    code = main(
+        [
+            "simulate",
+            "--tiers",
+            "2",
+            "--policy",
+            "LC_LB",
+            "--workload",
+            "idle" if False else "web",
+            "--duration",
+            "5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "peak temperature" in out
+    assert "LC_LB" in out
+
+
+def test_simulate_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--workload", "nosuch", "--duration", "5"])
+
+
+def test_traces_command(tmp_path, capsys):
+    out_dir = tmp_path / "traces"
+    assert (
+        main(
+            [
+                "traces",
+                "--out",
+                str(out_dir),
+                "--threads",
+                "8",
+                "--duration",
+                "10",
+            ]
+        )
+        == 0
+    )
+    written = sorted(p.name for p in out_dir.glob("*.csv"))
+    assert written == [
+        "database.csv",
+        "max-utilisation.csv",
+        "multimedia.csv",
+        "web.csv",
+    ]
+    # Round-trips through the loader.
+    from repro.workload import load_trace_csv
+
+    trace = load_trace_csv(out_dir / "web.csv")
+    assert trace.threads == 8
+    assert trace.intervals == 10
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,71 @@
+"""Cluster-level pumping network (Section II-D's 70 W remark)."""
+
+import pytest
+
+from repro.hydraulics.cluster import (
+    PAPER_CLUSTER_PUMP_BUDGET_W,
+    ClusterCoolingNetwork,
+    stacks_for_budget,
+)
+
+
+def test_seventy_watt_budget_feeds_six_stacks():
+    # 70 W / 11.176 W per 2-tier stack at max flow = 6 stacks.
+    assert stacks_for_budget() == 6
+
+
+def test_cluster_power_scales_with_stacks():
+    one = ClusterCoolingNetwork(stacks=1)
+    six = ClusterCoolingNetwork(stacks=6)
+    assert six.power(32.3) == pytest.approx(6 * one.power(32.3))
+
+
+def test_paper_cluster_is_about_70w():
+    cluster = ClusterCoolingNetwork(stacks=6)
+    assert cluster.max_power() == pytest.approx(67.056)
+    assert cluster.max_power() == pytest.approx(
+        PAPER_CLUSTER_PUMP_BUDGET_W, rel=0.06
+    )
+
+
+def test_cluster_pump_comparable_to_one_stack_chip_power():
+    """The remark's punchline: the cluster pump burns as much as one
+    2-tier MPSoC chip (~60-70 W in our calibration)."""
+    from repro.geometry import build_3d_mpsoc
+    from repro.power import PowerModel
+
+    cluster = ClusterCoolingNetwork(stacks=6)
+    stack = build_3d_mpsoc(2)
+    pm = PowerModel(stack)
+    chip_w = pm.breakdown({ref: 0.95 for ref in pm.core_refs}).total
+    assert cluster.max_power() == pytest.approx(chip_w, rel=0.25)
+
+
+def test_per_stack_flow_control_saves():
+    cluster = ClusterCoolingNetwork(stacks=4)
+    mixed = [10.0, 15.0, 20.0, 32.3]
+    saving = cluster.saving_vs_worst_case(mixed)
+    assert 0.0 < saving < cluster.pump.max_saving_fraction() + 1e-9
+
+
+def test_all_min_flow_hits_headline_saving():
+    cluster = ClusterCoolingNetwork(stacks=6)
+    saving = cluster.saving_vs_worst_case([10.0] * 6)
+    assert saving == pytest.approx(cluster.pump.max_saving_fraction())
+
+
+def test_multi_cavity_stacks():
+    two_tier = ClusterCoolingNetwork(stacks=1, cavities_per_stack=1)
+    four_tier = ClusterCoolingNetwork(stacks=1, cavities_per_stack=3)
+    assert four_tier.power(20.0) == pytest.approx(3 * two_tier.power(20.0))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ClusterCoolingNetwork(stacks=0)
+    with pytest.raises(ValueError):
+        ClusterCoolingNetwork(stacks=1, cavities_per_stack=0)
+    with pytest.raises(ValueError):
+        ClusterCoolingNetwork(stacks=2).power_per_stack_flows([10.0])
+    with pytest.raises(ValueError):
+        stacks_for_budget(0.0)

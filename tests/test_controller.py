@@ -1,0 +1,120 @@
+"""The LC_FUZZY joint flow-rate + DVFS controller."""
+
+import pytest
+
+from repro import constants
+from repro.core import FuzzyThermalController
+from repro.units import celsius_to_kelvin
+
+
+def k(c):
+    return celsius_to_kelvin(c)
+
+
+def cores(temp_c, util, n=4):
+    temps = {f"c{i}": k(temp_c) for i in range(n)}
+    utils = {f"c{i}": util for i in range(n)}
+    return temps, utils
+
+
+def test_cool_idle_system_gets_minimum_flow():
+    ctrl = FuzzyThermalController()
+    temps, utils = cores(45.0, 0.05)
+    flow, _ = ctrl.decide(0.0, temps, utils)
+    assert flow == pytest.approx(constants.FLOW_RATE_MIN_ML_MIN)
+
+
+def test_hot_system_gets_maximum_flow():
+    ctrl = FuzzyThermalController()
+    temps, utils = cores(80.0, 0.9)
+    flow, _ = ctrl.decide(0.0, temps, utils)
+    assert flow == pytest.approx(constants.FLOW_RATE_MAX_ML_MIN)
+
+
+def test_threshold_breach_forces_maximum_flow():
+    ctrl = FuzzyThermalController()
+    temps, utils = cores(86.0, 0.1)  # hot despite low utilisation
+    flow, _ = ctrl.decide(0.0, temps, utils)
+    assert flow == pytest.approx(constants.FLOW_RATE_MAX_ML_MIN)
+
+
+def test_flow_monotone_in_temperature():
+    ctrl = FuzzyThermalController()
+    flows = []
+    for t_c in (45.0, 55.0, 62.0, 70.0, 78.0):
+        ctrl.reset()
+        temps, utils = cores(t_c, 0.5)
+        flow, _ = ctrl.decide(0.0, temps, utils)
+        flows.append(flow)
+    assert all(b >= a for a, b in zip(flows, flows[1:]))
+    assert flows[-1] > flows[0]
+
+
+def test_flow_commands_are_quantised():
+    ctrl = FuzzyThermalController(flow_settings=8)
+    grid = set(ctrl.flow_grid.round(6))
+    for t_c in (45.0, 52.0, 59.0, 66.0, 73.0, 80.0):
+        ctrl.reset()
+        temps, utils = cores(t_c, 0.5)
+        flow, _ = ctrl.decide(0.0, temps, utils)
+        assert round(flow, 6) in grid
+
+
+def test_busy_cores_run_at_nominal_speed():
+    """High-utilisation cores are never throttled — the reason the paper
+    reports < 0.01 % performance degradation for LC_FUZZY."""
+    ctrl = FuzzyThermalController()
+    temps, utils = cores(60.0, 0.95)
+    _, vf = ctrl.decide(0.0, temps, utils)
+    assert all(idx == 0 for idx in vf.values())
+
+
+def test_idle_cores_are_downscaled():
+    ctrl = FuzzyThermalController()
+    temps, utils = cores(50.0, 0.02)
+    _, vf = ctrl.decide(0.0, temps, utils)
+    assert all(idx == ctrl.vf_table.lowest_index for idx in vf.values())
+
+
+def test_mixed_utilisations_get_per_core_settings():
+    ctrl = FuzzyThermalController()
+    temps = {"busy": k(60.0), "idle": k(55.0)}
+    utils = {"busy": 0.95, "idle": 0.03}
+    _, vf = ctrl.decide(0.0, temps, utils)
+    assert vf["busy"] < vf["idle"]
+
+
+def test_rising_trend_raises_flow():
+    ctrl = FuzzyThermalController(trend_smoothing=0.0)
+    temps, utils = cores(58.0, 0.5)
+    ctrl.decide(0.0, temps, utils)
+    rising, _ = ctrl.decide(0.1, {c: t + 0.12 for c, t in temps.items()}, utils)
+
+    ctrl2 = FuzzyThermalController(trend_smoothing=0.0)
+    ctrl2.decide(0.0, temps, utils)
+    steady, _ = ctrl2.decide(0.1, temps, utils)
+    assert rising >= steady
+
+
+def test_reset_clears_trend():
+    ctrl = FuzzyThermalController()
+    temps, utils = cores(60.0, 0.5)
+    ctrl.decide(0.0, temps, utils)
+    ctrl.decide(1.0, temps, utils)
+    ctrl.reset()
+    assert ctrl._trend == 0.0
+
+
+def test_mismatched_cores_rejected():
+    ctrl = FuzzyThermalController()
+    with pytest.raises(ValueError):
+        ctrl.decide(0.0, {"a": k(60.0)}, {"b": 0.5})
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        FuzzyThermalController(flow_settings=1)
+    with pytest.raises(ValueError):
+        FuzzyThermalController(trend_smoothing=1.0)
+    with pytest.raises(ValueError):
+        FuzzyThermalController(flow_min_ml_min=40.0, flow_max_ml_min=30.0)

@@ -1,0 +1,67 @@
+"""Single-phase convection correlations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.stack import default_channel_geometry
+from repro.heat_transfer import (
+    laminar_nusselt_rect,
+    channel_htc,
+    cavity_effective_htc,
+)
+from repro.materials import WATER
+
+
+def test_nusselt_limits():
+    # Parallel plates: Nu = 8.235; square duct (H1): Nu ~ 3.6.
+    assert laminar_nusselt_rect(1e-9) == pytest.approx(8.235, rel=1e-6)
+    assert laminar_nusselt_rect(1.0) == pytest.approx(3.6, rel=0.05)
+
+
+@given(st.floats(0.01, 1.0))
+def test_nusselt_positive(a):
+    assert laminar_nusselt_rect(a) > 0.0
+
+
+def test_nusselt_rejects_bad_aspect():
+    with pytest.raises(ValueError):
+        laminar_nusselt_rect(0.0)
+    with pytest.raises(ValueError):
+        laminar_nusselt_rect(1.5)
+
+
+def test_channel_htc_magnitude():
+    # Nu k / Dh for 50x100 um water channels: tens of kW/(m^2 K) — the
+    # regime the paper's inter-tier cooling relies on.
+    g = default_channel_geometry()
+    h = channel_htc(g, WATER)
+    assert 20e3 < h < 80e3
+
+
+def test_htc_flow_independent():
+    # Fully developed laminar: h does not change with the flow rate.
+    g = default_channel_geometry()
+    assert channel_htc(g, WATER) == channel_htc(g, WATER)
+
+
+def test_smaller_hydraulic_diameter_higher_htc():
+    """Section II-C: 'The smaller the hydraulic diameter at a given mass
+    flow rate, the higher the heat transfer'."""
+    from repro.geometry import MicroChannelGeometry
+
+    narrow = MicroChannelGeometry(
+        width=30e-6, height=100e-6, pitch=150e-6, length=1e-2, span=1e-2
+    )
+    wide = MicroChannelGeometry(
+        width=100e-6, height=100e-6, pitch=150e-6, length=1e-2, span=1e-2
+    )
+    assert channel_htc(narrow, WATER) > channel_htc(wide, WATER)
+
+
+def test_cavity_effective_htc_accounts_for_fins():
+    g = default_channel_geometry()
+    h = channel_htc(g, WATER)
+    h_eff = cavity_effective_htc(g, WATER)
+    # Porosity is 1/3, fins contribute ~2/3 more wetted area.
+    assert h_eff > h * g.porosity
+    assert h_eff == pytest.approx(g.effective_htc(h, 130.0), rel=1e-9)

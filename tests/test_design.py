@@ -1,0 +1,155 @@
+"""Design-time exploration and co-design."""
+
+import pytest
+
+from repro.design import (
+    codesign_cavity,
+    flow_sweep,
+    minimum_flow_for_limit,
+    tier_ordering_study,
+)
+from repro.geometry import CoolingMode, TSVArray, build_3d_mpsoc
+from repro.thermal import CompactThermalModel
+from repro.units import celsius_to_kelvin
+
+
+def core_powers(stack, watts=5.0):
+    return {
+        (layer.name, block.name): watts
+        for layer, block in stack.iter_blocks()
+        if block.kind == "core"
+    }
+
+
+@pytest.fixture(scope="module")
+def liquid_model():
+    stack = build_3d_mpsoc(2)
+    return CompactThermalModel(stack, nx=12, ny=10), core_powers(stack)
+
+
+# ---------------------------------------------------------------------------
+# flow sweeps
+# ---------------------------------------------------------------------------
+
+
+def test_flow_sweep_monotone(liquid_model):
+    model, powers = liquid_model
+    curve = flow_sweep(model, powers, [10.0, 15.0, 20.0, 25.0, 32.3])
+    peaks = [peak for _, peak in curve]
+    assert all(b < a for a, b in zip(peaks, peaks[1:]))
+
+
+def test_flow_sweep_requires_liquid():
+    stack = build_3d_mpsoc(2, CoolingMode.AIR)
+    model = CompactThermalModel(stack, nx=12, ny=10)
+    with pytest.raises(ValueError):
+        flow_sweep(model, core_powers(stack), [10.0])
+
+
+def test_minimum_flow_bisection(liquid_model):
+    model, powers = liquid_model
+    limit = celsius_to_kelvin(60.0)
+    flow = minimum_flow_for_limit(model, powers, limit)
+    assert 10.0 <= flow <= 32.3
+    peak = model.steady_state(powers, flow_ml_min=flow).max()
+    assert peak <= limit + 0.1
+    # A slightly smaller flow must violate the limit (tightness).
+    if flow > 10.5:
+        peak_below = model.steady_state(powers, flow_ml_min=flow - 0.5).max()
+        assert peak_below > limit - 0.2
+
+
+def test_minimum_flow_unreachable_limit(liquid_model):
+    model, powers = liquid_model
+    with pytest.raises(ValueError, match="unreachable"):
+        minimum_flow_for_limit(model, powers, celsius_to_kelvin(30.0))
+
+
+def test_minimum_flow_slack_limit(liquid_model):
+    model, powers = liquid_model
+    flow = minimum_flow_for_limit(model, powers, celsius_to_kelvin(120.0))
+    assert flow == pytest.approx(10.0)
+
+
+# ---------------------------------------------------------------------------
+# tier ordering
+# ---------------------------------------------------------------------------
+
+
+def test_tier_ordering_covers_all_patterns():
+    results = tier_ordering_study(4)
+    assert set(results) == {"ccmm", "cmcm", "cmmc", "mccm", "mcmc", "mmcc"}
+
+
+def test_stacked_core_tiers_run_hotter():
+    """Adjacent core tiers concentrate power: 'mmcc'/'ccmm' must be
+    worse than interleaved orderings."""
+    results = tier_ordering_study(4)
+    interleaved = min(results["cmcm"], results["mcmc"])
+    assert results["mmcc"] > interleaved
+
+
+def test_explicit_pattern_list():
+    results = tier_ordering_study(4, patterns=["cmcm"])
+    assert list(results) == ["cmcm"]
+
+
+def test_tier_pattern_validation():
+    with pytest.raises(ValueError, match="length"):
+        build_3d_mpsoc(4, tier_pattern="cm")
+    with pytest.raises(ValueError, match="equal counts"):
+        build_3d_mpsoc(4, tier_pattern="cccm")
+    with pytest.raises(ValueError, match="'c' and 'm'"):
+        build_3d_mpsoc(4, tier_pattern="cxcm")
+
+
+def test_pattern_controls_block_placement():
+    stack = build_3d_mpsoc(4, tier_pattern="mccm")
+    kinds = [
+        "core" if layer.floorplan.blocks_of_kind("core") else "cache"
+        for layer in stack.source_layers
+    ]
+    assert kinds == ["cache", "core", "core", "cache"]
+
+
+# ---------------------------------------------------------------------------
+# cavity co-design
+# ---------------------------------------------------------------------------
+
+
+def test_codesign_returns_cheapest_first():
+    points = codesign_cavity(2, limit_k=celsius_to_kelvin(62.0))
+    assert points, "at least one design must be feasible"
+    pump_powers = [p.pumping_power_w for p in points]
+    assert pump_powers == sorted(pump_powers)
+    for p in points:
+        assert p.peak_k <= celsius_to_kelvin(62.0) + 0.1
+
+
+def test_codesign_prefers_wide_channels_at_loose_limits():
+    """'Low pressure drop structures should be targeted': when many
+    widths are feasible, the widest is the cheapest."""
+    points = codesign_cavity(2, limit_k=celsius_to_kelvin(65.0))
+    assert points[0].channel_width == max(p.channel_width for p in points)
+
+
+def test_codesign_drops_infeasible_widths():
+    loose = codesign_cavity(2, limit_k=celsius_to_kelvin(65.0))
+    tight = codesign_cavity(2, limit_k=celsius_to_kelvin(52.0))
+    assert len(tight) <= len(loose)
+
+
+def test_codesign_respects_tsv_constraint():
+    tsv = TSVArray(diameter=80e-6, pitch=150e-6)  # clear gap ~70 um
+    points = codesign_cavity(
+        2, limit_k=celsius_to_kelvin(65.0), tsv=tsv
+    )
+    assert all(p.channel_width <= tsv.max_channel_width for p in points)
+    # A dense TSV field (24 um clear gap) rejects every candidate width.
+    with pytest.raises(ValueError, match="fits between"):
+        codesign_cavity(
+            2,
+            limit_k=celsius_to_kelvin(65.0),
+            tsv=TSVArray(diameter=120e-6, pitch=145e-6),
+            widths=(50e-6, 90e-6),
+        )

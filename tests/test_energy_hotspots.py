@@ -1,0 +1,102 @@
+"""Energy accounting and hot-spot statistics."""
+
+import pytest
+
+from repro.core import EnergyAccount, HotSpotStats
+from repro.units import celsius_to_kelvin
+
+
+def k(c):
+    return celsius_to_kelvin(c)
+
+
+# ---------------------------------------------------------------------------
+# EnergyAccount
+# ---------------------------------------------------------------------------
+
+
+def test_energy_integration():
+    acc = EnergyAccount()
+    acc.add(chip_w=50.0, pump_w=10.0, dt=2.0)
+    acc.add(chip_w=60.0, pump_w=5.0, dt=1.0)
+    assert acc.chip_j == pytest.approx(160.0)
+    assert acc.pump_j == pytest.approx(25.0)
+    assert acc.total_j == pytest.approx(185.0)
+    assert acc.elapsed == pytest.approx(3.0)
+
+
+def test_mean_powers():
+    acc = EnergyAccount()
+    acc.add(70.0, 11.176, 10.0)
+    assert acc.mean_chip_w == pytest.approx(70.0)
+    assert acc.mean_pump_w == pytest.approx(11.176)
+
+
+def test_empty_account_neutral():
+    acc = EnergyAccount()
+    assert acc.total_j == 0.0
+    assert acc.mean_chip_w == 0.0
+
+
+def test_energy_validation():
+    acc = EnergyAccount()
+    with pytest.raises(ValueError):
+        acc.add(-1.0, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        acc.add(1.0, -1.0, 1.0)
+    with pytest.raises(ValueError):
+        acc.add(1.0, 1.0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# HotSpotStats
+# ---------------------------------------------------------------------------
+
+
+def test_default_threshold_is_85c():
+    stats = HotSpotStats()
+    assert stats.threshold_k == pytest.approx(k(85.0))
+
+
+def test_any_vs_avg_statistics():
+    stats = HotSpotStats()
+    # Two cores; only one exceeds for half the time.
+    stats.update({"a": k(90.0), "b": k(60.0)}, dt=1.0)
+    stats.update({"a": k(60.0), "b": k(60.0)}, dt=1.0)
+    assert stats.percent_any == pytest.approx(50.0)
+    # Core a hot 50 % of the time, core b never: average 25 %.
+    assert stats.percent_avg == pytest.approx(25.0)
+
+
+def test_all_cores_hot():
+    stats = HotSpotStats()
+    stats.update({"a": k(90.0), "b": k(91.0)}, dt=1.0)
+    assert stats.percent_any == pytest.approx(100.0)
+    assert stats.percent_avg == pytest.approx(100.0)
+
+
+def test_peak_tracked():
+    stats = HotSpotStats()
+    stats.update({"a": k(70.0)}, dt=1.0)
+    stats.update({"a": k(83.0)}, dt=1.0)
+    assert stats.peak_k == pytest.approx(k(83.0))
+
+
+def test_exactly_at_threshold_is_not_hot():
+    stats = HotSpotStats()
+    stats.update({"a": k(85.0)}, dt=1.0)
+    assert stats.percent_any == 0.0
+
+
+def test_update_validation():
+    stats = HotSpotStats()
+    with pytest.raises(ValueError):
+        stats.update({}, dt=1.0)
+    with pytest.raises(ValueError):
+        stats.update({"a": k(60.0)}, dt=0.0)
+
+
+def test_empty_stats_neutral():
+    stats = HotSpotStats()
+    assert stats.percent_any == 0.0
+    assert stats.percent_avg == 0.0

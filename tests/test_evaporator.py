@@ -1,0 +1,123 @@
+"""Two-phase micro-evaporator marching model."""
+
+import numpy as np
+import pytest
+
+from repro.twophase import MicroEvaporator, DryoutError
+from repro.units import celsius_to_kelvin
+
+INLET = celsius_to_kelvin(30.0)
+FLOW = 3.5e-4  # kg/s, comfortably inside the operating envelope
+
+
+def uniform_flux(value):
+    return lambda z: value
+
+
+def test_saturation_temperature_falls_downstream():
+    """The defining Section III behaviour: the refrigerant exits COOLER
+    than it enters, because Tsat follows the falling pressure."""
+    evap = MicroEvaporator()
+    sol = evap.march(uniform_flux(5e4), FLOW, INLET)
+    assert sol.saturation_k[-1] < sol.saturation_k[0]
+    assert np.all(np.diff(sol.saturation_k) <= 1e-12)
+
+
+def test_pressure_monotonically_decreasing():
+    evap = MicroEvaporator()
+    sol = evap.march(uniform_flux(5e4), FLOW, INLET)
+    assert np.all(np.diff(sol.pressure) < 0.0)
+
+
+def test_quality_rises_with_absorbed_heat():
+    evap = MicroEvaporator()
+    sol = evap.march(uniform_flux(5e4), FLOW, INLET)
+    assert np.all(np.diff(sol.quality) > 0.0)
+
+
+def test_energy_balance_of_quality_rise():
+    evap = MicroEvaporator()
+    flux = 5e4
+    sol = evap.march(uniform_flux(flux), FLOW, INLET, inlet_quality=0.03)
+    total_heat = flux * evap.pitch * evap.length  # per channel
+    mdot = FLOW / evap.channels
+    h_fg = 190e3  # approximately constant over the 0.5 K span
+    expected_dx = total_heat / (mdot * h_fg)
+    actual_dx = sol.quality[-1] - 0.03 + (sol.quality[1] - sol.quality[0])
+    assert actual_dx == pytest.approx(expected_dx, rel=0.05)
+
+
+def test_wall_above_fluid_and_base_above_wall():
+    evap = MicroEvaporator()
+    sol = evap.march(uniform_flux(5e4), FLOW, INLET)
+    assert np.all(sol.wall_k > sol.saturation_k)
+    assert np.all(sol.base_k > sol.wall_k)
+
+
+def test_higher_flux_higher_htc():
+    evap = MicroEvaporator()
+    low = evap.march(uniform_flux(2e4), FLOW, INLET)
+    high = evap.march(uniform_flux(2e5), FLOW, INLET)
+    assert high.htc.mean() > 3.0 * low.htc.mean()
+
+
+def test_dryout_detected():
+    evap = MicroEvaporator()
+    with pytest.raises(DryoutError):
+        evap.march(uniform_flux(5e4), 2e-5, INLET, inlet_quality=0.5)
+
+
+def test_row_means_fold():
+    evap = MicroEvaporator()
+    sol = evap.march(uniform_flux(5e4), FLOW, INLET, segments=100)
+    rows = sol.row_means(5)
+    assert len(rows.z) == 5
+    assert rows.quality[0] < rows.quality[-1]
+    with pytest.raises(ValueError):
+        sol.row_means(7)  # 100 not divisible by 7
+
+
+def test_flux_array_input():
+    evap = MicroEvaporator()
+    segments = 50
+    flux = np.full(segments, 5e4)
+    flux[20:30] = 2e5
+    sol = evap.march(flux, FLOW, INLET, segments=segments)
+    assert sol.heat_flux[25] == pytest.approx(2e5)
+    assert sol.htc[25] > 2.0 * sol.htc[5]
+
+
+def test_flux_array_length_validated():
+    evap = MicroEvaporator()
+    with pytest.raises(ValueError):
+        evap.march(np.full(10, 5e4), FLOW, INLET, segments=20)
+
+
+def test_flow_calibration_hits_target_outlet():
+    evap = MicroEvaporator()
+    target = celsius_to_kelvin(29.5)
+    flow = evap.flow_for_outlet_saturation(
+        uniform_flux(5e4), INLET, target, segments=50
+    )
+    sol = evap.march(uniform_flux(5e4), flow, INLET, segments=50)
+    assert sol.saturation_k[-1] == pytest.approx(target, abs=0.05)
+
+
+def test_mass_flux_definition():
+    evap = MicroEvaporator()
+    g = evap.mass_flux(FLOW)
+    assert g == pytest.approx(FLOW / (135 * 85e-6 * 560e-6))
+
+
+def test_invalid_inputs_rejected():
+    evap = MicroEvaporator()
+    with pytest.raises(ValueError):
+        evap.march(uniform_flux(5e4), FLOW, INLET, inlet_quality=1.0)
+    with pytest.raises(ValueError):
+        evap.march(uniform_flux(5e4), FLOW, INLET, segments=1)
+    with pytest.raises(ValueError):
+        evap.march(uniform_flux(-1.0), FLOW, INLET)
+    with pytest.raises(ValueError):
+        evap.mass_flux(0.0)
+    with pytest.raises(ValueError):
+        MicroEvaporator(channel_width=200e-6, pitch=150e-6)

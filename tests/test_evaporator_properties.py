@@ -1,0 +1,74 @@
+"""Property-based invariants of the two-phase evaporator (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.twophase import DryoutError, MicroEvaporator
+from repro.units import celsius_to_kelvin
+
+INLET = celsius_to_kelvin(30.0)
+
+
+@pytest.fixture(scope="module")
+def evaporator():
+    return MicroEvaporator()
+
+
+@given(
+    fluxes=st.lists(
+        st.floats(1e3, 3e5, allow_nan=False), min_size=20, max_size=20
+    ),
+    flow=st.floats(3e-4, 2e-3),
+)
+@settings(max_examples=25, deadline=None)
+def test_saturation_never_rises(evaporator, fluxes, flow):
+    """For ANY non-negative flux profile the local saturation temperature
+    is non-increasing along the channel (pressure only drops)."""
+    try:
+        sol = evaporator.march(
+            np.asarray(fluxes), flow, INLET, segments=20
+        )
+    except DryoutError:
+        return  # a legitimate outcome for hot/slow combinations
+    assert np.all(np.diff(sol.saturation_k) <= 1e-12)
+    assert np.all(np.diff(sol.pressure) < 0.0)
+    assert np.all(np.diff(sol.quality) >= 0.0)
+
+
+@given(
+    fluxes=st.lists(
+        st.floats(1e3, 3e5, allow_nan=False), min_size=20, max_size=20
+    ),
+    flow=st.floats(3e-4, 2e-3),
+)
+@settings(max_examples=25, deadline=None)
+def test_wall_superheat_positive_everywhere(evaporator, fluxes, flow):
+    try:
+        sol = evaporator.march(np.asarray(fluxes), flow, INLET, segments=20)
+    except DryoutError:
+        return
+    assert np.all(sol.wall_k >= sol.saturation_k)
+    assert np.all(sol.base_k >= sol.wall_k)
+
+
+@given(flow=st.floats(3e-4, 2e-3))
+@settings(max_examples=15, deadline=None)
+def test_more_flow_less_quality_rise(evaporator, flow):
+    flux = lambda z: 5e4  # noqa: E731 - terse fixture
+    low = evaporator.march(flux, flow, INLET, segments=20)
+    high = evaporator.march(flux, 1.5 * flow, INLET, segments=20)
+    assert high.quality[-1] < low.quality[-1]
+
+
+@given(scale=st.floats(0.5, 3.0))
+@settings(max_examples=15, deadline=None)
+def test_htc_scales_with_flux_everywhere(evaporator, scale):
+    base = evaporator.march(lambda z: 5e4, 1e-3, INLET, segments=20)
+    scaled = evaporator.march(
+        lambda z: 5e4 * scale, 1e-3, INLET, segments=20
+    )
+    if scale > 1.0:
+        assert np.all(scaled.htc >= base.htc)
+    else:
+        assert np.all(scaled.htc <= base.htc + 1e-9)

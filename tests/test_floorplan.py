@@ -1,0 +1,131 @@
+"""Floorplan geometry and rasterisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.floorplan import (
+    Block,
+    Floorplan,
+    grid_aligned,
+    total_area_by_kind,
+)
+
+
+def make_two_block_plan():
+    return Floorplan(
+        width=2e-3,
+        height=1e-3,
+        blocks=[
+            Block("left", 0.0, 0.0, 1e-3, 1e-3, kind="core"),
+            Block("right", 1e-3, 0.0, 1e-3, 1e-3, kind="cache"),
+        ],
+    )
+
+
+def test_block_area_and_bounds():
+    b = Block("b", 1e-3, 2e-3, 3e-3, 4e-3)
+    assert b.area == pytest.approx(12e-6)
+    assert b.x2 == pytest.approx(4e-3)
+    assert b.y2 == pytest.approx(6e-3)
+
+
+def test_contains_is_half_open():
+    b = Block("b", 0.0, 0.0, 1.0, 1.0)
+    assert b.contains(0.0, 0.0)
+    assert not b.contains(1.0, 0.5)
+    assert not b.contains(0.5, 1.0)
+
+
+def test_overlap_detection():
+    a = Block("a", 0.0, 0.0, 2.0, 2.0)
+    b = Block("b", 1.0, 1.0, 2.0, 2.0)
+    c = Block("c", 2.0, 0.0, 1.0, 1.0)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)  # touching edges do not overlap
+
+
+def test_floorplan_rejects_overlapping_blocks():
+    with pytest.raises(ValueError, match="overlap"):
+        Floorplan(
+            2.0,
+            2.0,
+            [Block("a", 0.0, 0.0, 1.5, 1.5), Block("b", 1.0, 1.0, 1.0, 1.0)],
+        )
+
+
+def test_floorplan_rejects_out_of_bounds_blocks():
+    with pytest.raises(ValueError, match="outside"):
+        Floorplan(1.0, 1.0, [Block("a", 0.5, 0.5, 1.0, 1.0)])
+
+
+def test_floorplan_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="duplicate"):
+        Floorplan(
+            2.0,
+            1.0,
+            [Block("a", 0.0, 0.0, 1.0, 1.0), Block("a", 1.0, 0.0, 1.0, 1.0)],
+        )
+
+
+def test_rasterise_assigns_cells_to_owners():
+    plan = make_two_block_plan()
+    owner = plan.rasterise(4, 2)
+    assert owner.shape == (2, 4)
+    assert (owner[:, :2] == 0).all()
+    assert (owner[:, 2:] == 1).all()
+
+
+def test_rasterise_marks_unoccupied_cells():
+    plan = Floorplan(2.0, 1.0, [Block("a", 0.0, 0.0, 1.0, 1.0)])
+    owner = plan.rasterise(4, 2)
+    assert (owner[:, 2:] == -1).all()
+
+
+def test_cell_area_fractions_partition_cells():
+    plan = make_two_block_plan()
+    masks = plan.cell_area_fractions(8, 4)
+    union = np.zeros((4, 8), dtype=int)
+    for mask in masks.values():
+        union += mask.astype(int)
+    # Full coverage: every cell owned by exactly one block.
+    assert (union == 1).all()
+
+
+def test_coverage_and_area_accounting():
+    plan = make_two_block_plan()
+    assert plan.coverage() == pytest.approx(1.0)
+    by_kind = total_area_by_kind(plan)
+    assert by_kind["core"] == pytest.approx(1e-6)
+    assert by_kind["cache"] == pytest.approx(1e-6)
+    assert by_kind["other"] == 0.0
+
+
+def test_block_lookup():
+    plan = make_two_block_plan()
+    assert plan.block("left").kind == "core"
+    assert [b.name for b in plan.blocks_of_kind("cache")] == ["right"]
+    with pytest.raises(KeyError):
+        plan.block("missing")
+
+
+def test_grid_aligned_snaps():
+    assert grid_aligned(1.24e-3, 0.25e-3) == pytest.approx(1.25e-3)
+    with pytest.raises(ValueError):
+        grid_aligned(1.0, 0.0)
+
+
+@given(
+    nx=st.integers(2, 40),
+    ny=st.integers(2, 40),
+)
+def test_rasterise_never_assigns_outside_blocks(nx, ny):
+    plan = make_two_block_plan()
+    owner = plan.rasterise(nx, ny)
+    assert owner.min() >= 0  # fully covered plan: every centre owned
+    assert owner.max() <= len(plan.blocks) - 1
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(ValueError, match="kind"):
+        Block("x", 0.0, 0.0, 1.0, 1.0, kind="gpu")

@@ -1,0 +1,89 @@
+"""Laminar rectangular-duct friction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.stack import default_channel_geometry
+from repro.hydraulics import (
+    channel_pressure_drop,
+    channel_hydraulic_resistance,
+    pumping_power,
+    shah_london_f_re,
+)
+from repro.materials import WATER
+from repro.units import ml_per_min_to_m3_per_s, pa_to_bar
+
+
+def test_shah_london_limits():
+    # Parallel plates: fRe = 24; square duct: fRe ~ 14.23.
+    assert shah_london_f_re(1e-9) == pytest.approx(24.0, rel=1e-6)
+    assert shah_london_f_re(1.0) == pytest.approx(14.23, rel=0.01)
+
+
+@given(st.floats(0.01, 1.0))
+def test_shah_london_monotone_decreasing(a):
+    assert shah_london_f_re(a) <= shah_london_f_re(a * 0.99) + 1e-12
+
+
+def test_pressure_drop_linear_in_flow_without_minor_losses():
+    g = default_channel_geometry()
+    q = ml_per_min_to_m3_per_s(10.0)
+    dp1 = channel_pressure_drop(g, q, WATER, include_minor_losses=False)
+    dp2 = channel_pressure_drop(g, 2 * q, WATER, include_minor_losses=False)
+    assert dp2 == pytest.approx(2 * dp1, rel=1e-9)
+
+
+def test_minor_losses_add_quadratic_term():
+    g = default_channel_geometry()
+    q = ml_per_min_to_m3_per_s(32.3)
+    with_minor = channel_pressure_drop(g, q, WATER, include_minor_losses=True)
+    without = channel_pressure_drop(g, q, WATER, include_minor_losses=False)
+    assert with_minor > without
+
+
+def test_table_i_cavity_pressure_drop_order_of_magnitude():
+    # At maximum flow the cavity drop is ~1 bar — same order as the
+    # "less than 0.9 bar" quoted for the two-phase test sections.
+    g = default_channel_geometry()
+    q = ml_per_min_to_m3_per_s(32.3)
+    dp_bar = pa_to_bar(channel_pressure_drop(g, q, WATER))
+    assert 0.3 < dp_bar < 3.0
+
+
+def test_hydraulic_resistance_consistent_with_pressure_drop():
+    g = default_channel_geometry()
+    r = channel_hydraulic_resistance(g, WATER)
+    q = ml_per_min_to_m3_per_s(20.0)
+    dp = channel_pressure_drop(g, q, WATER, include_minor_losses=False)
+    assert r * q == pytest.approx(dp, rel=1e-9)
+
+
+def test_zero_flow_zero_drop():
+    g = default_channel_geometry()
+    assert channel_pressure_drop(g, 0.0, WATER) == 0.0
+
+
+def test_negative_flow_rejected():
+    g = default_channel_geometry()
+    with pytest.raises(ValueError):
+        channel_pressure_drop(g, -1e-7, WATER)
+
+
+def test_pumping_power_product():
+    assert pumping_power(1e5, 5e-7) == pytest.approx(0.05)
+    with pytest.raises(ValueError):
+        pumping_power(-1.0, 1.0)
+
+
+def test_narrower_channels_higher_resistance():
+    from repro.geometry import MicroChannelGeometry
+
+    narrow = MicroChannelGeometry(
+        width=50e-6, height=100e-6, pitch=150e-6, length=1e-2, span=1e-2
+    )
+    wide = MicroChannelGeometry(
+        width=100e-6, height=100e-6, pitch=150e-6, length=1e-2, span=1e-2
+    )
+    assert channel_hydraulic_resistance(narrow, WATER) > channel_hydraulic_resistance(
+        wide, WATER
+    )

@@ -1,0 +1,173 @@
+"""The Mamdani fuzzy-inference engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TriangularMF, FuzzyVariable, FuzzyRule, MamdaniController
+from repro.core.fuzzy import three_level_variable
+
+
+# ---------------------------------------------------------------------------
+# membership functions
+# ---------------------------------------------------------------------------
+
+
+def test_triangle_membership():
+    mf = TriangularMF(0.0, 0.5, 1.0)
+    assert mf.membership(0.0) == 0.0
+    assert mf.membership(0.25) == pytest.approx(0.5)
+    assert mf.membership(0.5) == 1.0
+    assert mf.membership(0.75) == pytest.approx(0.5)
+    assert mf.membership(1.0) == 0.0
+
+
+def test_left_shoulder():
+    mf = TriangularMF(0.0, 0.0, 1.0)
+    assert mf.membership(-5.0) == 1.0
+    assert mf.membership(0.0) == 1.0
+    assert mf.membership(0.5) == pytest.approx(0.5)
+    assert mf.membership(1.0) == 0.0
+
+
+def test_right_shoulder():
+    mf = TriangularMF(0.0, 1.0, 1.0)
+    assert mf.membership(2.0) == 1.0
+    assert mf.membership(1.0) == 1.0
+    assert mf.membership(0.5) == pytest.approx(0.5)
+
+
+def test_membership_array_matches_scalar():
+    mf = TriangularMF(0.0, 0.3, 1.0)
+    xs = np.linspace(-0.2, 1.2, 29)
+    array = mf.membership_array(xs)
+    scalars = np.array([mf.membership(float(x)) for x in xs])
+    assert np.allclose(array, scalars)
+
+
+@given(st.floats(-2.0, 2.0))
+def test_membership_in_unit_interval(x):
+    mf = TriangularMF(-1.0, 0.0, 1.0)
+    assert 0.0 <= mf.membership(x) <= 1.0
+
+
+def test_degenerate_mf_rejected():
+    with pytest.raises(ValueError):
+        TriangularMF(1.0, 0.5, 0.0)
+    with pytest.raises(ValueError):
+        TriangularMF(1.0, 1.0, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# variables and rules
+# ---------------------------------------------------------------------------
+
+
+def test_three_level_variable_partitions_range():
+    var = three_level_variable("x", 0.0, 10.0)
+    for x in np.linspace(0.0, 10.0, 21):
+        total = sum(var.fuzzify(float(x)).values())
+        assert total > 0.5  # overlapping cover, no dead zones
+
+
+def test_fuzzify_clamps_out_of_range():
+    var = three_level_variable("x", 0.0, 1.0)
+    assert var.fuzzify(-1.0)["low"] == 1.0
+    assert var.fuzzify(2.0)["high"] == 1.0
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        FuzzyRule({}, ("y", "low"))
+    with pytest.raises(ValueError):
+        FuzzyRule({"x": "low"}, ("y", "low"), weight=0.0)
+
+
+# ---------------------------------------------------------------------------
+# inference
+# ---------------------------------------------------------------------------
+
+
+def simple_controller():
+    x = three_level_variable("x", 0.0, 1.0)
+    y = three_level_variable("y", 0.0, 1.0)
+    rules = [
+        FuzzyRule({"x": "low"}, ("y", "low")),
+        FuzzyRule({"x": "medium"}, ("y", "medium")),
+        FuzzyRule({"x": "high"}, ("y", "high")),
+    ]
+    return MamdaniController([x], [y], rules)
+
+
+def test_identity_like_mapping():
+    c = simple_controller()
+    assert c.infer({"x": 0.0})["y"] < 0.3
+    assert c.infer({"x": 0.5})["y"] == pytest.approx(0.5, abs=0.05)
+    assert c.infer({"x": 1.0})["y"] > 0.7
+
+
+@given(st.floats(0.0, 1.0))
+@settings(max_examples=50, deadline=None)
+def test_output_always_within_range(x):
+    c = simple_controller()
+    assert 0.0 <= c.infer({"x": x})["y"] <= 1.0
+
+
+@given(st.floats(0.0, 0.98))
+@settings(max_examples=50, deadline=None)
+def test_monotone_rule_base_gives_monotone_output(x):
+    c = simple_controller()
+    assert c.infer({"x": x + 0.02})["y"] >= c.infer({"x": x})["y"] - 1e-6
+
+
+def test_multi_antecedent_min_and():
+    x = three_level_variable("x", 0.0, 1.0)
+    z = three_level_variable("z", 0.0, 1.0)
+    y = three_level_variable("y", 0.0, 1.0)
+    rules = [FuzzyRule({"x": "high", "z": "high"}, ("y", "high"))]
+    c = MamdaniController([x, z], [y], rules)
+    # One antecedent at zero membership: the rule does not fire and the
+    # output falls back to the range midpoint.
+    assert c.infer({"x": 1.0, "z": 0.0})["y"] == pytest.approx(0.5)
+    assert c.infer({"x": 1.0, "z": 1.0})["y"] > 0.7
+
+
+def test_rule_weight_damps_contribution():
+    x = three_level_variable("x", 0.0, 1.0)
+    y = three_level_variable("y", 0.0, 1.0)
+    strong = MamdaniController(
+        [x], [y], [FuzzyRule({"x": "high"}, ("y", "high"))]
+    )
+    weak = MamdaniController(
+        [x],
+        [y],
+        [
+            FuzzyRule({"x": "high"}, ("y", "high"), weight=0.2),
+            FuzzyRule({"x": "high"}, ("y", "low"), weight=1.0),
+        ],
+    )
+    assert weak.infer({"x": 1.0})["y"] < strong.infer({"x": 1.0})["y"]
+
+
+def test_missing_input_rejected():
+    c = simple_controller()
+    with pytest.raises(KeyError):
+        c.infer({})
+
+
+def test_unknown_rule_references_rejected():
+    x = three_level_variable("x", 0.0, 1.0)
+    y = three_level_variable("y", 0.0, 1.0)
+    with pytest.raises(KeyError):
+        MamdaniController([x], [y], [FuzzyRule({"zz": "low"}, ("y", "low"))])
+    with pytest.raises(KeyError):
+        MamdaniController([x], [y], [FuzzyRule({"x": "huge"}, ("y", "low"))])
+    with pytest.raises(KeyError):
+        MamdaniController([x], [y], [FuzzyRule({"x": "low"}, ("y", "huge"))])
+
+
+def test_empty_rule_base_rejected():
+    x = three_level_variable("x", 0.0, 1.0)
+    y = three_level_variable("y", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        MamdaniController([x], [y], [])

@@ -1,0 +1,89 @@
+"""The Fig. 8 hot-spot test vehicle."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.twophase import HotSpotTestVehicle, FIG8_VEHICLE
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return FIG8_VEHICLE.sensor_rows(segments=100)
+
+
+def test_heater_layout():
+    flux = FIG8_VEHICLE.flux_profile(segments=100)
+    assert flux[:40].max() == constants.EVAPORATOR_BACKGROUND_FLUX
+    assert flux[40:60].min() == constants.EVAPORATOR_HOTSPOT_FLUX
+    assert flux[60:].max() == constants.EVAPORATOR_BACKGROUND_FLUX
+
+
+def test_flux_contrast_is_15x():
+    ratio = constants.EVAPORATOR_HOTSPOT_FLUX / constants.EVAPORATOR_BACKGROUND_FLUX
+    assert ratio == pytest.approx(15.1)
+
+
+def test_fluid_temperatures_match_fig8(profile):
+    # "the refrigerant enters at a saturation temperature of 30 degC and
+    # leaves with a temperature of 29.5 degC"
+    assert profile.fluid_c[0] == pytest.approx(30.0, abs=0.1)
+    assert profile.fluid_c[-1] == pytest.approx(29.5, abs=0.2)
+
+
+def test_fluid_temperature_decreases_along_rows(profile):
+    assert all(b < a for a, b in zip(profile.fluid_c, profile.fluid_c[1:]))
+
+
+def test_htc_boost_under_hot_spot(profile):
+    # "the local heat transfer coefficient under the hot spot is 8 times
+    # higher"
+    ratio = profile.hotspot_to_background_htc_ratio()
+    assert 6.0 < ratio < 10.0
+
+
+def test_superheat_only_doubles(profile):
+    # "the wall superheat ... is only 2 times higher under the hot spot
+    # rather than 15 times with water cooling"
+    ratio = profile.superheat_ratio()
+    assert 1.5 < ratio < 2.5
+
+
+def test_wall_peak_under_hot_spot(profile):
+    assert profile.wall_c.argmax() == 2
+
+
+def test_base_above_wall_everywhere(profile):
+    assert np.all(profile.base_c > profile.wall_c)
+
+
+def test_water_cooling_would_scale_superheat_linearly():
+    """The contrast the paper draws: a flux-independent single-phase HTC
+    scales the superheat by the full 15.1x flux ratio."""
+    flux_ratio = (
+        constants.EVAPORATOR_HOTSPOT_FLUX / constants.EVAPORATOR_BACKGROUND_FLUX
+    )
+    two_phase = FIG8_VEHICLE.sensor_rows().superheat_ratio()
+    assert two_phase < flux_ratio / 5.0
+
+
+def test_comparison_summary():
+    summary = FIG8_VEHICLE.comparison_with_paper()
+    assert set(summary) == {
+        "htc_ratio",
+        "superheat_ratio",
+        "inlet_fluid_c",
+        "outlet_fluid_c",
+    }
+
+
+def test_segments_must_align_with_rows():
+    with pytest.raises(ValueError):
+        FIG8_VEHICLE.flux_profile(segments=33)
+
+
+def test_vehicle_validation():
+    with pytest.raises(ValueError):
+        HotSpotTestVehicle(background_flux=1e5, hotspot_flux=1e4)
+    with pytest.raises(ValueError):
+        HotSpotTestVehicle(rows=2)

@@ -1,0 +1,60 @@
+"""Temperature-dependent leakage."""
+
+import math
+
+import pytest
+
+from repro.power import LeakageModel
+from repro.power.leakage import CORE_LEAKAGE
+from repro.units import celsius_to_kelvin
+
+
+def test_reference_point_value():
+    # 10 mm^2 core leaks 0.8 W at the 85 degC reference.
+    assert CORE_LEAKAGE.power(10e-6, celsius_to_kelvin(85.0)) == pytest.approx(0.8)
+
+
+def test_exponential_temperature_dependence():
+    model = LeakageModel(density_at_ref=1e4, beta=0.015)
+    t0 = celsius_to_kelvin(85.0)
+    ratio = model.power(1e-6, t0 + 20.0) / model.power(1e-6, t0)
+    assert ratio == pytest.approx(math.exp(0.015 * 20.0))
+
+
+def test_leakage_scales_with_area():
+    model = LeakageModel(density_at_ref=1e4)
+    t = celsius_to_kelvin(70.0)
+    assert model.power(2e-6, t) == pytest.approx(2 * model.power(1e-6, t))
+
+
+def test_voltage_scaling():
+    t = celsius_to_kelvin(85.0)
+    full = CORE_LEAKAGE.power(10e-6, t, voltage_scale=1.0)
+    scaled = CORE_LEAKAGE.power(10e-6, t, voltage_scale=0.75)
+    assert scaled == pytest.approx(0.75 * full)
+
+
+def test_saturation_prevents_runaway():
+    """Above the clamp the leakage stops growing — this is what keeps the
+    4-tier air-cooled runaway case (Section IV-A, 178 degC) bounded."""
+    t_clamp = CORE_LEAKAGE.saturation_k
+    at_clamp = CORE_LEAKAGE.power(10e-6, t_clamp)
+    way_above = CORE_LEAKAGE.power(10e-6, t_clamp + 100.0)
+    assert way_above == pytest.approx(at_clamp)
+
+
+def test_leakage_fraction_reasonable_at_threshold():
+    # ~15 % of a ~5 W core at the 85 degC threshold (90 nm budget).
+    leak = CORE_LEAKAGE.power(10e-6, celsius_to_kelvin(85.0))
+    assert 0.1 < leak / 5.0 < 0.25
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LeakageModel(density_at_ref=-1.0)
+    with pytest.raises(ValueError):
+        CORE_LEAKAGE.power(-1.0, 300.0)
+    with pytest.raises(ValueError):
+        CORE_LEAKAGE.power(1e-6, 300.0, voltage_scale=0.0)
+    with pytest.raises(ValueError):
+        CORE_LEAKAGE.power(1e-6, -5.0)

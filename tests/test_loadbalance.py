@@ -1,0 +1,89 @@
+"""Dynamic load balancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched import LoadBalancer
+
+
+def test_initial_assignment_round_robin():
+    lb = LoadBalancer(cores=4, threads=8)
+    assert list(lb.assignment) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_queue_lengths_sum_demands():
+    lb = LoadBalancer(cores=2, threads=4)
+    queues = lb.queue_lengths([0.5, 0.25, 0.5, 0.25])
+    assert queues[0] == pytest.approx(1.0)
+    assert queues[1] == pytest.approx(0.5)
+
+
+def test_rebalance_moves_load_from_hot_core():
+    lb = LoadBalancer(cores=2, threads=4, threshold=0.1)
+    # All demand initially lands on core 0's threads.
+    demands = [0.9, 0.0, 0.9, 0.0]
+    lb.rebalance(demands)
+    queues = lb.queue_lengths(demands)
+    assert abs(queues[0] - queues[1]) <= 0.1 + 1e-9
+
+
+def test_rebalance_is_noop_when_balanced():
+    lb = LoadBalancer(cores=2, threads=4, threshold=0.5)
+    assignment_before = lb.assignment.copy()
+    lb.rebalance([0.3, 0.3, 0.3, 0.3])
+    assert np.array_equal(lb.assignment, assignment_before)
+    assert lb.migrations == 0
+
+
+def test_migration_counter_increments():
+    lb = LoadBalancer(cores=2, threads=4, threshold=0.1)
+    lb.rebalance([0.9, 0.0, 0.9, 0.0])
+    assert lb.migrations > 0
+
+
+def test_core_demands_after_balancing():
+    lb = LoadBalancer(cores=4, threads=8, threshold=0.05)
+    demands = np.array([0.8, 0.8, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+    core_demand = lb.core_demands(demands)
+    assert core_demand.sum() == pytest.approx(demands.sum())
+    assert core_demand.max() - core_demand.min() <= 0.8 + 1e-9
+
+
+@given(
+    demands=st.lists(st.floats(0.0, 1.0), min_size=8, max_size=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_rebalancing_conserves_total_demand(demands):
+    lb = LoadBalancer(cores=4, threads=8, threshold=0.2)
+    before = lb.queue_lengths(demands).sum()
+    lb.rebalance(demands)
+    after = lb.queue_lengths(demands).sum()
+    assert after == pytest.approx(before)
+
+
+@given(
+    demands=st.lists(st.floats(0.0, 1.0), min_size=12, max_size=12),
+)
+@settings(max_examples=50, deadline=None)
+def test_rebalancing_never_increases_imbalance(demands):
+    lb = LoadBalancer(cores=3, threads=12, threshold=0.1)
+    before = np.ptp(lb.queue_lengths(demands))
+    lb.rebalance(demands)
+    after = np.ptp(lb.queue_lengths(demands))
+    assert after <= before + 1e-9
+
+
+def test_wrong_demand_count_rejected():
+    lb = LoadBalancer(cores=2, threads=4)
+    with pytest.raises(ValueError):
+        lb.queue_lengths([0.5, 0.5])
+    with pytest.raises(ValueError):
+        lb.queue_lengths([-0.1, 0.0, 0.0, 0.0])
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        LoadBalancer(cores=0, threads=4)
+    with pytest.raises(ValueError):
+        LoadBalancer(cores=2, threads=4, threshold=0.0)

@@ -1,0 +1,76 @@
+"""Liquid coolant properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import constants
+from repro.materials import WATER, Liquid
+from repro.materials.fluids import log_mean_temperature_difference
+from repro.units import ml_per_min_to_m3_per_s
+
+
+def test_table_i_water_values():
+    assert WATER.conductivity == constants.WATER_CONDUCTIVITY
+    assert WATER.specific_heat == constants.WATER_SPECIFIC_HEAT
+
+
+def test_capacity_rate_at_max_flow():
+    # 32.3 ml/min of water: mdot cp = 0.0323e-3/60 * 997 * 4183 ~ 2.25 W/K.
+    q = ml_per_min_to_m3_per_s(constants.FLOW_RATE_MAX_ML_MIN)
+    assert WATER.heat_capacity_rate(q) == pytest.approx(2.245, rel=0.01)
+
+
+def test_prandtl_number_near_room_temperature():
+    # Water Pr ~ 6 at ~25 degC.
+    assert 4.0 < WATER.prandtl() < 8.0
+
+
+def test_viscosity_decreases_with_temperature():
+    assert WATER.viscosity_at(330.0) < WATER.viscosity_at(300.0)
+
+
+@given(st.floats(280.0, 370.0))
+def test_viscosity_positive_over_liquid_range(t):
+    assert WATER.viscosity_at(t) > 0.0
+
+
+def test_viscosity_reference_point():
+    # The Vogel law is normalised at 20 degC.
+    assert WATER.viscosity_at(293.15) == pytest.approx(WATER.viscosity, rel=1e-6)
+
+
+def test_negative_flow_rejected():
+    with pytest.raises(ValueError):
+        WATER.heat_capacity_rate(-1.0)
+
+
+@pytest.mark.parametrize(
+    "field", ["density", "specific_heat", "conductivity", "viscosity"]
+)
+def test_invalid_liquid_rejected(field):
+    kwargs = dict(
+        name="bad", density=1.0, specific_heat=1.0, conductivity=1.0, viscosity=1.0
+    )
+    kwargs[field] = 0.0
+    with pytest.raises(ValueError):
+        Liquid(**kwargs)
+
+
+def test_lmtd_symmetric_limit():
+    # Equal end differences: LMTD equals that difference.
+    assert log_mean_temperature_difference(80.0, 60.0, 20.0, 40.0) == pytest.approx(
+        40.0
+    )
+
+
+def test_lmtd_classic_value():
+    # Counterflow with 60/20 K end differences: LMTD = 40/ln(3) ~ 36.41 K.
+    import math
+
+    lmtd = log_mean_temperature_difference(100.0, 50.0, 30.0, 40.0)
+    assert lmtd == pytest.approx(40.0 / math.log(3.0), rel=1e-9)
+
+
+def test_lmtd_rejects_crossing_streams():
+    with pytest.raises(ValueError):
+        log_mean_temperature_difference(50.0, 30.0, 40.0, 60.0)

@@ -1,0 +1,52 @@
+"""Solid material properties and helpers."""
+
+import pytest
+
+from repro import constants
+from repro.materials import SILICON, WIRING, COPPER, PYREX, SolidMaterial
+
+
+def test_table_i_silicon_values():
+    assert SILICON.conductivity == constants.SILICON_CONDUCTIVITY
+    assert SILICON.vol_heat_capacity == constants.SILICON_VOL_HEAT_CAPACITY
+
+
+def test_table_i_wiring_values():
+    assert WIRING.conductivity == pytest.approx(2.25)
+    assert WIRING.vol_heat_capacity == pytest.approx(2_174_502.0)
+
+
+def test_conductance_of_slab():
+    # 1 cm^2, 1 mm silicon slab: G = k A / t = 130 * 1e-4 / 1e-3 = 13 W/K.
+    assert SILICON.conductance(1e-4, 1e-3) == pytest.approx(13.0)
+
+
+def test_capacitance_of_volume():
+    volume = 115e-6 * 0.15e-3  # one Table I die
+    expected = constants.SILICON_VOL_HEAT_CAPACITY * volume
+    assert SILICON.capacitance(volume) == pytest.approx(expected)
+
+
+def test_material_ordering_sanity():
+    # Copper conducts best, pyrex worst, among the packaged materials.
+    assert COPPER.conductivity > SILICON.conductivity > WIRING.conductivity
+    assert WIRING.conductivity > PYREX.conductivity
+
+
+@pytest.mark.parametrize("field", ["conductivity", "vol_heat_capacity"])
+def test_invalid_properties_rejected(field):
+    kwargs = {"name": "bad", "conductivity": 1.0, "vol_heat_capacity": 1.0}
+    kwargs[field] = -1.0
+    with pytest.raises(ValueError):
+        SolidMaterial(**kwargs)
+
+
+@pytest.mark.parametrize("area,length", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+def test_conductance_validates_geometry(area, length):
+    with pytest.raises(ValueError):
+        SILICON.conductance(area, length)
+
+
+def test_capacitance_rejects_nonpositive_volume():
+    with pytest.raises(ValueError):
+        SILICON.capacitance(0.0)

@@ -1,0 +1,73 @@
+"""Performance-degradation accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sched import PerformanceTracker
+
+
+def test_no_throttling_no_degradation():
+    tracker = PerformanceTracker(cores=2)
+    for _ in range(10):
+        tracker.record([0.8, 0.6], [1.0, 1.0], dt=1.0)
+    assert tracker.degradation_percent() == 0.0
+    assert tracker.completion_fraction() == pytest.approx(1.0)
+
+
+def test_throttled_core_accumulates_backlog():
+    tracker = PerformanceTracker(cores=1)
+    tracker.record([0.9], [0.5], dt=1.0)
+    # Demand 0.9 core-s, capacity 0.5: 0.4 queued.
+    assert tracker.remaining_backlog == pytest.approx(0.4)
+
+
+def test_backlog_drains_when_capacity_returns():
+    tracker = PerformanceTracker(cores=1)
+    tracker.record([0.9], [0.5], dt=1.0)
+    tracker.record([0.2], [1.0], dt=1.0)
+    # 0.4 backlog + 0.2 new demand fits in 1.0 capacity.
+    assert tracker.remaining_backlog == pytest.approx(0.0)
+    assert tracker.degradation_percent() == 0.0
+
+
+def test_degradation_percent_definition():
+    tracker = PerformanceTracker(cores=2)
+    for _ in range(10):
+        tracker.record([1.0, 1.0], [0.8, 0.8], dt=1.0)
+    # Each core queues 0.2/s for 10 s: 4 core-s total over 2 cores and
+    # 10 s: 100 * (4/2)/10 = 20 %.
+    assert tracker.degradation_percent() == pytest.approx(20.0)
+
+
+def test_executed_capped_by_capacity():
+    tracker = PerformanceTracker(cores=1)
+    executed = tracker.record([2.0], [1.0], dt=1.0)
+    assert executed[0] == pytest.approx(1.0)
+
+
+def test_completion_fraction_under_saturation():
+    tracker = PerformanceTracker(cores=1)
+    tracker.record([2.0], [1.0], dt=1.0)
+    assert tracker.completion_fraction() == pytest.approx(0.5)
+
+
+def test_validation():
+    tracker = PerformanceTracker(cores=2)
+    with pytest.raises(ValueError):
+        tracker.record([0.5], [1.0, 1.0], dt=1.0)
+    with pytest.raises(ValueError):
+        tracker.record([0.5, 0.5], [1.0, 1.5], dt=1.0)
+    with pytest.raises(ValueError):
+        tracker.record([0.5, 0.5], [1.0, 0.0], dt=1.0)
+    with pytest.raises(ValueError):
+        tracker.record([-0.5, 0.5], [1.0, 1.0], dt=1.0)
+    with pytest.raises(ValueError):
+        tracker.record([0.5, 0.5], [1.0, 1.0], dt=0.0)
+    with pytest.raises(ValueError):
+        PerformanceTracker(cores=0)
+
+
+def test_empty_tracker_neutral():
+    tracker = PerformanceTracker(cores=4)
+    assert tracker.degradation_percent() == 0.0
+    assert tracker.completion_fraction() == 1.0

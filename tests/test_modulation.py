@@ -1,0 +1,145 @@
+"""Width-modulated cavity design (Section II-C)."""
+
+import pytest
+
+from repro.hydraulics import (
+    ChannelSegment,
+    ModulatedCavity,
+    design_modulated_cavity,
+    uniform_worst_case_cavity,
+)
+from repro.units import celsius_to_kelvin
+
+PITCH = 150e-6
+HEIGHT = 100e-6
+WIDTHS = (100e-6, 75e-6, 50e-6)
+INLET = celsius_to_kelvin(27.0)
+LIMIT = celsius_to_kelvin(85.0)
+FLOW_BOUNDS = (1e-9, 3e-8)  # per channel
+
+
+def hotspot_profile(hot_flux=1.5e6, background=1.0e5):
+    """10 segments of 1 mm; segments 6-7 carry the hot spot."""
+    profile = []
+    for i in range(10):
+        flux = hot_flux if i in (6, 7) else background
+        profile.append((1e-3, flux))
+    return profile
+
+
+def test_uniform_design_picks_single_width():
+    cavity, flow = uniform_worst_case_cavity(
+        hotspot_profile(),
+        LIMIT,
+        widths=WIDTHS,
+        pitch=PITCH,
+        height=HEIGHT,
+        inlet_temperature=INLET,
+        flow_bounds=FLOW_BOUNDS,
+    )
+    widths = {seg.width for seg in cavity.segments}
+    assert len(widths) == 1
+    assert cavity.max_junction(hotspot_profile(), flow, INLET) <= LIMIT + 1e-6
+
+
+def test_modulated_design_narrows_only_hot_segments():
+    cavity, flow = design_modulated_cavity(
+        hotspot_profile(),
+        LIMIT,
+        widths=WIDTHS,
+        pitch=PITCH,
+        height=HEIGHT,
+        inlet_temperature=INLET,
+        flow_bounds=FLOW_BOUNDS,
+    )
+    hot_widths = [cavity.segments[i].width for i in (6, 7)]
+    cold_widths = [cavity.segments[i].width for i in (0, 1, 2)]
+    assert min(cold_widths) >= max(hot_widths)
+    assert cavity.max_junction(hotspot_profile(), flow, INLET) <= LIMIT + 1e-6
+
+
+DESIGN_KWARGS = dict(
+    widths=WIDTHS,
+    pitch=PITCH,
+    height=HEIGHT,
+    inlet_temperature=INLET,
+    flow_bounds=FLOW_BOUNDS,
+)
+
+
+def test_modulated_design_halves_pressure_drop_vs_uniform_narrow():
+    """Section II-C: ~2x pressure-drop improvement from width modulation.
+
+    At a hot-spot flux that forces the uniform design to the narrowest
+    width everywhere, the modulated design needs it only locally.
+    """
+    profile = hotspot_profile(hot_flux=1.8e6)
+    uniform, q_u = uniform_worst_case_cavity(profile, LIMIT, **DESIGN_KWARGS)
+    modulated, q_m = design_modulated_cavity(profile, LIMIT, **DESIGN_KWARGS)
+    assert uniform.segments[0].width == pytest.approx(50e-6)
+    flow = max(q_u, q_m)
+    ratio = uniform.pressure_drop(flow) / modulated.pressure_drop(flow)
+    assert 1.5 < ratio < 3.0
+
+
+def test_modulated_design_cuts_pumping_power_severalfold():
+    """Section II-C: ~5x pumping-power improvement.
+
+    At a flux the mid width can only handle with a large flow rate, the
+    modulated design meets the limit at a fraction of the flow, and
+    pumping power (dp * Q) falls severalfold.
+    """
+    profile = hotspot_profile(hot_flux=1.6e6)
+    uniform, q_u = uniform_worst_case_cavity(profile, LIMIT, **DESIGN_KWARGS)
+    modulated, q_m = design_modulated_cavity(profile, LIMIT, **DESIGN_KWARGS)
+    factor = uniform.pumping_power(q_u) / modulated.pumping_power(q_m)
+    assert factor > 3.0
+
+
+def test_junction_profile_monotone_fluid_heating():
+    cavity = ModulatedCavity(
+        segments=[ChannelSegment(1e-3, 50e-6) for _ in range(5)],
+        pitch=PITCH,
+        height=HEIGHT,
+    )
+    profile = [(1e-3, 5e5)] * 5
+    temps = cavity.junction_profile(profile, 5e-9, INLET)
+    # Constant flux + constant width: junction temperature rises along x.
+    assert all(b > a for a, b in zip(temps, temps[1:]))
+
+
+def test_pressure_drop_additive_over_segments():
+    single = ModulatedCavity(
+        segments=[ChannelSegment(2e-3, 50e-6)], pitch=PITCH, height=HEIGHT
+    )
+    split = ModulatedCavity(
+        segments=[ChannelSegment(1e-3, 50e-6), ChannelSegment(1e-3, 50e-6)],
+        pitch=PITCH,
+        height=HEIGHT,
+    )
+    q = 5e-9
+    assert split.pressure_drop(q) == pytest.approx(single.pressure_drop(q))
+
+
+def test_unreachable_limit_raises():
+    profile = [(1e-3, 5e7)] * 10  # absurd flux
+    with pytest.raises(ValueError):
+        uniform_worst_case_cavity(
+            profile,
+            LIMIT,
+            widths=WIDTHS,
+            pitch=PITCH,
+            height=HEIGHT,
+            inlet_temperature=INLET,
+            flow_bounds=FLOW_BOUNDS,
+        )
+
+
+def test_profile_alignment_validated():
+    cavity = ModulatedCavity(
+        segments=[ChannelSegment(1e-3, 50e-6)], pitch=PITCH, height=HEIGHT
+    )
+    with pytest.raises(ValueError):
+        cavity.junction_profile([(1e-3, 1e5), (1e-3, 1e5)], 5e-9, INLET)
+    with pytest.raises(ValueError):
+        cavity.junction_profile([(2e-3, 1e5)], 5e-9, INLET)

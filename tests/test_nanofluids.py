@@ -1,0 +1,108 @@
+"""Nano-fluid coolant models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.materials import (
+    ALUMINA,
+    COPPER_OXIDE,
+    SILICA,
+    WATER,
+    figure_of_merit,
+    make_nanofluid,
+)
+from repro.materials.nanofluids import (
+    NanoParticle,
+    brinkman_viscosity,
+    maxwell_conductivity,
+)
+
+
+def test_maxwell_zero_loading_is_base():
+    assert maxwell_conductivity(0.6, 36.0, 0.0) == pytest.approx(0.6)
+
+
+def test_maxwell_dilute_limit():
+    # Dilute Maxwell limit for k_p >> k_b: k_eff ~ k_b (1 + 3 phi).
+    phi = 0.01
+    k = maxwell_conductivity(0.6, 400.0, phi)
+    assert k == pytest.approx(0.6 * (1 + 3 * phi), rel=0.02)
+
+
+@given(st.floats(0.0, 0.10))
+def test_maxwell_monotone_in_loading(phi):
+    k = maxwell_conductivity(0.6, 36.0, phi)
+    assert k >= 0.6 - 1e-12
+    if phi < 0.09:
+        assert maxwell_conductivity(0.6, 36.0, phi + 0.01) > k
+
+
+def test_low_conductivity_particles_reduce_k():
+    # SiO2 particles (k ~ 1.38) barely raise water's k.
+    k = maxwell_conductivity(0.6, SILICA.conductivity, 0.05)
+    assert k < maxwell_conductivity(0.6, ALUMINA.conductivity, 0.05)
+
+
+@given(st.floats(0.0, 0.10))
+def test_brinkman_always_thickens(phi):
+    assert brinkman_viscosity(8.9e-4, phi) >= 8.9e-4 - 1e-18
+
+
+def test_nanofluid_is_a_liquid_drop_in():
+    nf = make_nanofluid(WATER, ALUMINA, 0.04)
+    assert nf.conductivity > WATER.conductivity
+    assert nf.viscosity > WATER.viscosity
+    assert nf.density > WATER.density
+    # rho*cp mixes by volume: alumina lowers the volumetric capacity.
+    assert nf.vol_heat_capacity < WATER.vol_heat_capacity
+
+
+def test_zero_loading_returns_base_object():
+    assert make_nanofluid(WATER, ALUMINA, 0.0) is WATER
+
+
+def test_nanofluid_name_describes_loading():
+    nf = make_nanofluid(WATER, COPPER_OXIDE, 0.02)
+    assert "CuO" in nf.name
+    assert "2.0%" in nf.name
+
+
+def test_figure_of_merit_shows_no_free_lunch():
+    """For a good particle (alumina) the Brinkman viscosity penalty
+    cancels the Maxwell conductivity gain almost exactly (merit pinned
+    near 1); for a poor particle (silica) the merit falls strictly below
+    1 — why the paper's system experiments stay with plain water."""
+    for phi in (0.01, 0.03, 0.06, 0.09):
+        merit = figure_of_merit(WATER, make_nanofluid(WATER, ALUMINA, phi))
+        assert 0.95 < merit < 1.05
+    silica_merits = [
+        figure_of_merit(WATER, make_nanofluid(WATER, SILICA, phi))
+        for phi in (0.01, 0.03, 0.06, 0.09)
+    ]
+    assert all(b < a for a, b in zip(silica_merits, silica_merits[1:]))
+    assert silica_merits[-1] < 1.0
+
+
+def test_nanofluid_in_cavity_pressure_drop():
+    from repro.geometry.stack import default_channel_geometry
+    from repro.hydraulics import channel_pressure_drop
+    from repro.units import ml_per_min_to_m3_per_s
+
+    g = default_channel_geometry()
+    q = ml_per_min_to_m3_per_s(20.0)
+    nf = make_nanofluid(WATER, ALUMINA, 0.05)
+    assert channel_pressure_drop(g, q, nf) > channel_pressure_drop(g, q, WATER)
+
+
+def test_loading_bounds_enforced():
+    with pytest.raises(ValueError):
+        make_nanofluid(WATER, ALUMINA, 0.2)
+    with pytest.raises(ValueError):
+        maxwell_conductivity(0.6, 36.0, -0.01)
+    with pytest.raises(ValueError):
+        brinkman_viscosity(0.0, 0.05)
+
+
+def test_particle_validation():
+    with pytest.raises(ValueError):
+        NanoParticle("bad", conductivity=0.0, density=1.0, specific_heat=1.0)

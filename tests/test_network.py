@@ -1,0 +1,108 @@
+"""Hydraulic flow-network solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hydraulics import HydraulicNetwork, parallel_channel_flows
+
+
+def test_single_edge_is_ohms_law():
+    net = HydraulicNetwork()
+    net.add_edge("in", "out", resistance=2.0e9)
+    pressures, flows = net.solve("in", "out", total_flow=1e-6)
+    assert pressures["in"] == pytest.approx(2.0e9 * 1e-6)
+    assert pressures["out"] == 0.0
+    assert flows[0] == pytest.approx(1e-6)
+
+
+def test_two_parallel_edges_split_by_conductance():
+    net = HydraulicNetwork()
+    net.add_edge("in", "out", resistance=1e9)
+    net.add_edge("in", "out", resistance=3e9)
+    _, flows = net.solve("in", "out", total_flow=4e-6)
+    assert flows[0] == pytest.approx(3e-6)  # lower resistance carries more
+    assert flows[1] == pytest.approx(1e-6)
+
+
+def test_series_resistances_add():
+    net = HydraulicNetwork()
+    net.add_edge("in", "mid", 1e9)
+    net.add_edge("mid", "out", 2e9)
+    p = net.inlet_pressure("in", "out", 1e-6)
+    assert p == pytest.approx(3e9 * 1e-6)
+
+
+def test_flow_conservation_at_internal_nodes():
+    # A ladder network: net flow into every internal node is zero.
+    net = HydraulicNetwork()
+    edges = [
+        ("in", "a", 1e9),
+        ("a", "b", 2e9),
+        ("a", "out", 5e9),
+        ("b", "out", 1e9),
+        ("in", "b", 3e9),
+    ]
+    for e in edges:
+        net.add_edge(*e)
+    _, flows = net.solve("in", "out", 1e-6)
+    for node in ("a", "b"):
+        net_flow = 0.0
+        for idx, (na, nb, _) in enumerate(edges):
+            if na == node:
+                net_flow -= flows[idx]
+            if nb == node:
+                net_flow += flows[idx]
+        assert net_flow == pytest.approx(0.0, abs=1e-18)
+
+
+def test_fluid_focusing_raises_local_flow():
+    """Fig. 4: a low-resistance guide to the hot spot boosts its flow."""
+
+    def build(hot_resistance):
+        net = HydraulicNetwork()
+        for i in range(5):
+            r = hot_resistance if i == 2 else 2e9
+            net.add_edge("in", f"ch{i}", 0.1e9)
+            net.add_edge(f"ch{i}", "out", r)
+        return net
+
+    uniform = build(2e9)
+    focused = build(0.5e9)  # guiding structure lowers the hot channel's R
+    _, uf = uniform.solve("in", "out", 1e-6)
+    _, ff = focused.solve("in", "out", 1e-6)
+    hot_edge = 5  # edges alternate (in->ch, ch->out); ch2->out is index 5
+    assert ff[hot_edge] > uf[hot_edge] * 1.5
+
+
+def test_unknown_nodes_rejected():
+    net = HydraulicNetwork()
+    net.add_edge("a", "b", 1.0)
+    with pytest.raises(KeyError):
+        net.solve("a", "zz", 1.0)
+
+
+def test_degenerate_inputs_rejected():
+    net = HydraulicNetwork()
+    net.add_edge("a", "b", 1.0)
+    with pytest.raises(ValueError):
+        net.solve("a", "a", 1.0)
+    with pytest.raises(ValueError):
+        net.solve("a", "b", -1.0)
+    with pytest.raises(ValueError):
+        net.add_edge("a", "b", 0.0)
+
+
+@given(
+    resistances=st.lists(st.floats(1e6, 1e12), min_size=2, max_size=20),
+    total=st.floats(1e-9, 1e-4),
+)
+def test_parallel_split_conserves_total(resistances, total):
+    flows = parallel_channel_flows(resistances, total)
+    assert flows.sum() == pytest.approx(total, rel=1e-9)
+    assert (flows >= 0.0).all()
+
+
+def test_parallel_split_equal_resistances():
+    flows = parallel_channel_flows([1e9] * 4, 4e-6)
+    assert np.allclose(flows, 1e-6)

@@ -1,0 +1,66 @@
+"""UltraSPARC T1 floorplans against the Table I areas."""
+
+import pytest
+
+from repro import constants
+from repro.geometry import core_tier_floorplan, cache_tier_floorplan
+from repro.geometry.floorplan import total_area_by_kind
+
+
+def test_die_area_matches_table_i():
+    plan = core_tier_floorplan()
+    assert plan.area == pytest.approx(constants.LAYER_AREA)
+
+
+def test_core_tier_has_eight_cores_of_10mm2():
+    plan = core_tier_floorplan()
+    cores = plan.blocks_of_kind("core")
+    assert len(cores) == 8
+    for core in cores:
+        assert core.area == pytest.approx(constants.CORE_AREA)
+
+
+def test_cache_tier_has_four_l2_of_19mm2():
+    plan = cache_tier_floorplan()
+    caches = plan.blocks_of_kind("cache")
+    assert len(caches) == 4
+    for cache in caches:
+        assert cache.area == pytest.approx(constants.L2_CACHE_AREA)
+
+
+@pytest.mark.parametrize(
+    "factory", [core_tier_floorplan, cache_tier_floorplan]
+)
+def test_tiers_fully_covered(factory):
+    # The remaining area is explicitly modelled as crossbar/IO blocks.
+    assert factory().coverage() == pytest.approx(1.0)
+
+
+def test_core_tier_other_area_is_35mm2():
+    by_kind = total_area_by_kind(core_tier_floorplan())
+    assert by_kind["other"] == pytest.approx(35e-6)
+
+
+def test_cache_tier_other_area_is_39mm2():
+    by_kind = total_area_by_kind(cache_tier_floorplan())
+    assert by_kind["other"] == pytest.approx(39e-6)
+
+
+def test_core_numbering_offset():
+    plan = core_tier_floorplan(first_core=8)
+    names = [b.name for b in plan.blocks_of_kind("core")]
+    assert names == [f"core{i}" for i in range(8, 16)]
+
+
+def test_cache_numbering_offset():
+    plan = cache_tier_floorplan(first_cache=4)
+    names = [b.name for b in plan.blocks_of_kind("cache")]
+    assert names == [f"l2_{i}" for i in range(4, 8)]
+
+
+def test_blocks_align_to_quarter_mm_grid():
+    pitch = 0.25e-3
+    for plan in (core_tier_floorplan(), cache_tier_floorplan()):
+        for block in plan.blocks:
+            for coord in (block.x, block.y, block.x2, block.y2):
+                assert abs(coord / pitch - round(coord / pitch)) < 1e-9

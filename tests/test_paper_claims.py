@@ -1,0 +1,88 @@
+"""Fast end-to-end checks of the paper's qualitative claims.
+
+The benchmark harness measures the quantitative bands on full-length
+runs; these integration tests assert the *orderings* — the claims that
+must hold for any sane calibration — on short traces and coarse grids
+so they stay inside the unit-test budget.
+"""
+
+import pytest
+
+from repro.core import (
+    AirLoadBalancing,
+    AirTDVFSLoadBalancing,
+    LiquidFuzzy,
+    LiquidLoadBalancing,
+    SystemSimulator,
+)
+from repro.geometry import build_3d_mpsoc
+from repro.workload import max_utilisation_trace, web_server_trace
+
+DURATION = 15
+
+
+def run(policy, tiers=2, trace_factory=max_utilisation_trace):
+    threads = 32 * (tiers // 2)
+    trace = trace_factory(threads=threads, duration=DURATION)
+    stack = build_3d_mpsoc(tiers, policy.cooling)
+    return SystemSimulator(stack, policy, trace, nx=12, ny=10).run()
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "ac2": run(AirLoadBalancing()),
+        "tdvfs2": run(AirTDVFSLoadBalancing()),
+        "lc2": run(LiquidLoadBalancing()),
+        "fz2": run(LiquidFuzzy()),
+        "ac4": run(AirLoadBalancing(), tiers=4),
+        "lc4": run(LiquidLoadBalancing(), tiers=4),
+    }
+
+
+def test_liquid_cooling_removes_all_hot_spots(results):
+    for key in ("lc2", "fz2", "lc4"):
+        assert results[key].hotspot_percent_any == 0.0
+
+
+def test_air_cooled_stack_runs_hot(results):
+    assert results["ac2"].peak_temperature_c > 80.0
+    assert results["ac2"].hotspot_percent_any > 0.0
+
+
+def test_four_tier_air_is_catastrophic(results):
+    assert results["ac4"].peak_temperature_c > 130.0
+    assert results["ac4"].hotspot_percent_any == pytest.approx(100.0)
+
+
+def test_four_tier_liquid_cooler_than_two_tier(results):
+    assert results["lc4"].peak_temperature_c < results["lc2"].peak_temperature_c
+
+
+def test_fuzzy_saves_cooling_energy_but_stays_below_threshold(results):
+    assert results["fz2"].pump_energy_j < results["lc2"].pump_energy_j
+    assert results["fz2"].peak_temperature_c < 85.0
+    # The trade: the fuzzy controller runs warmer than worst-case flow.
+    assert results["fz2"].peak_temperature_c > results["lc2"].peak_temperature_c
+
+
+def test_liquid_policies_do_not_degrade_performance(results):
+    assert results["lc2"].degradation_percent == 0.0
+    assert results["fz2"].degradation_percent < 0.01
+
+
+def test_tdvfs_caps_temperature_at_cost_of_delay(results):
+    assert (
+        results["tdvfs2"].degradation_percent
+        > results["ac2"].degradation_percent
+    )
+    assert (
+        results["tdvfs2"].hotspot_percent_avg
+        <= results["ac2"].hotspot_percent_avg
+    )
+
+
+def test_fuzzy_beats_worst_case_flow_on_light_load():
+    lc = run(LiquidLoadBalancing(), trace_factory=web_server_trace)
+    fz = run(LiquidFuzzy(), trace_factory=web_server_trace)
+    assert fz.total_energy_j < lc.total_energy_j

@@ -1,0 +1,88 @@
+"""Pin-fin array geometry."""
+
+import math
+
+import pytest
+
+from repro.geometry import PinFinArray, PinShape, PinArrangement
+
+
+def make_array(arrangement=PinArrangement.INLINE, shape=PinShape.CIRCULAR):
+    return PinFinArray(
+        shape=shape,
+        arrangement=arrangement,
+        diameter=50e-6,
+        transverse_pitch=150e-6,
+        longitudinal_pitch=150e-6,
+        height=100e-6,
+    )
+
+
+def test_circular_cross_section():
+    a = make_array()
+    assert a.pin_cross_section == pytest.approx(math.pi * (50e-6) ** 2 / 4.0)
+
+
+def test_square_cross_section_larger_than_circular():
+    circ = make_array(shape=PinShape.CIRCULAR)
+    square = make_array(shape=PinShape.SQUARE)
+    assert square.pin_cross_section > circ.pin_cross_section
+
+
+def test_porosity_in_unit_interval():
+    a = make_array()
+    assert 0.0 < a.porosity < 1.0
+    expected = 1.0 - a.pin_cross_section / (150e-6 * 150e-6)
+    assert a.porosity == pytest.approx(expected)
+
+
+def test_max_velocity_ratio_inline():
+    a = make_array()
+    # Transverse gap = 100 um of 150 um pitch -> ratio 1.5.
+    assert a.max_velocity_ratio == pytest.approx(1.5)
+
+
+def test_staggered_ratio_at_least_inline():
+    inline = make_array(PinArrangement.INLINE)
+    staggered = make_array(PinArrangement.STAGGERED)
+    assert staggered.max_velocity_ratio >= inline.max_velocity_ratio
+
+
+def test_drop_shape_has_lowest_drag_factor():
+    drags = {
+        shape: make_array(shape=shape).drag_shape_factor
+        for shape in (PinShape.DROP, PinShape.CIRCULAR, PinShape.SQUARE)
+    }
+    assert drags[PinShape.DROP] < drags[PinShape.CIRCULAR] < drags[PinShape.SQUARE]
+
+
+def test_rows_over_length():
+    a = make_array()
+    assert a.rows_over(1.5e-3) == 10
+    with pytest.raises(ValueError):
+        a.rows_over(0.0)
+
+
+def test_velocity_from_flow():
+    a = make_array()
+    span = 10e-3
+    q = 1e-6 / 60.0  # 1 ml/min
+    expected = q / (span * a.height)
+    assert a.velocity(q, span) == pytest.approx(expected)
+
+
+def test_hydraulic_diameter_positive_and_small():
+    a = make_array()
+    assert 0.0 < a.hydraulic_diameter < 2 * a.height
+
+
+def test_touching_pins_rejected():
+    with pytest.raises(ValueError):
+        PinFinArray(
+            shape=PinShape.CIRCULAR,
+            arrangement=PinArrangement.INLINE,
+            diameter=150e-6,
+            transverse_pitch=150e-6,
+            longitudinal_pitch=300e-6,
+            height=100e-6,
+        )

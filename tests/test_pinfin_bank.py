@@ -1,0 +1,93 @@
+"""Pin-fin bank pressure drop and heat transfer (Section II-C claims)."""
+
+import pytest
+
+from repro.geometry import PinFinArray, PinShape, PinArrangement
+from repro.hydraulics import pinfin_pressure_drop, pinfin_htc
+from repro.hydraulics.pinfin_bank import pinfin_footprint_htc
+from repro.materials import WATER
+from repro.units import ml_per_min_to_m3_per_s
+
+SPAN = 10e-3
+LENGTH = 11.5e-3
+FLOW = ml_per_min_to_m3_per_s(20.0)
+
+
+def make(arrangement, shape=PinShape.CIRCULAR, diameter=50e-6):
+    return PinFinArray(
+        shape=shape,
+        arrangement=arrangement,
+        diameter=diameter,
+        transverse_pitch=150e-6,
+        longitudinal_pitch=150e-6,
+        height=100e-6,
+    )
+
+
+def test_staggered_has_higher_pressure_drop():
+    """The paper's conclusion: in-line pins give lower pressure drop."""
+    inline = pinfin_pressure_drop(make(PinArrangement.INLINE), FLOW, LENGTH, SPAN, WATER)
+    staggered = pinfin_pressure_drop(
+        make(PinArrangement.STAGGERED), FLOW, LENGTH, SPAN, WATER
+    )
+    assert staggered > inline
+    assert 1.2 < staggered / inline < 3.0
+
+
+def test_staggered_has_higher_htc_but_less_than_pressure_penalty():
+    """'Acceptable convective heat transfer' at much lower pressure."""
+    h_inline = pinfin_htc(make(PinArrangement.INLINE), FLOW, SPAN, WATER)
+    h_staggered = pinfin_htc(make(PinArrangement.STAGGERED), FLOW, SPAN, WATER)
+    dp_inline = pinfin_pressure_drop(make(PinArrangement.INLINE), FLOW, LENGTH, SPAN, WATER)
+    dp_staggered = pinfin_pressure_drop(
+        make(PinArrangement.STAGGERED), FLOW, LENGTH, SPAN, WATER
+    )
+    htc_gain = h_staggered / h_inline
+    dp_penalty = dp_staggered / dp_inline
+    assert htc_gain > 1.0
+    assert dp_penalty > htc_gain  # the trade favours in-line
+
+
+def test_drop_pins_reduce_pressure_drop():
+    circ = pinfin_pressure_drop(
+        make(PinArrangement.INLINE, PinShape.CIRCULAR), FLOW, LENGTH, SPAN, WATER
+    )
+    drop = pinfin_pressure_drop(
+        make(PinArrangement.INLINE, PinShape.DROP), FLOW, LENGTH, SPAN, WATER
+    )
+    square = pinfin_pressure_drop(
+        make(PinArrangement.INLINE, PinShape.SQUARE), FLOW, LENGTH, SPAN, WATER
+    )
+    assert drop < circ < square
+
+
+def test_pressure_drop_zero_at_zero_flow():
+    assert pinfin_pressure_drop(make(PinArrangement.INLINE), 0.0, LENGTH, SPAN, WATER) == 0.0
+
+
+def test_htc_increases_with_flow():
+    a = make(PinArrangement.INLINE)
+    assert pinfin_htc(a, 2 * FLOW, SPAN, WATER) > pinfin_htc(a, FLOW, SPAN, WATER)
+
+
+def test_htc_scales_as_sqrt_flow():
+    a = make(PinArrangement.INLINE)
+    ratio = pinfin_htc(a, 4 * FLOW, SPAN, WATER) / pinfin_htc(a, FLOW, SPAN, WATER)
+    assert ratio == pytest.approx(2.0, rel=1e-6)
+
+
+def test_footprint_htc_exceeds_pin_htc_times_porosity():
+    a = make(PinArrangement.INLINE)
+    h_pin = pinfin_htc(a, FLOW, SPAN, WATER)
+    h_fp = pinfin_footprint_htc(a, FLOW, SPAN, WATER)
+    assert h_fp > h_pin * a.porosity
+
+
+def test_invalid_inputs_rejected():
+    a = make(PinArrangement.INLINE)
+    with pytest.raises(ValueError):
+        pinfin_htc(a, 0.0, SPAN, WATER)
+    with pytest.raises(ValueError):
+        pinfin_pressure_drop(a, -1.0, LENGTH, SPAN, WATER)
+    with pytest.raises(ValueError):
+        pinfin_footprint_htc(a, FLOW, SPAN, WATER, fin_efficiency=1.5)

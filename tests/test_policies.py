@@ -1,0 +1,85 @@
+"""The four management policies."""
+
+import pytest
+
+from repro import constants
+from repro.core import (
+    AirLoadBalancing,
+    AirTDVFSLoadBalancing,
+    LiquidLoadBalancing,
+    LiquidFuzzy,
+    paper_policies,
+)
+from repro.geometry import CoolingMode
+from repro.units import celsius_to_kelvin
+
+
+def observations(temp_c=60.0, util=0.5):
+    temps = {f"c{i}": celsius_to_kelvin(temp_c) for i in range(4)}
+    utils = {f"c{i}": util for i in range(4)}
+    return temps, utils
+
+
+def test_paper_policy_names_match_figures():
+    names = [p.name for p in paper_policies()]
+    assert names == ["AC_LB", "AC_TDVFS_LB", "LC_LB", "LC_FUZZY"]
+
+
+def test_cooling_modes():
+    policies = paper_policies()
+    assert policies[0].cooling is CoolingMode.AIR
+    assert policies[1].cooling is CoolingMode.AIR
+    assert policies[2].cooling is CoolingMode.LIQUID
+    assert policies[3].cooling is CoolingMode.LIQUID
+
+
+def test_ac_lb_is_passive():
+    temps, utils = observations(90.0, 1.0)
+    decision = AirLoadBalancing().decide(0.0, temps, utils)
+    assert decision.flow_ml_min is None
+    assert all(v == 0 for v in decision.vf_settings.values())
+
+
+def test_ac_tdvfs_throttles_above_threshold():
+    temps, utils = observations(88.0, 1.0)
+    decision = AirTDVFSLoadBalancing().decide(0.0, temps, utils)
+    assert decision.flow_ml_min is None
+    assert all(v == 1 for v in decision.vf_settings.values())
+
+
+def test_ac_tdvfs_reset_between_runs():
+    policy = AirTDVFSLoadBalancing()
+    temps, utils = observations(88.0, 1.0)
+    policy.decide(0.0, temps, utils)
+    policy.reset()
+    temps2, utils2 = observations(60.0, 1.0)
+    decision = policy.decide(0.0, temps2, utils2)
+    assert all(v == 0 for v in decision.vf_settings.values())
+
+
+def test_lc_lb_pins_maximum_flow():
+    temps, utils = observations(40.0, 0.0)
+    decision = LiquidLoadBalancing().decide(0.0, temps, utils)
+    assert decision.flow_ml_min == pytest.approx(constants.FLOW_RATE_MAX_ML_MIN)
+    assert all(v == 0 for v in decision.vf_settings.values())
+
+
+def test_lc_fuzzy_modulates_flow():
+    policy = LiquidFuzzy()
+    cool_temps, idle_utils = observations(45.0, 0.05)
+    hot_temps, busy_utils = observations(78.0, 0.9)
+    low = policy.decide(0.0, cool_temps, idle_utils)
+    policy.reset()
+    high = policy.decide(0.0, hot_temps, busy_utils)
+    assert low.flow_ml_min < high.flow_ml_min
+
+
+def test_lc_lb_rejects_invalid_flow():
+    with pytest.raises(ValueError):
+        LiquidLoadBalancing(flow_ml_min=0.0)
+
+
+def test_fresh_instances_every_call():
+    a = paper_policies()
+    b = paper_policies()
+    assert all(x is not y for x, y in zip(a, b))

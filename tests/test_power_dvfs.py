@@ -1,0 +1,71 @@
+"""DVFS operating points and scaling factors."""
+
+import pytest
+
+from repro.power import OperatingPoint, VFTable, NIAGARA_VF_TABLE
+
+
+def test_niagara_nominal_point():
+    # [13]: UltraSPARC T1 at 1.2 GHz / 1.2 V (90 nm).
+    nominal = NIAGARA_VF_TABLE.nominal
+    assert nominal.frequency_hz == pytest.approx(1.2e9)
+    assert nominal.voltage == pytest.approx(1.2)
+
+
+def test_speed_fraction_monotone():
+    fractions = [
+        NIAGARA_VF_TABLE.speed_fraction(i) for i in range(len(NIAGARA_VF_TABLE))
+    ]
+    assert fractions[0] == 1.0
+    assert all(b < a for a, b in zip(fractions, fractions[1:]))
+
+
+def test_dynamic_scale_is_f_v_squared():
+    table = NIAGARA_VF_TABLE
+    point = table[2]
+    nominal = table.nominal
+    expected = (point.frequency_hz / nominal.frequency_hz) * (
+        point.voltage / nominal.voltage
+    ) ** 2
+    assert table.dynamic_scale(2) == pytest.approx(expected)
+
+
+def test_dynamic_savings_exceed_speed_loss():
+    """Cubic-versus-linear: the energy argument behind DVFS."""
+    table = NIAGARA_VF_TABLE
+    for i in range(1, len(table)):
+        assert table.dynamic_scale(i) < table.speed_fraction(i)
+
+
+def test_leakage_scale_tracks_voltage():
+    table = NIAGARA_VF_TABLE
+    assert table.leakage_scale(0) == 1.0
+    assert table.leakage_scale(table.lowest_index) == pytest.approx(0.9 / 1.2)
+
+
+def test_clamp():
+    table = NIAGARA_VF_TABLE
+    assert table.clamp(-5) == 0
+    assert table.clamp(99) == table.lowest_index
+
+
+def test_table_requires_descending_frequency():
+    with pytest.raises(ValueError):
+        VFTable(
+            [
+                OperatingPoint(1.0e9, 1.1),
+                OperatingPoint(1.2e9, 1.2),
+            ]
+        )
+
+
+def test_empty_table_rejected():
+    with pytest.raises(ValueError):
+        VFTable([])
+
+
+def test_invalid_operating_point():
+    with pytest.raises(ValueError):
+        OperatingPoint(0.0, 1.0)
+    with pytest.raises(ValueError):
+        OperatingPoint(1e9, -1.0)

@@ -1,0 +1,119 @@
+"""Block-level power model."""
+
+import pytest
+
+from repro.power import PowerModel
+from repro.units import celsius_to_kelvin
+
+
+@pytest.fixture()
+def power_model(liquid_stack_2tier):
+    return PowerModel(liquid_stack_2tier)
+
+
+def full_util(model, level=1.0):
+    return {ref: level for ref in model.core_refs}
+
+
+def test_core_refs_enumerated(power_model):
+    assert len(power_model.core_refs) == 8
+
+
+def test_two_state_dynamic_model(power_model):
+    """Section IV-A: dynamic power equals the average power of the state
+    (active, idle) — linear interpolation in the utilisation."""
+    idle = power_model.core_dynamic_power(0.0, 0)
+    half = power_model.core_dynamic_power(0.5, 0)
+    busy = power_model.core_dynamic_power(1.0, 0)
+    assert half == pytest.approx(0.5 * (idle + busy))
+    assert idle == pytest.approx(0.7, rel=1e-6)
+    assert busy == pytest.approx(4.2, rel=1e-6)
+
+
+def test_dvfs_reduces_core_dynamic_power(power_model):
+    nominal = power_model.core_dynamic_power(1.0, 0)
+    slow = power_model.core_dynamic_power(1.0, 3)
+    assert slow < 0.5 * nominal
+
+
+def test_chip_power_magnitude_at_high_load(power_model):
+    """Section II-D: a 2-tier 3D MPSoC consumes ~70 W."""
+    temps = {}  # defaults
+    breakdown = power_model.breakdown(full_util(power_model, 0.95), {}, temps)
+    assert 45.0 < breakdown.total < 80.0
+
+
+def test_idle_floor_positive(power_model):
+    breakdown = power_model.breakdown(full_util(power_model, 0.0))
+    assert breakdown.total > 5.0  # idle + leakage floor
+    assert breakdown.dynamic > 0.0
+
+
+def test_leakage_rises_with_temperature(power_model):
+    cool = {ref: celsius_to_kelvin(40.0) for ref in power_model.core_refs}
+    hot = {ref: celsius_to_kelvin(90.0) for ref in power_model.core_refs}
+    b_cool = power_model.breakdown(full_util(power_model), {}, cool)
+    b_hot = power_model.breakdown(full_util(power_model), {}, hot)
+    assert b_hot.leakage > b_cool.leakage
+    assert b_hot.dynamic == pytest.approx(b_cool.dynamic)
+
+
+def test_block_powers_cover_all_blocks(power_model, liquid_stack_2tier):
+    powers = power_model.block_powers(full_util(power_model, 0.5))
+    assert set(powers) == set(liquid_stack_2tier.block_refs())
+    assert all(p > 0.0 for p in powers.values())
+
+
+def test_block_powers_sum_matches_breakdown(power_model):
+    utils = full_util(power_model, 0.6)
+    total = sum(power_model.block_powers(utils).values())
+    breakdown = power_model.breakdown(utils)
+    assert total == pytest.approx(breakdown.total, rel=1e-12)
+
+
+def test_shared_blocks_track_mean_utilisation(power_model):
+    low = power_model.block_powers(full_util(power_model, 0.1))
+    high = power_model.block_powers(full_util(power_model, 0.9))
+    crossbar = ("tier0_die", "crossbar")
+    assert high[crossbar] > low[crossbar]
+
+
+def test_dvfs_per_core_settings(power_model):
+    utils = full_util(power_model, 1.0)
+    target = power_model.core_refs[0]
+    throttled = power_model.block_powers(utils, {target: 3})
+    nominal = power_model.block_powers(utils)
+    assert throttled[target] < nominal[target]
+    other = power_model.core_refs[1]
+    assert throttled[other] == pytest.approx(nominal[other])
+
+
+def test_missing_core_utilisation_rejected(power_model):
+    utils = full_util(power_model)
+    utils.pop(power_model.core_refs[0])
+    with pytest.raises(KeyError):
+        power_model.block_powers(utils)
+
+
+def test_out_of_range_utilisation_rejected(power_model):
+    utils = full_util(power_model)
+    utils[power_model.core_refs[0]] = 1.5
+    with pytest.raises(ValueError):
+        power_model.block_powers(utils)
+
+
+def test_stack_without_cores_rejected():
+    from repro.geometry import StackDesign, Layer, cache_tier_floorplan
+    from repro.geometry.niagara import DIE_WIDTH, DIE_HEIGHT
+    from repro.materials import SILICON
+
+    stack = StackDesign(
+        name="cache only",
+        width=DIE_WIDTH,
+        height=DIE_HEIGHT,
+        elements=[
+            Layer("die", SILICON, 1e-4, floorplan=cache_tier_floorplan())
+        ],
+    )
+    with pytest.raises(ValueError):
+        PowerModel(stack)

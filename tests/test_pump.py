@@ -1,0 +1,68 @@
+"""Pumping-network power model (Table I endpoints)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import constants
+from repro.hydraulics import PumpModel, TABLE_I_PUMP
+
+
+def test_table_i_endpoints():
+    assert TABLE_I_PUMP.power(10.0, 1) == pytest.approx(3.5)
+    assert TABLE_I_PUMP.power(32.3, 1) == pytest.approx(11.176)
+
+
+def test_paper_headline_saving_is_built_in():
+    # Abstract: "up to 67 % reduction in cooling energy" — precisely the
+    # min/max pump-power ratio of the Table I endpoints.
+    saving = TABLE_I_PUMP.max_saving_fraction()
+    assert saving == pytest.approx(1.0 - 3.5 / 11.176)
+    assert 0.67 <= saving <= 0.70
+
+
+def test_power_scales_with_cavity_count():
+    one = TABLE_I_PUMP.power(20.0, 1)
+    three = TABLE_I_PUMP.power(20.0, 3)
+    assert three == pytest.approx(3 * one)
+
+
+@given(st.floats(10.0, 32.3))
+def test_power_monotone_in_flow(flow):
+    eps = 0.01
+    if flow + eps <= 32.3:
+        assert TABLE_I_PUMP.power(flow + eps, 1) > TABLE_I_PUMP.power(flow, 1)
+
+
+@given(st.floats(-50.0, 100.0))
+def test_clamp_respects_range(flow):
+    clamped = TABLE_I_PUMP.clamp_flow(flow)
+    assert constants.FLOW_RATE_MIN_ML_MIN <= clamped <= constants.FLOW_RATE_MAX_ML_MIN
+
+
+def test_out_of_range_flow_rejected():
+    with pytest.raises(ValueError):
+        TABLE_I_PUMP.power(5.0, 1)
+    with pytest.raises(ValueError):
+        TABLE_I_PUMP.power(40.0, 1)
+
+
+def test_invalid_cavities_rejected():
+    with pytest.raises(ValueError):
+        TABLE_I_PUMP.power(20.0, 0)
+
+
+def test_invalid_model_parameters_rejected():
+    with pytest.raises(ValueError):
+        PumpModel(flow_min_ml_min=20.0, flow_max_ml_min=10.0)
+    with pytest.raises(ValueError):
+        PumpModel(power_min=12.0, power_max=11.0)
+    with pytest.raises(ValueError):
+        PumpModel(reference_cavities=0)
+
+
+def test_nearly_proportional_endpoints():
+    # The modelling note in the module docstring: the Table I endpoints
+    # imply near-proportionality between flow and power.
+    ratio_min = constants.PUMP_POWER_MIN / constants.FLOW_RATE_MIN_ML_MIN
+    ratio_max = constants.PUMP_POWER_MAX / constants.FLOW_RATE_MAX_ML_MIN
+    assert ratio_min == pytest.approx(ratio_max, rel=0.02)

@@ -1,0 +1,139 @@
+"""Thermal-reliability metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.reliability import (
+    ThermalCycle,
+    arrhenius_acceleration,
+    coffin_manson_cycles_to_failure,
+    extract_cycles,
+    fatigue_damage_index,
+    reliability_report,
+)
+
+
+# ---------------------------------------------------------------------------
+# cycle counting
+# ---------------------------------------------------------------------------
+
+
+def test_constant_series_has_no_cycles():
+    assert extract_cycles([70.0] * 50) == []
+
+
+def test_single_square_pulse_counts_one_cycle():
+    series = [60.0] * 5 + [80.0] * 5 + [60.0] * 5
+    cycles = extract_cycles(series)
+    assert len(cycles) == 1
+    assert cycles[0].amplitude == pytest.approx(20.0)
+    assert cycles[0].mean == pytest.approx(70.0)
+
+
+def test_sinusoid_counts_period_cycles():
+    t = np.linspace(0.0, 10.0, 1001)
+    series = 70.0 + 10.0 * np.sin(2.0 * np.pi * t)  # 10 periods
+    cycles = extract_cycles(series)
+    big = [c for c in cycles if c.amplitude > 15.0]
+    assert 9 <= len(big) <= 11
+    for c in big:
+        assert c.amplitude == pytest.approx(20.0, rel=0.05)
+
+
+def test_small_ripple_filtered():
+    t = np.linspace(0.0, 10.0, 1001)
+    series = 70.0 + 0.2 * np.sin(2.0 * np.pi * t)
+    assert extract_cycles(series, min_amplitude=0.5) == []
+
+
+def test_nested_cycle_collapsed():
+    # A small inner excursion inside one big swing: rainflow counts the
+    # inner cycle separately and keeps the outer swing.
+    series = [50.0, 80.0, 70.0, 75.0, 40.0]
+    cycles = extract_cycles(series)
+    amplitudes = sorted(c.amplitude for c in cycles)
+    assert amplitudes[0] == pytest.approx(5.0)  # the 70->75 inner cycle
+    assert amplitudes[-1] >= 30.0  # the big swing survives
+
+
+# ---------------------------------------------------------------------------
+# damage models
+# ---------------------------------------------------------------------------
+
+
+def test_coffin_manson_power_law():
+    n10 = coffin_manson_cycles_to_failure(10.0)
+    n20 = coffin_manson_cycles_to_failure(20.0)
+    assert n10 / n20 == pytest.approx(2.0**2.35, rel=1e-9)
+
+
+def test_bigger_swings_do_more_damage():
+    small = fatigue_damage_index([ThermalCycle(5.0, 70.0)] * 10)
+    large = fatigue_damage_index([ThermalCycle(20.0, 70.0)] * 10)
+    assert large > small
+
+
+def test_arrhenius_reference_point():
+    assert arrhenius_acceleration(358.15) == pytest.approx(1.0)
+    assert arrhenius_acceleration(368.15) > 1.0
+    assert arrhenius_acceleration(338.15) < 1.0
+
+
+def test_arrhenius_doubling_scale():
+    # With Ea = 0.7 eV wear roughly doubles every ~10 K near 85 degC.
+    ratio = arrhenius_acceleration(368.15) / arrhenius_acceleration(358.15)
+    assert 1.5 < ratio < 2.5
+
+
+# ---------------------------------------------------------------------------
+# report + integration
+# ---------------------------------------------------------------------------
+
+
+def test_report_fields():
+    t = np.linspace(0.0, 30.0, 301)
+    series = 65.0 + 8.0 * np.sin(2.0 * np.pi * t / 10.0)
+    report = reliability_report(series, dt=0.1)
+    assert report["peak_c"] == pytest.approx(73.0, abs=0.1)
+    assert report["cycle_count"] >= 2
+    assert report["max_cycle_amplitude_k"] == pytest.approx(16.0, rel=0.05)
+    assert report["fatigue_damage"] > 0.0
+
+
+def test_cooler_policy_has_lower_acceleration():
+    hot = reliability_report([85.0] * 100, dt=0.1)
+    cool = reliability_report([56.0] * 100, dt=0.1)
+    assert (
+        cool["mean_arrhenius_acceleration"]
+        < hot["mean_arrhenius_acceleration"]
+    )
+
+
+def test_report_on_simulation_series():
+    from repro.core import LiquidFuzzy, SystemSimulator
+    from repro.geometry import build_3d_mpsoc
+    from tests.conftest import make_constant_trace
+
+    result = SystemSimulator(
+        build_3d_mpsoc(2),
+        LiquidFuzzy(),
+        make_constant_trace(0.6),
+        nx=12,
+        ny=10,
+        record_series=True,
+    ).run()
+    report = reliability_report(result.series["max_temperature_c"], dt=0.1)
+    assert report["peak_c"] == pytest.approx(result.peak_temperature_c, abs=0.1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        reliability_report([], dt=0.1)
+    with pytest.raises(ValueError):
+        reliability_report([70.0], dt=0.0)
+    with pytest.raises(ValueError):
+        coffin_manson_cycles_to_failure(0.0)
+    with pytest.raises(ValueError):
+        arrhenius_acceleration(-1.0)

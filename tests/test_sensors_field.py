@@ -1,0 +1,94 @@
+"""Temperature fields and on-die sensors."""
+
+import numpy as np
+import pytest
+
+from repro.thermal import CompactThermalModel, TemperatureField, TemperatureSensors
+
+
+def core_powers(stack, watts=5.0):
+    return {
+        (layer.name, block.name): watts
+        for layer, block in stack.iter_blocks()
+        if block.kind == "core"
+    }
+
+
+def test_field_shape_validation(liquid_model_coarse):
+    grid = liquid_model_coarse.grid
+    with pytest.raises(ValueError):
+        TemperatureField(grid, np.zeros(grid.size + 1))
+
+
+def test_layer_extraction_returns_copy(liquid_model_coarse):
+    field = liquid_model_coarse.uniform_field(300.0)
+    layer = field.layer("tier0_die")
+    layer[0, 0] = 999.0
+    assert field.values.max() == 300.0
+
+
+def test_block_temperatures_max_vs_mean(liquid_model_coarse, liquid_stack_2tier):
+    field = liquid_model_coarse.steady_state(core_powers(liquid_stack_2tier))
+    masks = liquid_model_coarse.block_masks()
+    maxima = field.block_temperatures(masks, reduce="max")
+    means = field.block_temperatures(masks, reduce="mean")
+    for ref in masks:
+        assert maxima[ref] >= means[ref]
+
+
+def test_block_temperatures_rejects_bad_reduce(liquid_model_coarse):
+    field = liquid_model_coarse.uniform_field(300.0)
+    with pytest.raises(ValueError):
+        field.block_temperatures(liquid_model_coarse.block_masks(), reduce="median")
+
+
+def test_sensors_default_to_cores(liquid_model_coarse):
+    sensors = TemperatureSensors(liquid_model_coarse)
+    assert len(sensors.refs) == 8
+    assert all(name.startswith("core") for _, name in sensors.refs)
+
+
+def test_sensor_readings_track_hot_cores(liquid_model_coarse, liquid_stack_2tier):
+    powers = core_powers(liquid_stack_2tier, 2.0)
+    hot_ref = ("tier0_die", "core0")
+    powers[hot_ref] = 8.0
+    field = liquid_model_coarse.steady_state(powers)
+    sensors = TemperatureSensors(liquid_model_coarse)
+    ref, value = sensors.read_max(field)
+    assert ref == hot_ref
+    assert value == pytest.approx(max(sensors.read(field).values()))
+
+
+def test_noise_is_reproducible_per_seed(liquid_model_coarse):
+    field = liquid_model_coarse.uniform_field(300.0)
+    s1 = TemperatureSensors(liquid_model_coarse, noise_sigma=0.5, seed=7)
+    s2 = TemperatureSensors(liquid_model_coarse, noise_sigma=0.5, seed=7)
+    assert s1.read(field) == s2.read(field)
+
+
+def test_noiseless_sensors_are_exact(liquid_model_coarse):
+    field = liquid_model_coarse.uniform_field(321.0)
+    sensors = TemperatureSensors(liquid_model_coarse)
+    readings = sensors.read(field)
+    assert all(v == pytest.approx(321.0) for v in readings.values())
+
+
+def test_quantisation_rounds_to_lsb(liquid_model_coarse):
+    field = liquid_model_coarse.uniform_field(300.27)
+    sensors = TemperatureSensors(liquid_model_coarse, quantisation=0.5)
+    readings = sensors.read(field)
+    assert all(v == pytest.approx(300.5) for v in readings.values())
+
+
+def test_copy_is_independent(liquid_model_coarse):
+    field = liquid_model_coarse.uniform_field(300.0)
+    clone = field.copy()
+    clone.values[:] = 400.0
+    assert field.values.max() == 300.0
+
+
+def test_invalid_sensor_parameters(liquid_model_coarse):
+    with pytest.raises(ValueError):
+        TemperatureSensors(liquid_model_coarse, noise_sigma=-1.0)
+    with pytest.raises(ValueError):
+        TemperatureSensors(liquid_model_coarse, refs=[])

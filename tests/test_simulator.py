@@ -1,0 +1,113 @@
+"""Closed-loop system simulator (integration tests)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SystemSimulator,
+    AirLoadBalancing,
+    LiquidFuzzy,
+    LiquidLoadBalancing,
+)
+from repro.geometry import build_3d_mpsoc, CoolingMode
+from tests.conftest import make_constant_trace
+
+
+def make_sim(policy, trace, tiers=2, **kwargs):
+    stack = build_3d_mpsoc(tiers, policy.cooling)
+    kwargs.setdefault("nx", 12)
+    kwargs.setdefault("ny", 10)
+    return SystemSimulator(stack, policy, trace, **kwargs)
+
+
+def test_mode_mismatch_rejected(short_trace):
+    stack = build_3d_mpsoc(2, CoolingMode.LIQUID)
+    with pytest.raises(ValueError, match="cooling"):
+        SystemSimulator(stack, AirLoadBalancing(), short_trace)
+
+
+def test_duration_matches_trace(short_trace):
+    result = make_sim(LiquidLoadBalancing(), short_trace).run()
+    assert result.duration == pytest.approx(short_trace.duration)
+
+
+def test_lc_lb_constant_max_flow(short_trace):
+    result = make_sim(LiquidLoadBalancing(), short_trace).run()
+    assert result.mean_flow_ml_min == pytest.approx(32.3)
+    assert result.pump_energy_j == pytest.approx(11.176 * 5.0, rel=1e-6)
+
+
+def test_fuzzy_uses_less_pump_energy_than_max_flow(short_trace):
+    lb = make_sim(LiquidLoadBalancing(), short_trace).run()
+    fuzzy = make_sim(LiquidFuzzy(), short_trace).run()
+    assert fuzzy.pump_energy_j < lb.pump_energy_j
+
+
+def test_no_hotspots_on_idle_liquid_trace():
+    trace = make_constant_trace(0.1)
+    result = make_sim(LiquidLoadBalancing(), trace).run()
+    assert result.hotspot_percent_any == 0.0
+    assert result.peak_temperature_c < 60.0
+
+
+def test_energy_scales_with_duration():
+    short = make_constant_trace(0.6, intervals=3)
+    longer = make_constant_trace(0.6, intervals=6)
+    e_short = make_sim(LiquidLoadBalancing(), short).run()
+    e_long = make_sim(LiquidLoadBalancing(), longer).run()
+    assert e_long.chip_energy_j > 1.8 * e_short.chip_energy_j
+
+
+def test_series_recording(short_trace):
+    result = make_sim(
+        LiquidFuzzy(), short_trace, record_series=True
+    ).run()
+    n_steps = int(short_trace.duration / 0.1)
+    for key in ("time", "max_temperature_c", "flow_ml_min", "chip_power_w"):
+        assert len(result.series[key]) == n_steps
+    assert np.all(np.diff(result.series["time"]) > 0.0)
+
+
+def test_no_series_by_default(short_trace):
+    result = make_sim(LiquidLoadBalancing(), short_trace).run()
+    assert result.series == {}
+
+
+def test_higher_load_higher_chip_energy():
+    low = make_sim(LiquidLoadBalancing(), make_constant_trace(0.2)).run()
+    high = make_sim(LiquidLoadBalancing(), make_constant_trace(0.9)).run()
+    assert high.chip_energy_j > low.chip_energy_j
+    assert high.peak_temperature_c > low.peak_temperature_c
+
+
+def test_air_policy_has_no_pump_energy(short_trace):
+    result = make_sim(AirLoadBalancing(), short_trace).run()
+    assert result.pump_energy_j == 0.0
+    assert result.mean_flow_ml_min == 0.0
+
+
+def test_degradation_zero_without_throttling(short_trace):
+    result = make_sim(LiquidLoadBalancing(), short_trace).run()
+    assert result.degradation_percent == 0.0
+
+
+def test_insufficient_threads_rejected():
+    trace = make_constant_trace(0.5, threads=4)
+    stack = build_3d_mpsoc(2, CoolingMode.LIQUID)
+    with pytest.raises(ValueError, match="threads"):
+        SystemSimulator(stack, LiquidLoadBalancing(), trace)
+
+
+def test_control_period_must_divide_trace_period(short_trace):
+    stack = build_3d_mpsoc(2, CoolingMode.LIQUID)
+    with pytest.raises(ValueError):
+        SystemSimulator(
+            stack, LiquidLoadBalancing(), short_trace, control_period=0.3
+        )
+
+
+def test_result_total_energy_property(short_trace):
+    result = make_sim(LiquidLoadBalancing(), short_trace).run()
+    assert result.total_energy_j == pytest.approx(
+        result.chip_energy_j + result.pump_energy_j
+    )

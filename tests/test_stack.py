@@ -1,0 +1,119 @@
+"""3D stack construction."""
+
+import pytest
+
+from repro import constants
+from repro.geometry import build_3d_mpsoc, CoolingMode, Layer, Cavity, StackDesign
+from repro.geometry.niagara import DIE_WIDTH, DIE_HEIGHT
+from repro.materials import SILICON
+
+
+def test_2tier_liquid_structure(liquid_stack_2tier):
+    s = liquid_stack_2tier
+    assert s.tier_count == 2
+    # Cavities sit between adjacent tiers: tiers - 1 of them.
+    assert s.cavity_count == 1
+    assert s.cooling_mode is CoolingMode.LIQUID
+    assert s.elements[-1].name == "lid"
+
+
+def test_4tier_liquid_has_three_cavities():
+    s = build_3d_mpsoc(4)
+    assert s.tier_count == 4
+    assert s.cavity_count == 3
+
+
+def test_air_stack_has_no_cavities_and_a_tim(air_stack_2tier):
+    s = air_stack_2tier
+    assert s.cavity_count == 0
+    assert s.elements[-1].name == "tim"
+
+
+def test_core_and_cache_tiers_alternate():
+    s = build_3d_mpsoc(4)
+    kinds = []
+    for layer in s.source_layers:
+        blocks = layer.floorplan.blocks_of_kind("core")
+        kinds.append("core" if blocks else "cache")
+    assert kinds == ["core", "cache", "core", "cache"]
+
+
+def test_4tier_has_16_uniquely_named_cores():
+    s = build_3d_mpsoc(4)
+    cores = [
+        block.name for _, block in s.iter_blocks() if block.kind == "core"
+    ]
+    assert len(cores) == 16
+    assert len(set(cores)) == 16
+
+
+def test_die_thickness_from_table_i():
+    s = build_3d_mpsoc(2)
+    for layer in s.source_layers:
+        assert layer.thickness == constants.DIE_THICKNESS
+        assert layer.material is SILICON
+
+
+def test_cavity_geometry_from_table_i():
+    s = build_3d_mpsoc(2)
+    geom = s.cavities[0].geometry
+    assert geom.width == constants.CHANNEL_WIDTH
+    assert geom.pitch == constants.CHANNEL_PITCH
+    assert geom.height == constants.INTERTIER_THICKNESS
+
+
+def test_footprint_matches_table_i_layer_area():
+    s = build_3d_mpsoc(2)
+    assert s.area == pytest.approx(constants.LAYER_AREA)
+
+
+def test_odd_tier_count_rejected():
+    with pytest.raises(ValueError):
+        build_3d_mpsoc(3)
+    with pytest.raises(ValueError):
+        build_3d_mpsoc(0)
+
+
+def test_block_refs_cover_all_source_blocks(liquid_stack_2tier):
+    refs = liquid_stack_2tier.block_refs()
+    assert len(refs) == len(set(refs))
+    core_refs = [r for r in refs if r[1].startswith("core")]
+    assert len(core_refs) == 8
+
+
+def test_duplicate_element_names_rejected():
+    layer = Layer("a", SILICON, 1e-4)
+    with pytest.raises(ValueError, match="unique"):
+        StackDesign(
+            name="bad",
+            width=DIE_WIDTH,
+            height=DIE_HEIGHT,
+            elements=[layer, Layer("a", SILICON, 1e-4)],
+        )
+
+
+def test_mismatched_floorplan_rejected():
+    from repro.geometry import core_tier_floorplan
+
+    plan = core_tier_floorplan()
+    with pytest.raises(ValueError, match="outline"):
+        StackDesign(
+            name="bad",
+            width=DIE_WIDTH * 2,
+            height=DIE_HEIGHT,
+            elements=[Layer("die", SILICON, 1e-4, floorplan=plan)],
+        )
+
+
+def test_element_lookup(liquid_stack_2tier):
+    cavity = liquid_stack_2tier.element("cavity0")
+    assert isinstance(cavity, Cavity)
+    with pytest.raises(KeyError):
+        liquid_stack_2tier.element("nope")
+
+
+def test_total_thickness_is_sum_of_elements(liquid_stack_2tier):
+    s = liquid_stack_2tier
+    assert s.total_thickness == pytest.approx(
+        sum(e.thickness for e in s.elements)
+    )

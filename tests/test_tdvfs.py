@@ -1,0 +1,79 @@
+"""Temperature-triggered DVFS."""
+
+import pytest
+
+from repro.core import TemperatureTriggeredDVFS
+from repro.units import celsius_to_kelvin
+
+
+def k(c):
+    return celsius_to_kelvin(c)
+
+
+def test_scales_down_above_trigger():
+    dvfs = TemperatureTriggeredDVFS()
+    settings = dvfs.update(0.0, {"c0": k(86.0)})
+    assert settings["c0"] == 1
+
+
+def test_scales_down_one_step_per_interval():
+    dvfs = TemperatureTriggeredDVFS(scaling_interval=0.1)
+    dvfs.update(0.0, {"c0": k(90.0)})
+    # Immediately again: interval not elapsed, no further step.
+    settings = dvfs.update(0.05, {"c0": k(90.0)})
+    assert settings["c0"] == 1
+    settings = dvfs.update(0.1, {"c0": k(90.0)})
+    assert settings["c0"] == 2
+
+
+def test_saturates_at_lowest_setting():
+    dvfs = TemperatureTriggeredDVFS(scaling_interval=0.1)
+    t = 0.0
+    for _ in range(10):
+        settings = dvfs.update(t, {"c0": k(95.0)})
+        t += 0.1
+    assert settings["c0"] == dvfs.vf_table.lowest_index
+
+
+def test_scales_up_below_release():
+    dvfs = TemperatureTriggeredDVFS(scaling_interval=0.1)
+    dvfs.update(0.0, {"c0": k(86.0)})
+    settings = dvfs.update(0.2, {"c0": k(81.0)})
+    assert settings["c0"] == 0
+
+
+def test_hysteresis_band_holds_setting():
+    """Between 82 and 85 degC the setting must not change."""
+    dvfs = TemperatureTriggeredDVFS(scaling_interval=0.1)
+    dvfs.update(0.0, {"c0": k(86.0)})
+    settings = dvfs.update(0.2, {"c0": k(83.5)})
+    assert settings["c0"] == 1
+    settings = dvfs.update(0.4, {"c0": k(84.9)})
+    assert settings["c0"] == 1
+
+
+def test_cores_are_independent():
+    dvfs = TemperatureTriggeredDVFS()
+    settings = dvfs.update(0.0, {"hot": k(90.0), "cool": k(60.0)})
+    assert settings["hot"] == 1
+    assert settings["cool"] == 0
+
+
+def test_reset_clears_state():
+    dvfs = TemperatureTriggeredDVFS()
+    dvfs.update(0.0, {"c0": k(90.0)})
+    dvfs.reset()
+    assert dvfs.setting("c0") == 0
+
+
+def test_paper_thresholds_by_default():
+    dvfs = TemperatureTriggeredDVFS()
+    assert dvfs.trigger_k == pytest.approx(k(85.0))
+    assert dvfs.release_k == pytest.approx(k(82.0))
+
+
+def test_invalid_thresholds_rejected():
+    with pytest.raises(ValueError):
+        TemperatureTriggeredDVFS(trigger_k=k(80.0), release_k=k(85.0))
+    with pytest.raises(ValueError):
+        TemperatureTriggeredDVFS(scaling_interval=0.0)

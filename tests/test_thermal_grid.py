@@ -1,0 +1,67 @@
+"""Thermal-grid indexing and bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.thermal import ThermalGrid
+
+
+def test_grid_dimensions(liquid_stack_2tier):
+    grid = ThermalGrid(liquid_stack_2tier, nx=12, ny=10)
+    assert grid.levels == len(liquid_stack_2tier.elements)
+    assert grid.cells_per_level == 120
+    assert not grid.has_sink_node
+    assert grid.size == grid.levels * 120
+
+
+def test_air_grid_has_sink_node(air_stack_2tier):
+    grid = ThermalGrid(air_stack_2tier, nx=12, ny=10)
+    assert grid.has_sink_node
+    assert grid.size == grid.levels * 120 + 1
+    assert grid.sink_index == grid.levels * 120
+
+
+def test_liquid_grid_has_no_sink_index(liquid_stack_2tier):
+    grid = ThermalGrid(liquid_stack_2tier, nx=12, ny=10)
+    with pytest.raises(AttributeError):
+        _ = grid.sink_index
+
+
+def test_index_roundtrip(liquid_stack_2tier):
+    grid = ThermalGrid(liquid_stack_2tier, nx=12, ny=10)
+    idx = grid.index(2, 3, 4)
+    assert idx == 2 * 120 + 3 * 12 + 4
+    with pytest.raises(IndexError):
+        grid.index(99, 0, 0)
+    with pytest.raises(IndexError):
+        grid.index(0, 10, 0)
+
+
+def test_level_view_shares_memory(liquid_stack_2tier):
+    grid = ThermalGrid(liquid_stack_2tier, nx=12, ny=10)
+    vec = np.zeros(grid.size)
+    view = grid.level_view(vec, 1)
+    view[3, 4] = 42.0
+    assert vec[grid.index(1, 3, 4)] == 42.0
+
+
+def test_cell_geometry(liquid_stack_2tier):
+    grid = ThermalGrid(liquid_stack_2tier, nx=23, ny=20)
+    assert grid.dx == pytest.approx(0.5e-3)
+    assert grid.dy == pytest.approx(0.5e-3)
+    assert grid.cell_area == pytest.approx(0.25e-6)
+    xs, ys = grid.cell_centres()
+    assert xs[0] == pytest.approx(0.25e-3)
+    assert ys[-1] == pytest.approx(liquid_stack_2tier.height - 0.25e-3)
+
+
+def test_level_lookup_by_name(liquid_stack_2tier):
+    grid = ThermalGrid(liquid_stack_2tier, nx=12, ny=10)
+    assert grid.level_of("cavity0") == 2  # wiring, die, cavity, ...
+    with pytest.raises(ValueError):
+        grid.level_of("missing")
+
+
+def test_too_coarse_grid_rejected(liquid_stack_2tier):
+    with pytest.raises(ValueError):
+        ThermalGrid(liquid_stack_2tier, nx=1, ny=10)

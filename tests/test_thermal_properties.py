@@ -1,0 +1,95 @@
+"""Property-based invariants of the thermal substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import build_3d_mpsoc
+from repro.thermal import CompactThermalModel
+
+pytestmark = pytest.mark.filterwarnings("ignore::scipy.sparse.SparseEfficiencyWarning")
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CompactThermalModel(build_3d_mpsoc(2), nx=12, ny=10)
+
+
+def random_powers(model, values):
+    refs = model.stack.block_refs()
+    return {ref: w for ref, w in zip(refs, values)}
+
+
+@given(
+    values=st.lists(
+        st.floats(0.0, 8.0, allow_nan=False), min_size=24, max_size=24
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_energy_conserved_for_any_power_pattern(model, values):
+    """Steady state: coolant removes exactly the injected power, for
+    arbitrary (non-negative) block power patterns."""
+    powers = random_powers(model, values)
+    field = model.steady_state(powers)
+    removed = model.heat_removed_by_coolant(field)
+    assert removed == pytest.approx(sum(powers.values()), abs=1e-6, rel=1e-9)
+
+
+@given(
+    values=st.lists(
+        st.floats(0.0, 8.0, allow_nan=False), min_size=24, max_size=24
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_minimum_principle(model, values):
+    """No cell may fall below the coolant inlet temperature (maximum
+    principle of the discrete elliptic operator with positive sources)."""
+    powers = random_powers(model, values)
+    field = model.steady_state(powers)
+    assert field.values.min() >= model.inlet_temperature - 1e-9
+
+
+@given(
+    values=st.lists(
+        st.floats(0.0, 5.0, allow_nan=False), min_size=24, max_size=24
+    ),
+    extra=st.floats(0.5, 5.0),
+    index=st.integers(0, 23),
+)
+@settings(max_examples=20, deadline=None)
+def test_monotonicity_in_power(model, values, extra, index):
+    """Adding power anywhere can cool nothing (operator monotonicity)."""
+    base = random_powers(model, values)
+    bumped = dict(base)
+    ref = model.stack.block_refs()[index]
+    bumped[ref] = bumped[ref] + extra
+    field_base = model.steady_state(base)
+    field_bumped = model.steady_state(bumped)
+    assert np.all(field_bumped.values >= field_base.values - 1e-9)
+
+
+@given(flow=st.floats(10.0, 32.3))
+@settings(max_examples=15, deadline=None)
+def test_superposition_linearity(model, flow):
+    """The model is linear: doubling all powers doubles every rise."""
+    refs = model.stack.block_refs()
+    powers = {ref: 2.0 for ref in refs}
+    doubled = {ref: 4.0 for ref in refs}
+    f1 = model.steady_state(powers, flow_ml_min=flow)
+    f2 = model.steady_state(doubled, flow_ml_min=flow)
+    rise1 = f1.values - model.inlet_temperature
+    rise2 = f2.values - model.inlet_temperature
+    assert np.allclose(rise2, 2.0 * rise1, rtol=1e-9, atol=1e-9)
+
+
+@given(
+    flow_low=st.floats(10.0, 20.0),
+    flow_delta=st.floats(1.0, 12.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_peak_monotone_in_flow(model, flow_low, flow_delta):
+    flow_high = min(32.3, flow_low + flow_delta)
+    powers = {ref: 3.0 for ref in model.stack.block_refs()}
+    hot = model.steady_state(powers, flow_ml_min=flow_low).max()
+    cold = model.steady_state(powers, flow_ml_min=flow_high).max()
+    assert cold <= hot + 1e-9

@@ -1,0 +1,109 @@
+"""Workload trace container and generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload import (
+    WorkloadTrace,
+    web_server_trace,
+    database_trace,
+    multimedia_trace,
+    max_utilisation_trace,
+    idle_trace,
+    paper_workload_suite,
+)
+
+
+def test_trace_shape_and_duration():
+    t = WorkloadTrace("t", np.zeros((30, 32)))
+    assert t.intervals == 30
+    assert t.threads == 32
+    assert t.duration == pytest.approx(30.0)
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        WorkloadTrace("bad", np.full((5, 4), 1.5))
+    with pytest.raises(ValueError):
+        WorkloadTrace("bad", np.zeros((5,)))
+    with pytest.raises(ValueError):
+        WorkloadTrace("bad", np.zeros((0, 4)))
+
+
+def test_truncation():
+    t = WorkloadTrace("t", np.random.default_rng(0).random((30, 8)))
+    short = t.truncated(10)
+    assert short.intervals == 10
+    assert np.array_equal(short.utilisation, t.utilisation[:10])
+    with pytest.raises(ValueError):
+        t.truncated(0)
+    with pytest.raises(ValueError):
+        t.truncated(31)
+
+
+@pytest.mark.parametrize(
+    "factory,low,high",
+    [
+        (web_server_trace, 0.25, 0.55),
+        (database_trace, 0.60, 0.80),
+        (multimedia_trace, 0.40, 0.60),
+        (max_utilisation_trace, 0.85, 0.98),
+        (idle_trace, 0.02, 0.18),
+    ],
+)
+def test_generator_mean_utilisation_bands(factory, low, high):
+    trace = factory(threads=32, duration=120, seed=11)
+    assert low < trace.mean_utilisation < high
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [web_server_trace, database_trace, multimedia_trace, max_utilisation_trace],
+)
+def test_generators_are_seed_reproducible(factory):
+    a = factory(threads=16, duration=50, seed=3)
+    b = factory(threads=16, duration=50, seed=3)
+    assert np.array_equal(a.utilisation, b.utilisation)
+    c = factory(threads=16, duration=50, seed=4)
+    assert not np.array_equal(a.utilisation, c.utilisation)
+
+
+def test_web_trace_is_burstier_than_database():
+    web = web_server_trace(duration=200, seed=1)
+    db = database_trace(duration=200, seed=1)
+    web_std = web.utilisation.mean(axis=1).std()
+    db_std = db.utilisation.mean(axis=1).std()
+    assert web_std > db_std
+
+
+def test_multimedia_trace_is_periodic():
+    # Per-thread phases are random, so inspect a single thread: its
+    # square-wave fundamental at 1/8 Hz dominates the spectrum.
+    mm = multimedia_trace(duration=160, seed=2)
+    signal = mm.utilisation[:, 0] - mm.utilisation[:, 0].mean()
+    spectrum = np.abs(np.fft.rfft(signal))
+    freqs = np.fft.rfftfreq(len(signal), d=1.0)
+    dominant = freqs[spectrum.argmax()]
+    assert dominant == pytest.approx(1.0 / 8.0, abs=0.02)
+
+
+def test_suite_contents():
+    suite = paper_workload_suite(duration=30)
+    assert set(suite) == {"web", "database", "multimedia", "max-utilisation"}
+    for trace in suite.values():
+        assert trace.intervals == 30
+        assert trace.threads == 32
+
+
+def test_peak_interval_statistic():
+    t = WorkloadTrace("t", np.array([[0.2, 0.4], [0.9, 0.7], [0.1, 0.1]]))
+    assert t.peak_interval_utilisation == pytest.approx(0.8)
+
+
+@given(st.integers(8, 64), st.integers(10, 60), st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_generators_always_in_unit_interval(threads, duration, seed):
+    trace = web_server_trace(threads, duration, seed)
+    assert trace.utilisation.min() >= 0.0
+    assert trace.utilisation.max() <= 1.0

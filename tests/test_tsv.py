@@ -1,0 +1,104 @@
+"""TSV arrays (Section II-B demonstrators)."""
+
+import math
+
+import pytest
+
+from repro.geometry import TSVArray
+from repro.materials import SILICON
+from repro.materials.solids import COPPER
+
+
+def test_demonstrator_diameter_range():
+    # Section II-B: 40 - 100 um Cu TSVs in a 380 um wafer.
+    for d in (40e-6, 70e-6, 100e-6):
+        tsv = TSVArray(diameter=d, pitch=3 * d, length=380e-6)
+        assert tsv.copper_area == pytest.approx(math.pi * d**2 / 4)
+
+
+def test_channel_width_constraint():
+    """Section II-C: 'the maximal channel width, given by the TSV
+    spacing'."""
+    tsv = TSVArray(diameter=50e-6, pitch=150e-6)
+    assert tsv.max_channel_width == pytest.approx(
+        150e-6 - 50e-6 - 2 * 200e-9
+    )
+    # The Table I 50 um channel fits this grid; a 120 um one does not.
+    assert tsv.allows_channel(50e-6)
+    assert not tsv.allows_channel(120e-6)
+
+
+def test_via_thermal_conductance():
+    tsv = TSVArray(diameter=50e-6, length=380e-6)
+    expected = COPPER.conductivity * tsv.copper_area / 380e-6
+    assert tsv.via_thermal_conductance() == pytest.approx(expected)
+
+
+def test_effective_conductivity_between_host_and_copper():
+    tsv = TSVArray(diameter=60e-6, pitch=150e-6)
+    k_eff = tsv.effective_vertical_conductivity(SILICON)
+    assert SILICON.conductivity < k_eff < COPPER.conductivity
+
+
+def test_reinforced_wall_material_is_drop_in():
+    tsv = TSVArray()
+    wall = tsv.reinforced_wall_material()
+    assert wall.conductivity > SILICON.conductivity
+    assert "TSV" in wall.name
+
+
+def test_reinforced_wall_lowers_stack_temperature():
+    """Embedding TSVs in the cavity walls stiffens the inter-tier
+    conduction path."""
+    from repro.geometry import Cavity, build_3d_mpsoc
+    from repro.thermal import CompactThermalModel
+
+    plain = build_3d_mpsoc(2)
+    powers = {
+        (l.name, b.name): 5.0
+        for l, b in plain.iter_blocks()
+        if b.kind == "core"
+    }
+    tsv_wall = TSVArray(diameter=80e-6, pitch=150e-6).reinforced_wall_material()
+    reinforced = build_3d_mpsoc(2)
+    cavity = reinforced.element("cavity0")
+    reinforced.elements[reinforced.elements.index(cavity)] = Cavity(
+        name=cavity.name,
+        geometry=cavity.geometry,
+        coolant=cavity.coolant,
+        wall_material=tsv_wall,
+    )
+    t_plain = CompactThermalModel(plain, nx=12, ny=10).steady_state(powers).max()
+    t_tsv = CompactThermalModel(reinforced, nx=12, ny=10).steady_state(powers).max()
+    assert t_tsv < t_plain
+
+
+def test_via_resistance_order_of_magnitude():
+    # ~mOhm-class for a 50 um x 380 um Cu via.
+    tsv = TSVArray(diameter=50e-6, length=380e-6)
+    assert 1e-3 < tsv.via_resistance() < 10e-3
+
+
+def test_daisy_chain_accumulates():
+    tsv = TSVArray()
+    one = tsv.daisy_chain_resistance(1)
+    ten = tsv.daisy_chain_resistance(10)
+    assert one == pytest.approx(tsv.via_resistance())
+    assert ten > 10 * one  # links add on top
+
+
+def test_liner_capacitance_positive_and_small():
+    tsv = TSVArray()
+    c = tsv.liner_capacitance()
+    assert 0.0 < c < 1e-9  # sub-nF per via
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TSVArray(diameter=150e-6, pitch=150e-6)
+    with pytest.raises(ValueError):
+        TSVArray(diameter=0.0)
+    with pytest.raises(ValueError):
+        TSVArray().allows_channel(0.0)
+    with pytest.raises(ValueError):
+        TSVArray().daisy_chain_resistance(0)

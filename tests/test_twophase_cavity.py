@@ -1,0 +1,126 @@
+"""Two-phase cavities inside the compact stack model (Section III
+applied to the MPSoC targets)."""
+
+import pytest
+
+from repro.geometry import TwoPhaseCavity, build_3d_mpsoc, refrigerant_liquid
+from repro.materials import R134A, R245FA
+from repro.thermal import CompactThermalModel
+from repro.units import celsius_to_kelvin
+
+
+def core_powers(stack, watts=5.0):
+    return {
+        (layer.name, block.name): watts
+        for layer, block in stack.iter_blocks()
+        if block.kind == "core"
+    }
+
+
+@pytest.fixture(scope="module")
+def two_phase_model():
+    stack = build_3d_mpsoc(2, two_phase=True)
+    return CompactThermalModel(stack, nx=12, ny=10)
+
+
+def test_builder_produces_two_phase_cavities():
+    stack = build_3d_mpsoc(2, two_phase=True)
+    assert all(isinstance(c, TwoPhaseCavity) for c in stack.cavities)
+    assert "two-phase" in stack.name
+
+
+def test_refrigerant_liquid_view():
+    liquid = refrigerant_liquid(R245FA)
+    assert liquid.density == R245FA.liquid_density
+    assert liquid.conductivity == R245FA.liquid_conductivity
+    assert "R245fa" in liquid.name
+
+
+def test_energy_conservation(two_phase_model):
+    powers = core_powers(two_phase_model.stack)
+    field = two_phase_model.steady_state(powers)
+    removed = two_phase_model.heat_removed_by_coolant(field)
+    assert removed == pytest.approx(sum(powers.values()), rel=1e-6)
+
+
+def test_cavity_is_essentially_isothermal(two_phase_model):
+    """Section III: evaporation absorbs heat 'without an increase in its
+    temperature' — unlike the 20+ K gradient of single-phase water."""
+    powers = core_powers(two_phase_model.stack)
+    field = two_phase_model.steady_state(powers)
+    cavity = field.layer("cavity0")
+    assert cavity.max() - cavity.min() < 0.1
+
+
+def test_two_phase_cooler_and_more_uniform_than_water():
+    powers = None
+    results = {}
+    for two_phase in (False, True):
+        stack = build_3d_mpsoc(2, two_phase=two_phase)
+        powers = core_powers(stack)
+        model = CompactThermalModel(stack, nx=12, ny=10)
+        field = model.steady_state(powers)
+        die = field.layer("tier0_die")
+        results[two_phase] = (field.max(), die.max() - die.min())
+    assert results[True][0] < results[False][0]  # cooler peak
+    assert results[True][1] < 0.5 * results[False][1]  # flatter die
+
+
+def test_fluid_sits_at_saturation(two_phase_model):
+    stack = two_phase_model.stack
+    cavity = stack.cavities[0]
+    field = two_phase_model.steady_state(core_powers(stack))
+    fluid = field.layer("cavity0")
+    assert fluid.mean() == pytest.approx(cavity.saturation_k, abs=0.1)
+
+
+def test_boiling_htc_magnitude():
+    cavity = build_3d_mpsoc(2, two_phase=True).cavities[0]
+    h = cavity.boiling_htc()
+    assert 5e3 < h < 2e5
+
+
+def test_refrigerant_choice_respected():
+    stack = build_3d_mpsoc(2, two_phase=True, refrigerant=R245FA)
+    assert stack.cavities[0].refrigerant is R245FA
+
+
+def test_dryout_limited_power():
+    cavity = build_3d_mpsoc(2, two_phase=True).cavities[0]
+    h_fg = R134A.latent_heat(cavity.saturation_k)
+    assert cavity.dryout_limited_power(1e-3) == pytest.approx(1e-3 * h_fg)
+    # Inlet quality eats into the margin.
+    assert cavity.dryout_limited_power(1e-3, inlet_quality=0.5) == pytest.approx(
+        0.5e-3 * h_fg
+    )
+    with pytest.raises(ValueError):
+        cavity.dryout_limited_power(0.0)
+    with pytest.raises(ValueError):
+        cavity.dryout_limited_power(1e-3, inlet_quality=1.0)
+
+
+def test_transient_supported(two_phase_model):
+    from repro.thermal import TransientStepper
+
+    powers = core_powers(two_phase_model.stack)
+    steady = two_phase_model.steady_state(powers)
+    stepper = TransientStepper(two_phase_model, dt=0.1, initial=steady)
+    stepper.run(powers, duration=1.0)
+    assert stepper.state.max() == pytest.approx(steady.max(), abs=1e-3)
+
+
+def test_validation():
+    stack = build_3d_mpsoc(2, two_phase=True)
+    cavity = stack.cavities[0]
+    with pytest.raises(ValueError):
+        TwoPhaseCavity(
+            name="bad",
+            geometry=cavity.geometry,
+            saturation_k=-1.0,
+        )
+    with pytest.raises(ValueError):
+        TwoPhaseCavity(
+            name="bad",
+            geometry=cavity.geometry,
+            design_flux=0.0,
+        )

@@ -1,0 +1,80 @@
+"""Homogeneous two-phase pressure gradient."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hydraulics import (
+    homogeneous_density,
+    homogeneous_viscosity,
+    two_phase_pressure_gradient,
+)
+from repro.hydraulics.twophase_dp import accelerational_gradient
+from repro.materials import R245FA
+
+T = 303.15
+DH = 147e-6
+
+
+def test_density_limits():
+    rho_liquid = homogeneous_density(R245FA, T, 0.0)
+    rho_vapour = homogeneous_density(R245FA, T, 1.0)
+    assert rho_liquid == pytest.approx(R245FA.liquid_density)
+    assert rho_vapour == pytest.approx(R245FA.vapour_density(T))
+
+
+@given(st.floats(0.0, 1.0))
+def test_density_monotone_decreasing_in_quality(x):
+    if x < 0.99:
+        assert homogeneous_density(R245FA, T, x + 0.01) < homogeneous_density(
+            R245FA, T, x
+        )
+
+
+def test_viscosity_limits():
+    mu_l = homogeneous_viscosity(R245FA, 0.0)
+    mu_v = homogeneous_viscosity(R245FA, 1.0)
+    assert mu_l == pytest.approx(R245FA.liquid_viscosity)
+    assert mu_v == pytest.approx(R245FA.liquid_viscosity * 0.25)
+
+
+def test_gradient_increases_with_quality():
+    g = 60.0
+    low = two_phase_pressure_gradient(R245FA, T, 0.05, g, DH)
+    high = two_phase_pressure_gradient(R245FA, T, 0.4, g, DH)
+    assert high > low
+
+
+def test_gradient_increases_with_mass_flux():
+    low = two_phase_pressure_gradient(R245FA, T, 0.2, 50.0, DH)
+    high = two_phase_pressure_gradient(R245FA, T, 0.2, 100.0, DH)
+    assert high > low
+
+
+def test_zero_mass_flux_zero_gradient():
+    assert two_phase_pressure_gradient(R245FA, T, 0.2, 0.0, DH) == 0.0
+
+
+def test_laminar_branch_linearity():
+    # Deep laminar: dp/dz ~ f G^2 with f = 16/Re ~ 1/G  =>  dp/dz ~ G.
+    g1 = two_phase_pressure_gradient(R245FA, T, 0.2, 20.0, DH)
+    g2 = two_phase_pressure_gradient(R245FA, T, 0.2, 40.0, DH)
+    assert g2 == pytest.approx(2 * g1, rel=1e-6)
+
+
+def test_accelerational_gradient_sign():
+    # Evaporation (dx/dz > 0) accelerates the flow: pressure drops.
+    grad = accelerational_gradient(R245FA, T, 0.1, 10.0, 60.0)
+    assert grad > 0.0
+    # Condensation recovers pressure.
+    assert accelerational_gradient(R245FA, T, 0.1, -10.0, 60.0) < 0.0
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        homogeneous_density(R245FA, T, 1.5)
+    with pytest.raises(ValueError):
+        homogeneous_viscosity(R245FA, -0.1)
+    with pytest.raises(ValueError):
+        two_phase_pressure_gradient(R245FA, T, 0.2, -1.0, DH)
+    with pytest.raises(ValueError):
+        two_phase_pressure_gradient(R245FA, T, 0.2, 60.0, 0.0)

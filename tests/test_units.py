@@ -1,0 +1,50 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_celsius_kelvin_roundtrip():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert units.kelvin_to_celsius(373.15) == pytest.approx(100.0)
+
+
+@given(st.floats(-200.0, 2000.0))
+def test_temperature_roundtrip_is_identity(t):
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(t)) == pytest.approx(t)
+
+
+def test_flow_rate_conversion_table_i_values():
+    # Table I: 32.3 ml/min is quoted as 0.0323 l/min in Section IV-A.
+    q = units.ml_per_min_to_m3_per_s(32.3)
+    assert q == pytest.approx(0.0323e-3 / 60.0)
+    assert units.m3_per_s_to_ml_per_min(q) == pytest.approx(32.3)
+
+
+@given(st.floats(1e-6, 1e6))
+def test_flow_roundtrip(flow):
+    assert units.m3_per_s_to_ml_per_min(
+        units.ml_per_min_to_m3_per_s(flow)
+    ) == pytest.approx(flow)
+
+
+def test_heat_flux_conversion():
+    # Section II-C quotes 250 W/cm^2 hot spots.
+    assert units.w_per_cm2_to_w_per_m2(250.0) == pytest.approx(2.5e6)
+    assert units.w_per_m2_to_w_per_cm2(2.5e6) == pytest.approx(250.0)
+
+
+def test_area_and_length_conversions():
+    assert units.mm2_to_m2(115.0) == pytest.approx(115e-6)
+    assert units.m2_to_mm2(115e-6) == pytest.approx(115.0)
+    assert units.um_to_m(85.0) == pytest.approx(85e-6)
+    assert units.mm_to_m(0.15) == pytest.approx(0.15e-3)
+
+
+def test_pressure_conversions():
+    assert units.bar_to_pa(0.9) == pytest.approx(9e4)
+    assert units.pa_to_bar(101325.0) == pytest.approx(1.01325)

@@ -1,0 +1,130 @@
+"""Validation of the compact model against closed-form solutions.
+
+Uniform power on a laterally adiabatic stack reduces the finite-volume
+model to exact 1-D series-resistance networks; these tests pin the
+model's conductance assembly against hand-derived expressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Block, Cavity, Floorplan, Layer, StackDesign, CoolingMode
+from repro.geometry.stack import default_channel_geometry
+from repro.heat_transfer.convection import cavity_effective_htc
+from repro.materials import SILICON, WATER
+from repro.materials.solids import THERMAL_INTERFACE
+from repro.thermal import CompactThermalModel
+from repro.units import ml_per_min_to_m3_per_s
+
+DIE = 10e-3
+POWER = 50.0
+
+
+def uniform_floorplan():
+    return Floorplan(
+        DIE, DIE, [Block("all", 0.0, 0.0, DIE, DIE, kind="core")], name="uniform"
+    )
+
+
+def test_air_stack_matches_series_resistance():
+    """Die -> TIM -> sink -> ambient, uniform power: exact 1-D chain."""
+    die = Layer("die", SILICON, 0.15e-3, floorplan=uniform_floorplan())
+    tim = Layer("tim", THERMAL_INTERFACE, 0.1e-3)
+    stack = StackDesign(
+        name="1d air",
+        width=DIE,
+        height=DIE,
+        elements=[die, tim],
+        cooling_mode=CoolingMode.AIR,
+    )
+    model = CompactThermalModel(stack, nx=10, ny=10)
+    field = model.steady_state({("die", "all"): POWER})
+
+    area = DIE * DIE
+    r_die_tim = 0.15e-3 / (2 * SILICON.conductivity * area) + 0.1e-3 / (
+        2 * THERMAL_INTERFACE.conductivity * area
+    )
+    r_tim_sink = 0.1e-3 / (2 * THERMAL_INTERFACE.conductivity * area)
+    r_sink = 1.0 / stack.sink_conductance
+
+    expected_die = model.ambient + POWER * (r_sink + r_tim_sink + r_die_tim)
+    die_mean = field.layer("die").mean()
+    assert die_mean == pytest.approx(expected_die, abs=1e-6)
+
+    expected_sink = model.ambient + POWER * r_sink
+    assert field.sink_temperature() == pytest.approx(expected_sink, abs=1e-6)
+
+    # Uniform power + adiabatic sides: the die is isothermal in-plane.
+    die_map = field.layer("die")
+    assert die_map.max() - die_map.min() < 1e-9
+
+
+def test_liquid_stack_matches_advection_film_chain():
+    """Base / cavity / die with uniform power: linear fluid heating plus
+    a constant convective-film and half-die offset."""
+    geometry = default_channel_geometry(length=DIE, span=DIE)
+    stack = StackDesign(
+        name="1d liquid",
+        width=DIE,
+        height=DIE,
+        elements=[
+            Layer("base", SILICON, 0.3e-3),
+            Cavity("cavity", geometry),
+            Layer("die", SILICON, 0.15e-3, floorplan=uniform_floorplan()),
+        ],
+    )
+    model = CompactThermalModel(stack, nx=20, ny=10)
+    flow = 20.0
+    model.set_flow(flow)
+    field = model.steady_state({("die", "all"): POWER})
+
+    capacity = WATER.heat_capacity_rate(ml_per_min_to_m3_per_s(flow))
+    area = DIE * DIE
+    h_eff = cavity_effective_htc(geometry, WATER)
+    r_film = 1.0 / (h_eff * area)
+    r_half_die = 0.15e-3 / (2 * SILICON.conductivity * area)
+
+    # Mean fluid temperature: inlet + P/(2 mdot cp) (uniform pickup).
+    fluid_mean = field.layer("cavity").mean()
+    expected_fluid_mean = model.inlet_temperature + POWER / (2 * capacity)
+    assert fluid_mean == pytest.approx(expected_fluid_mean, rel=0.02)
+
+    # Mean die temperature: fluid mean + film + half-die conduction.
+    # The wall-conduction bypass (die -> walls -> base) carries a small
+    # share of the heat around the film, so allow a few percent.
+    die_mean = field.layer("die").mean()
+    expected_die_mean = expected_fluid_mean + POWER * (r_film + r_half_die)
+    assert die_mean == pytest.approx(expected_die_mean, rel=0.05)
+
+    # Fluid heats monotonically and near-linearly along the flow
+    # direction (axial conduction in die and base smears the pickup at
+    # the two ends, so the increments are not perfectly uniform).
+    fluid = field.layer("cavity")
+    profile = fluid.mean(axis=0)
+    increments = np.diff(profile)
+    assert np.all(increments > 0.0)
+    assert increments.std() / increments.mean() < 0.2
+
+
+def test_outlet_rise_exact_energy_balance():
+    geometry = default_channel_geometry(length=DIE, span=DIE)
+    stack = StackDesign(
+        name="balance",
+        width=DIE,
+        height=DIE,
+        elements=[
+            Layer("base", SILICON, 0.3e-3),
+            Cavity("cavity", geometry),
+            Layer("die", SILICON, 0.15e-3, floorplan=uniform_floorplan()),
+        ],
+    )
+    model = CompactThermalModel(stack, nx=20, ny=10)
+    field = model.steady_state({("die", "all"): POWER})
+    capacity = WATER.heat_capacity_rate(
+        ml_per_min_to_m3_per_s(model.flow_ml_min)
+    )
+    outlet_mean = field.layer("cavity")[:, -1].mean()
+    # The outlet column sits half a cell from the true outlet; the
+    # missing pickup is half a cell's worth of the total.
+    expected = model.inlet_temperature + POWER / capacity * (1 - 0.5 / 20)
+    assert outlet_mean == pytest.approx(expected, rel=0.01)

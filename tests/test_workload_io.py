@@ -1,0 +1,82 @@
+"""Trace CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    WorkloadTrace,
+    load_trace_csv,
+    save_trace_csv,
+    web_server_trace,
+)
+
+
+def test_roundtrip(tmp_path):
+    original = web_server_trace(threads=8, duration=20, seed=9)
+    path = tmp_path / "web.csv"
+    save_trace_csv(original, path)
+    loaded = load_trace_csv(path)
+    assert loaded.name == "web"
+    assert loaded.threads == 8
+    assert loaded.intervals == 20
+    assert np.allclose(loaded.utilisation, original.utilisation, atol=1e-5)
+
+
+def test_percent_detection(tmp_path):
+    path = tmp_path / "percent.csv"
+    path.write_text("thread0,thread1\n50,75\n100,0\n")
+    trace = load_trace_csv(path)
+    assert trace.utilisation[0, 0] == pytest.approx(0.5)
+    assert trace.utilisation[1, 0] == pytest.approx(1.0)
+
+
+def test_fraction_detection(tmp_path):
+    path = tmp_path / "frac.csv"
+    path.write_text("0.5,0.75\n1.0,0.0\n")
+    trace = load_trace_csv(path)
+    assert trace.utilisation[0, 1] == pytest.approx(0.75)
+
+
+def test_custom_name_and_period(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("0.1,0.2\n")
+    trace = load_trace_csv(path, name="custom", period=2.0)
+    assert trace.name == "custom"
+    assert trace.period == 2.0
+    assert trace.duration == 2.0
+
+
+def test_rejects_bad_data(tmp_path):
+    over = tmp_path / "over.csv"
+    over.write_text("150,20\n")
+    with pytest.raises(ValueError, match="above 100"):
+        load_trace_csv(over)
+
+    negative = tmp_path / "neg.csv"
+    negative.write_text("-5,20\n")
+    with pytest.raises(ValueError, match="negative"):
+        load_trace_csv(negative)
+
+    empty = tmp_path / "empty.csv"
+    empty.write_text("header,only\n")
+    with pytest.raises(ValueError, match="no data"):
+        load_trace_csv(empty)
+
+    mixed = tmp_path / "mixed.csv"
+    mixed.write_text("1,2\nfoo,bar\n")
+    with pytest.raises(ValueError, match="non-numeric"):
+        load_trace_csv(mixed)
+
+
+def test_loaded_trace_drives_simulator(tmp_path):
+    from repro.core import LiquidLoadBalancing, SystemSimulator
+    from repro.geometry import build_3d_mpsoc
+
+    trace = WorkloadTrace("t", np.full((3, 32), 0.5))
+    path = tmp_path / "sim.csv"
+    save_trace_csv(trace, path)
+    loaded = load_trace_csv(path)
+    result = SystemSimulator(
+        build_3d_mpsoc(2), LiquidLoadBalancing(), loaded, nx=12, ny=10
+    ).run()
+    assert result.duration == pytest.approx(3.0)
