@@ -18,7 +18,7 @@ equal total flow and reports the local-flow boost.
 
 import pytest
 
-from repro.analysis import Table
+from repro.analysis import Table, fan_out
 from repro.geometry import MicroChannelGeometry
 from repro.heat_transfer import cavity_effective_htc
 from repro.hydraulics import HydraulicNetwork, channel_hydraulic_resistance
@@ -88,14 +88,28 @@ def hot_spot_temperature(focused: bool) -> float:
     return INLET_K + bulk_rise + film_rise
 
 
+def evaluate_design(focused: bool) -> dict:
+    """One independent design point for the sweep-engine fan-out."""
+    flows = column_flows(focused)
+    return {
+        "focused": focused,
+        "flows": flows,
+        "hot_spot_k": hot_spot_temperature(focused),
+    }
+
+
 def test_fluid_focusing(benchmark):
     focused_t = benchmark.pedantic(
         lambda: hot_spot_temperature(True), rounds=3, iterations=1
     )
-    uniform_t = hot_spot_temperature(False)
+    # The two designs are independent points; evaluate them through the
+    # sweep engine's fan-out (serial here — the grid is tiny).
+    uniform, focused = fan_out(evaluate_design, [False, True])
+    uniform_t = uniform["hot_spot_k"]
+    assert focused["hot_spot_k"] == focused_t
 
-    flows_u = column_flows(False)
-    flows_f = column_flows(True)
+    flows_u = uniform["flows"]
+    flows_f = focused["flows"]
     boost = flows_f[HOT_COLUMN] / flows_u[HOT_COLUMN]
 
     table = Table(

@@ -5,15 +5,21 @@ simulations (2- and 4-tier stacks x four policies x four workloads), so
 the grid is computed once per session and cached.  Trace duration and
 grid resolution are chosen to keep a full harness run in minutes while
 staying at the calibration resolution of DESIGN.md.
+
+The grid runs through the sweep engine's simulation fan-out; set
+``REPRO_BENCH_PROCESSES=<n>`` to spread the 32 independent runs over
+``n`` worker processes (default: serial, bitwise identical either way).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import os
+from typing import Dict, Optional, Tuple
 
 import pytest
 
-from repro.core import SystemSimulator, SimulationResult, paper_policies
+from repro.analysis import SimulationJob, run_simulations
+from repro.core import SimulationResult, paper_policies
 from repro.geometry import build_3d_mpsoc
 from repro.workload import paper_workload_suite
 
@@ -22,18 +28,28 @@ WORKLOADS = ("web", "database", "multimedia", "max-utilisation")
 GridKey = Tuple[int, str, str]  # (tiers, policy, workload)
 
 
+def _bench_processes() -> Optional[int]:
+    value = os.environ.get("REPRO_BENCH_PROCESSES", "").strip()
+    return int(value) if value else None
+
+
 def run_policy_grid() -> Dict[GridKey, SimulationResult]:
     """All (tiers, policy, workload) closed-loop runs of Section IV-A."""
-    results: Dict[GridKey, SimulationResult] = {}
+    jobs = []
     for tiers in (2, 4):
         threads = 32 * (tiers // 2)
         suite = paper_workload_suite(threads=threads, duration=TRACE_DURATION)
         for policy in paper_policies():
             for workload in WORKLOADS:
-                stack = build_3d_mpsoc(tiers, policy.cooling)
-                sim = SystemSimulator(stack, policy, suite[workload])
-                results[(tiers, policy.name, workload)] = sim.run()
-    return results
+                jobs.append(
+                    SimulationJob(
+                        stack=build_3d_mpsoc(tiers, policy.cooling),
+                        policy=policy,
+                        trace=suite[workload],
+                        key=(tiers, policy.name, workload),
+                    )
+                )
+    return dict(run_simulations(jobs, processes=_bench_processes()))
 
 
 @pytest.fixture(scope="session")

@@ -2,6 +2,13 @@
 
 from .report import Table, format_table, percent_change
 from .paper import PAPER_CLAIMS, Claim, within_band
+from .sweep import (
+    SteadyCase,
+    SteadySweep,
+    SimulationJob,
+    fan_out,
+    run_simulations,
+)
 from .reliability import (
     ThermalCycle,
     extract_cycles,
@@ -15,6 +22,11 @@ __all__ = [
     "Table",
     "format_table",
     "percent_change",
+    "SteadyCase",
+    "SteadySweep",
+    "SimulationJob",
+    "fan_out",
+    "run_simulations",
     "PAPER_CLAIMS",
     "Claim",
     "within_band",

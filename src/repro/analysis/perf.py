@@ -1,0 +1,131 @@
+"""Performance microbenchmarks of the thermal pipeline.
+
+Measures the operations the perf work optimises — model assembly,
+steady solves at a fixed flow, transient steps, and a full closed-loop
+``SystemSimulator.run`` — and writes them to ``BENCH_thermal.json``
+next to the committed seed baseline, so regressions show up as a
+speedup ratio drifting below 1.
+
+Only APIs that exist in every revision of the repo are used (model
+construction, ``steady_state``, ``TransientStepper.step``,
+``SystemSimulator.run``), and all imports are absolute, so this exact
+file can be pointed at an older checkout (``PYTHONPATH=<old>/src``
+with this module loaded by path) to regenerate
+``benchmarks/baseline_seed.json`` with an identical methodology.
+
+Methodology notes: timings are means over ``repeats`` after one
+warm-up call, except the simulator run (one cold run including its
+LU-factorisation warm-up, divided by the simulated duration — the
+quantity a user of the benchmark grids experiences).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.core import SystemSimulator, paper_policies
+from repro.geometry import build_3d_mpsoc
+from repro.thermal import CompactThermalModel, TransientStepper
+from repro.workload import paper_workload_suite
+
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / "baseline_seed.json"
+"""The committed seed measurements (see module docstring)."""
+
+
+def _mean_time(fn: Callable[[], object], repeats: int) -> float:
+    fn()  # warm-up (allocations, caches, imports)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+def bench_thermal(
+    simulate_seconds: float = 10.0,
+    repeats: int = 10,
+    large_grid: bool = True,
+) -> Dict[str, float]:
+    """Run the microbenchmark suite and return seconds per operation.
+
+    Parameters
+    ----------
+    simulate_seconds:
+        Trace duration of the closed-loop simulator measurement [s].
+    repeats:
+        Sample count per timed operation.
+    large_grid:
+        Also time a 100x100 4-tier assembly (the "large grids become
+        practical" criterion); one sample, skipped in quick mode.
+    """
+    results: Dict[str, float] = {}
+    for tiers in (2, 4):
+        stack = build_3d_mpsoc(tiers)
+        results[f"assembly_{tiers}tier_s"] = _mean_time(
+            lambda: CompactThermalModel(stack), repeats
+        )
+        model = CompactThermalModel(stack)
+        powers = {ref: 2.0 for ref in model.block_masks()}
+        results[f"steady_{tiers}tier_s"] = _mean_time(
+            lambda: model.steady_state(powers), repeats
+        )
+        stepper = TransientStepper(model, 0.1, model.steady_state(powers))
+        stepper.step(powers)
+        start = time.perf_counter()
+        steps = 5 * repeats
+        for _ in range(steps):
+            stepper.step(powers)
+        results[f"transient_step_{tiers}tier_ms"] = (
+            (time.perf_counter() - start) / steps * 1e3
+        )
+
+    policy = next(p for p in paper_policies() if p.name == "LC_FUZZY")
+    suite = paper_workload_suite(threads=32, duration=int(simulate_seconds))
+    stack = build_3d_mpsoc(2, policy.cooling)
+    start = time.perf_counter()
+    SystemSimulator(stack, policy, suite["database"]).run()
+    results["simulator_run_s_per_sim_s"] = (
+        time.perf_counter() - start
+    ) / simulate_seconds
+
+    if large_grid:
+        stack = build_3d_mpsoc(4)
+        start = time.perf_counter()
+        CompactThermalModel(stack, nx=100, ny=100)
+        results["assembly_4tier_100x100_s"] = time.perf_counter() - start
+    return results
+
+
+def speedups(
+    results: Dict[str, float], baseline: Dict[str, float]
+) -> Dict[str, float]:
+    """Baseline/current time ratio per metric present in both."""
+    return {
+        key: baseline[key] / results[key]
+        for key in results
+        if key in baseline and results[key] > 0.0
+    }
+
+
+def write_bench_report(
+    results: Dict[str, float],
+    path: Path,
+    baseline_path: Optional[Path] = None,
+) -> Dict[str, object]:
+    """Assemble and write the ``BENCH_thermal.json`` report."""
+    baseline: Optional[Dict[str, float]] = None
+    if baseline_path is not None and Path(baseline_path).exists():
+        baseline = json.loads(Path(baseline_path).read_text())
+    report: Dict[str, object] = {
+        "description": (
+            "Thermal-pipeline microbenchmarks; speedup = seed time / "
+            "current time, measured by repro.analysis.perf"
+        ),
+        "results": results,
+        "baseline": baseline,
+        "speedup": speedups(results, baseline) if baseline else None,
+    }
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report

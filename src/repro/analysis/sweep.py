@@ -1,0 +1,182 @@
+"""Reusable sweep engine for design-space and policy studies.
+
+Three layers, from cheapest to heaviest:
+
+* :class:`SteadySweep` — batched steady-state solves over one thermal
+  model.  Cases are grouped by flow state so each distinct ``A(f)`` is
+  factorised once (through the model's steady-factor cache) and solved
+  with one multi-right-hand-side triangular solve.  SuperLU processes
+  the RHS columns independently, so the fields are bitwise identical
+  to point-by-point :meth:`CompactThermalModel.steady_state` calls.
+* :func:`fan_out` — map a function over independent design points,
+  serially by default or across a ``concurrent.futures`` process pool.
+* :class:`SimulationJob` / :func:`run_simulations` — closed-loop
+  :class:`~repro.core.simulator.SystemSimulator` runs as picklable
+  jobs, fanned out with the same helper.  Every (stack, policy,
+  workload) combination is independent, which is what makes the
+  benchmark grids embarrassingly parallel.
+
+Process pools pay a fork + pickle cost per job, so they only win when
+each job runs for seconds (closed-loop simulations, fine-grid steady
+maps) — the benchmark harness keeps them opt-in via
+``REPRO_BENCH_PROCESSES``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+import numpy as np
+
+from ..core.policies import Policy
+from ..core.simulator import SimulationResult, SystemSimulator
+from ..geometry.stack import StackDesign
+from ..thermal.field import TemperatureField
+from ..thermal.model import BlockRef, CompactThermalModel
+from ..workload.traces import WorkloadTrace
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class SteadyCase:
+    """One steady-state solve: block powers at an optional flow override.
+
+    ``flow_ml_min=None`` solves at the model's stored (possibly
+    per-cavity) flow state, exactly like
+    :meth:`CompactThermalModel.steady_state`.
+    """
+
+    block_powers: Mapping[BlockRef, float]
+    flow_ml_min: Optional[float] = None
+
+
+class SteadySweep:
+    """Batched steady solves against one :class:`CompactThermalModel`.
+
+    Parameters
+    ----------
+    model:
+        The model to sweep.  Its steady-factor cache is shared, so
+        interleaving sweeps with individual ``steady_state`` calls
+        never refactorises needlessly.
+    """
+
+    def __init__(self, model: CompactThermalModel) -> None:
+        self.model = model
+
+    def solve(self, cases: Sequence[SteadyCase]) -> List[TemperatureField]:
+        """Solve all cases, returned in input order.
+
+        Cases are grouped by flow override; each group is one
+        factorisation (cached) plus one multi-RHS solve.
+        """
+        groups: Dict[object, List[int]] = {}
+        for index, case in enumerate(cases):
+            key = (
+                None
+                if case.flow_ml_min is None
+                else round(float(case.flow_ml_min), 6)
+            )
+            groups.setdefault(key, []).append(index)
+
+        results: List[Optional[TemperatureField]] = [None] * len(cases)
+        for key, indices in groups.items():
+            flow = None if key is None else cases[indices[0]].flow_ml_min
+            factor = self.model.steady_factor(flow)
+            boundary = self.model.boundary_rhs(flow)
+            rhs = np.empty((self.model.grid.size, len(indices)))
+            for column, index in enumerate(indices):
+                rhs[:, column] = (
+                    self.model.power_vector(dict(cases[index].block_powers))
+                    + boundary
+                )
+            solution = factor.solve(rhs)
+            for column, index in enumerate(indices):
+                results[index] = TemperatureField(
+                    self.model.grid, np.ascontiguousarray(solution[:, column])
+                )
+        assert all(field_ is not None for field_ in results)
+        return results  # type: ignore[return-value]
+
+    def peak_temperatures(self, cases: Sequence[SteadyCase]) -> np.ndarray:
+        """Stack peak temperature per case [K] (convenience)."""
+        return np.array([field_.max() for field_ in self.solve(cases)])
+
+
+def fan_out(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    processes: Optional[int] = None,
+) -> List[R]:
+    """Apply ``fn`` to every item, optionally across worker processes.
+
+    Parameters
+    ----------
+    fn:
+        A picklable (module-level) callable when ``processes`` is used.
+    items:
+        The independent work items.
+    processes:
+        ``None``, 0 or 1 run serially in-process; larger values spawn a
+        ``ProcessPoolExecutor`` with that many workers.
+
+    Results are returned in item order either way, so callers can
+    toggle parallelism without touching downstream code.
+    """
+    work = list(items)
+    if processes is None or processes <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        return list(pool.map(fn, work))
+
+
+@dataclass
+class SimulationJob:
+    """One picklable closed-loop simulation: (stack, policy, trace).
+
+    ``key`` is an opaque caller label carried through to make result
+    bookkeeping trivial after a fan-out; ``kwargs`` are forwarded to
+    :class:`SystemSimulator` (grid resolution, control period, ...).
+    """
+
+    stack: StackDesign
+    policy: Policy
+    trace: WorkloadTrace
+    key: object = None
+    kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def run(self) -> SimulationResult:
+        simulator = SystemSimulator(
+            self.stack, self.policy, self.trace, **self.kwargs
+        )
+        return simulator.run()
+
+
+def _run_simulation_job(job: SimulationJob) -> SimulationResult:
+    return job.run()
+
+
+def run_simulations(
+    jobs: Sequence[SimulationJob],
+    processes: Optional[int] = None,
+) -> List[Tuple[object, SimulationResult]]:
+    """Run independent simulations, optionally across processes.
+
+    Returns ``(job.key, result)`` pairs in job order.
+    """
+    results = fan_out(_run_simulation_job, jobs, processes)
+    return [(job.key, result) for job, result in zip(jobs, results)]

@@ -120,6 +120,40 @@ def cmd_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_thermal(args: argparse.Namespace) -> int:
+    """Run the thermal perf microbenchmarks and write BENCH_thermal.json."""
+    from .analysis.perf import BASELINE_PATH, bench_thermal, write_bench_report
+
+    if args.repeats < 1:
+        raise SystemExit("--repeats must be at least 1")
+    if args.duration <= 0.0:
+        raise SystemExit("--duration must be positive")
+    results = bench_thermal(
+        simulate_seconds=args.duration,
+        repeats=args.repeats,
+        large_grid=not args.quick,
+    )
+    baseline_path = Path(args.baseline) if args.baseline else BASELINE_PATH
+    report = write_bench_report(results, Path(args.output), baseline_path)
+
+    table = Table(
+        "Thermal-pipeline benchmarks (speedup vs committed seed baseline)",
+        ["Metric", "Current", "Seed", "Speedup"],
+    )
+    baseline = report["baseline"] or {}
+    speedup = report["speedup"] or {}
+    for key in sorted(results):
+        table.add_row(
+            key,
+            f"{results[key]:.4g}",
+            f"{baseline[key]:.4g}" if key in baseline else "-",
+            f"{speedup[key]:.2f}x" if key in speedup else "-",
+        )
+    print(table)
+    print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -148,6 +182,23 @@ def build_parser() -> argparse.ArgumentParser:
     traces.add_argument("--duration", type=int, default=300)
     traces.add_argument("--seed", type=int, default=0)
     traces.set_defaults(func=cmd_traces)
+
+    bench = sub.add_parser(
+        "bench-thermal",
+        help="run thermal perf microbenchmarks, write BENCH_thermal.json",
+    )
+    bench.add_argument("--output", default="BENCH_thermal.json")
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON (default: committed benchmarks/baseline_seed.json)",
+    )
+    bench.add_argument("--duration", type=float, default=10.0)
+    bench.add_argument("--repeats", type=int, default=10)
+    bench.add_argument(
+        "--quick", action="store_true", help="skip the 100x100 large-grid sample"
+    )
+    bench.set_defaults(func=cmd_bench_thermal)
     return parser
 
 

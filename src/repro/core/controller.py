@@ -250,15 +250,23 @@ class FuzzyThermalController:
         )["flow"]
         flow = self.quantise_flow(flow_level)
 
-        vf: Dict[Hashable, int] = {}
-        for core, temp_k in temperatures_k.items():
-            speed = self._speed_engine.infer(
-                {
-                    "utilisation": utilisations[core],
-                    "temperature": kelvin_to_celsius(temp_k),
-                }
-            )["speed"]
-            vf[core] = self.speed_to_vf_index(speed)
+        # One batched inference call for all cores (bitwise identical to
+        # the per-core loop, see MamdaniController.infer_many).
+        cores = list(temperatures_k)
+        speeds = self._speed_engine.infer_many(
+            {
+                "utilisation": np.array(
+                    [utilisations[core] for core in cores]
+                ),
+                "temperature": np.array(
+                    [kelvin_to_celsius(temperatures_k[core]) for core in cores]
+                ),
+            }
+        )["speed"]
+        vf: Dict[Hashable, int] = {
+            core: self.speed_to_vf_index(float(speed))
+            for core, speed in zip(cores, speeds)
+        }
         # Hard safety net: never throttle-free above the threshold.
         if max_temp_c >= constants.THERMAL_THRESHOLD_C:
             flow = float(self.flow_grid[-1])

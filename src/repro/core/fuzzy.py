@@ -102,6 +102,15 @@ class FuzzyVariable:
         x = self.clamp(x)
         return {term: mf.membership(x) for term, mf in self.sets.items()}
 
+    def fuzzify_many(self, xs: np.ndarray) -> Dict[str, np.ndarray]:
+        """Memberships of a vector of crisp values in every set.
+
+        Bitwise-identical to :meth:`fuzzify` applied per element
+        (``membership_array`` evaluates the same expressions).
+        """
+        xs = np.clip(np.asarray(xs, dtype=float), self.low, self.high)
+        return {term: mf.membership_array(xs) for term, mf in self.sets.items()}
+
 
 @dataclass(frozen=True)
 class FuzzyRule:
@@ -161,6 +170,38 @@ class MamdaniController:
             for name, var in self.outputs.items()
         }
         self._validate_rules()
+        # Inference is on the closed-loop hot path (one call per core
+        # per control period), so precompute everything that does not
+        # depend on the crisp inputs: the rules grouped per output
+        # variable, their antecedent term lists, and the consequent
+        # membership functions sampled over the output grids.
+        self._rules_by_output: Dict[str, List[FuzzyRule]] = {
+            name: [] for name in self.outputs
+        }
+        for rule in self.rules:
+            self._rules_by_output[rule.consequent[0]].append(rule)
+        self._antecedents_by_output: Dict[str, List[List[Tuple[str, str]]]] = {
+            name: [list(rule.antecedents.items()) for rule in out_rules]
+            for name, out_rules in self._rules_by_output.items()
+        }
+        self._weights_by_output: Dict[str, np.ndarray] = {
+            name: np.array([rule.weight for rule in out_rules])
+            for name, out_rules in self._rules_by_output.items()
+        }
+        self._consequent_tables: Dict[str, np.ndarray] = {}
+        for name, out_rules in self._rules_by_output.items():
+            grid = self._grids[name]
+            var = self.outputs[name]
+            if out_rules:
+                table = np.stack(
+                    [
+                        var.sets[rule.consequent[1]].membership_array(grid)
+                        for rule in out_rules
+                    ]
+                )
+            else:
+                table = np.zeros((0, self.resolution))
+            self._consequent_tables[name] = table
 
     def _validate_rules(self) -> None:
         if not self.rules:
@@ -197,29 +238,102 @@ class MamdaniController:
         memberships = {
             name: var.fuzzify(values[name]) for name, var in self.inputs.items()
         }
-        aggregated: Dict[str, np.ndarray] = {
-            name: np.zeros(self.resolution) for name in self.outputs
-        }
-        for rule in self.rules:
-            strength = rule.weight * min(
-                memberships[var][term] for var, term in rule.antecedents.items()
-            )
-            if strength <= 0.0:
-                continue
-            out_name, out_term = rule.consequent
-            mf = self.outputs[out_name].sets[out_term]
-            clipped = np.minimum(
-                strength, mf.membership_array(self._grids[out_name])
-            )
-            aggregated[out_name] = np.maximum(aggregated[out_name], clipped)
         results: Dict[str, float] = {}
-        for name, mu in aggregated.items():
+        for name, antecedent_lists in self._antecedents_by_output.items():
+            # Firing strength per rule of this output (min-AND, weighted).
+            weights = self._weights_by_output[name]
+            strengths = np.fromiter(
+                (
+                    min(memberships[var][term] for var, term in antecedents)
+                    for antecedents in antecedent_lists
+                ),
+                dtype=float,
+                count=len(antecedent_lists),
+            )
+            strengths *= weights
+            active = strengths > 0.0
             grid = self._grids[name]
+            if not active.any():
+                results[name] = float(0.5 * (grid[0] + grid[-1]))
+                continue
+            # Clip each fired rule's precomputed consequent and
+            # max-aggregate — identical arithmetic to the per-rule loop
+            # (min/max are exact), just batched.
+            table = self._consequent_tables[name][active]
+            mu = np.minimum(strengths[active, None], table).max(axis=0)
             total = mu.sum()
             if total <= 0.0:
                 results[name] = float(0.5 * (grid[0] + grid[-1]))
             else:
                 results[name] = float((grid * mu).sum() / total)
+        return results
+
+    def infer_many(
+        self, values: Mapping[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Run one inference step for a batch of input points.
+
+        The closed-loop controller defuzzifies one speed level per core
+        every control period; evaluating all cores in one batch turns
+        the per-core Python rule loop into a handful of array
+        operations.  The arithmetic is element-for-element the same as
+        :meth:`infer` (min/max are exact selections, the aggregation
+        and centroid reductions run along contiguous rows with the same
+        pairwise order), so the outputs are bitwise identical to a
+        per-point loop — asserted by the test suite.
+
+        Parameters
+        ----------
+        values:
+            ``(N,)`` array of crisp values per input variable.
+
+        Returns
+        -------
+        dict
+            ``(N,)`` array of crisp outputs per output variable.
+        """
+        missing = set(self.inputs) - set(values)
+        if missing:
+            raise KeyError(f"missing inputs: {sorted(missing)}")
+        arrays = {name: np.asarray(values[name], dtype=float) for name in values}
+        sizes = {a.shape for a in arrays.values()}
+        if len(sizes) != 1 or arrays[next(iter(arrays))].ndim != 1:
+            raise ValueError("all inputs must be 1-D arrays of equal length")
+        n_points = arrays[next(iter(arrays))].size
+        memberships = {
+            name: var.fuzzify_many(arrays[name])
+            for name, var in self.inputs.items()
+        }
+        results: Dict[str, np.ndarray] = {}
+        for name, antecedent_lists in self._antecedents_by_output.items():
+            grid = self._grids[name]
+            midpoint = 0.5 * (grid[0] + grid[-1])
+            if not antecedent_lists:
+                results[name] = np.full(n_points, midpoint)
+                continue
+            # (rules, points) firing strengths (min-AND, weighted).
+            strengths = np.stack(
+                [
+                    np.minimum.reduce(
+                        [memberships[var][term] for var, term in antecedents]
+                    )
+                    for antecedents in antecedent_lists
+                ]
+            )
+            strengths *= self._weights_by_output[name][:, None]
+            # Rules with zero strength clip their consequent to all
+            # zeros, which cannot move the (non-negative) max — so no
+            # per-point active-rule bookkeeping is needed.
+            mu = np.minimum(
+                strengths[:, :, None], self._consequent_tables[name][:, None, :]
+            ).max(axis=0)
+            total = mu.sum(axis=1)
+            out = np.full(n_points, midpoint)
+            fired = total > 0.0
+            np.divide(
+                (grid * mu).sum(axis=1), total, out=out, where=fired
+            )
+            results[name] = out
         return results
 
 

@@ -27,6 +27,7 @@ from ..hydraulics.pump import PumpModel, TABLE_I_PUMP
 from ..power.model import PowerModel
 from ..sched.loadbalance import LoadBalancer
 from ..sched.metrics import PerformanceTracker
+from ..thermal.field import BlockReduction
 from ..thermal.model import CompactThermalModel
 from ..thermal.sensors import TemperatureSensors
 from ..thermal.solver import TransientStepper
@@ -145,6 +146,8 @@ class SystemSimulator:
         # offered load in core-seconds per second is cores/threads.
         self._thread_share = len(self.core_refs) / trace.threads
         self._all_masks = self.model.block_masks()
+        self._block_reduction = BlockReduction(self.model.grid, self._all_masks)
+        self._block_order = self.model.block_order
 
     # ------------------------------------------------------------------
 
@@ -217,8 +220,8 @@ class SystemSimulator:
                     for ref, b in zip(self.core_refs, busy)
                 }
 
-                block_temps = stepper.state.block_temperatures(
-                    self._all_masks, reduce="mean"
+                block_temps = self._block_reduction.reduce_dict(
+                    stepper.state.values, reduce="mean"
                 )
                 powers = self.power_model.block_powers(
                     utils, decision.vf_settings, block_temps
@@ -226,7 +229,10 @@ class SystemSimulator:
                 chip_w = sum(powers.values())
                 pump_w = self._pump_power(flow)
 
-                stepper.step(powers)
+                packed = np.array(
+                    [powers.get(ref, 0.0) for ref in self._block_order]
+                )
+                stepper.step_packed(packed)
                 time += dt
                 energy.add(chip_w, pump_w, dt)
                 hotspots.update(readings, dt)

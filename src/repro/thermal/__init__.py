@@ -7,8 +7,9 @@ with sparse direct methods.
 """
 
 from .grid import ThermalGrid
-from .field import TemperatureField
-from .model import CompactThermalModel
+from .field import BlockReduction, TemperatureField
+from .assembly import ConductanceBuilder
+from .model import CacheInfo, CompactThermalModel, SPLU_OPTIONS
 from .solver import TransientStepper
 from .sensors import TemperatureSensors
 from .reference import dense_steady_state
@@ -16,8 +17,12 @@ from .blockmodel import BlockThermalModel
 
 __all__ = [
     "ThermalGrid",
+    "BlockReduction",
     "TemperatureField",
+    "ConductanceBuilder",
+    "CacheInfo",
     "CompactThermalModel",
+    "SPLU_OPTIONS",
     "TransientStepper",
     "TemperatureSensors",
     "dense_steady_state",

@@ -2,11 +2,77 @@
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from .grid import ThermalGrid
+
+
+class BlockReduction:
+    """Precomputed per-block gather/reduce over a set of cell masks.
+
+    The closed-loop simulator aggregates block temperatures twice per
+    control period (sensor maxima, leakage-feedback means).  Doing that
+    with one fancy-indexing pass per block costs a Python loop over
+    every block each step; this helper flattens all masks into one
+    sorted cell-index array once, so each reduction is a single gather
+    plus one ``ufunc.reduceat`` regardless of the block count.
+
+    Parameters
+    ----------
+    grid:
+        The grid the masks live on.
+    masks:
+        Mapping from ``(layer name, block name)`` to a boolean
+        ``(ny, nx)`` mask (see
+        :meth:`repro.thermal.model.CompactThermalModel.block_masks`).
+    """
+
+    def __init__(
+        self, grid: ThermalGrid, masks: Dict[Tuple[str, str], np.ndarray]
+    ) -> None:
+        if not masks:
+            raise ValueError("at least one block mask required")
+        self.grid = grid
+        self.refs: List[Tuple[str, str]] = list(masks)
+        cells: List[np.ndarray] = []
+        starts: List[int] = []
+        offset = 0
+        for ref, mask in masks.items():
+            level = grid.level_of(ref[0])
+            flat = grid.flat_indices(level, mask)
+            if flat.size == 0:
+                raise ValueError(
+                    f"block {ref[1]} on {ref[0]} owns no grid cells; "
+                    "refine the grid"
+                )
+            starts.append(offset)
+            cells.append(flat)
+            offset += flat.size
+        self._cells = np.concatenate(cells)
+        self._starts = np.asarray(starts, dtype=np.int64)
+        self._counts = np.diff(np.append(self._starts, offset)).astype(float)
+
+    def max(self, values: np.ndarray) -> np.ndarray:
+        """Per-block maximum over a flat state vector (``refs`` order)."""
+        return np.maximum.reduceat(values[self._cells], self._starts)
+
+    def mean(self, values: np.ndarray) -> np.ndarray:
+        """Per-block mean over a flat state vector (``refs`` order)."""
+        return np.add.reduceat(values[self._cells], self._starts) / self._counts
+
+    def reduce_dict(
+        self, values: np.ndarray, reduce: str = "max"
+    ) -> Dict[Tuple[str, str], float]:
+        """Per-block aggregate keyed by block ref."""
+        if reduce == "max":
+            reduced = self.max(values)
+        elif reduce == "mean":
+            reduced = self.mean(values)
+        else:
+            raise ValueError("reduce must be 'max' or 'mean'")
+        return dict(zip(self.refs, reduced.tolist()))
 
 
 class TemperatureField:

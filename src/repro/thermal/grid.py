@@ -103,6 +103,28 @@ class ThermalGrid:
         start = level * self.cells_per_level
         return slice(start, start + self.cells_per_level)
 
+    def level_indices(self, level: int) -> np.ndarray:
+        """Flat indices of one level's cells as a ``(ny, nx)`` array.
+
+        The vectorised assembly replaces ``index(level, iy, ix)`` loops
+        with slices of this array: ``level_indices(k)[:, :-1]`` are the
+        left endpoints of all x-edges of level ``k``, and so on.
+        """
+        if not (0 <= level < self.levels):
+            raise IndexError(f"level {level} out of range")
+        start = level * self.cells_per_level
+        return np.arange(start, start + self.cells_per_level).reshape(
+            self.ny, self.nx
+        )
+
+    def flat_indices(self, level: int, mask: np.ndarray) -> np.ndarray:
+        """Flat indices of one level's cells selected by a ``(ny, nx)`` mask."""
+        if mask.shape != (self.ny, self.nx):
+            raise ValueError(
+                f"mask has shape {mask.shape}, expected ({self.ny}, {self.nx})"
+            )
+        return level * self.cells_per_level + np.flatnonzero(mask.ravel())
+
     def level_view(self, vector: np.ndarray, level: int) -> np.ndarray:
         """A ``(ny, nx)`` view of one level of a flat state vector."""
         return vector[self.level_slice(level)].reshape(self.ny, self.nx)

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .field import TemperatureField
+from .field import BlockReduction, TemperatureField
 from .model import BlockRef, CompactThermalModel
 
 
@@ -56,13 +56,14 @@ class TemperatureSensors:
         self.refs = list(refs)
         all_masks = model.block_masks()
         self._masks = {ref: all_masks[ref] for ref in self.refs}
+        self._reduction = BlockReduction(model.grid, self._masks)
         self.noise_sigma = noise_sigma
         self.quantisation = quantisation
         self._rng = np.random.default_rng(seed)
 
     def read(self, field: TemperatureField) -> Dict[BlockRef, float]:
         """Sample all sensors from a temperature field [K]."""
-        readings = field.block_temperatures(self._masks, reduce="max")
+        readings = self._reduction.reduce_dict(field.values, reduce="max")
         if self.noise_sigma > 0.0:
             for ref in readings:
                 readings[ref] += float(self._rng.normal(0.0, self.noise_sigma))

@@ -4,11 +4,14 @@ Backward Euler with sparse LU factors:
 
 ``(C/dt + A(f)) T_{n+1} = (C/dt) T_n + P + b(f)``
 
-The factorisation depends only on ``(flow rate, dt)``.  The run-time
-policies quantise the flow rate to a handful of settings, so an LRU cache
-of LU factors makes every step after the first a pair of triangular
-solves — this is what makes minutes-long closed-loop simulations with
-100 ms control periods cheap.
+The factorisation depends only on ``(flow signature, dt)``.  The
+run-time policies quantise the flow rate to a handful of settings, so an
+LRU cache of LU factors makes every step after the first a pair of
+triangular solves — this is what makes minutes-long closed-loop
+simulations with 100 ms control periods cheap.  The boundary vector
+``b(f)`` depends on the same signature and is cached alongside the
+factor, so a cached step performs exactly one spmv (power injection),
+one triangular solve pair, and one vector add.
 """
 
 from __future__ import annotations
@@ -21,7 +24,16 @@ from scipy.sparse import diags
 from scipy.sparse.linalg import splu
 
 from .field import TemperatureField
-from .model import BlockRef, CompactThermalModel
+from .model import (
+    SPLU_OPTIONS,
+    BlockRef,
+    CacheInfo,
+    CompactThermalModel,
+    FlowSignature,
+)
+
+FactorKey = Tuple[FlowSignature, float]
+"""Cache key of one factorisation: ``(flow signature, dt)``."""
 
 
 class TransientStepper:
@@ -39,6 +51,13 @@ class TransientStepper:
         ``model.steady_state(...)``.
     max_cached_factors:
         Upper bound on retained LU factorisations (LRU eviction).
+
+    Notes
+    -----
+    The per-entry boundary vector is cached against the model's
+    ``inlet_temperature``/``ambient`` at factorisation time; mutate
+    those only through a fresh stepper (the closed-loop simulator never
+    changes them mid-run).
     """
 
     def __init__(
@@ -57,25 +76,45 @@ class TransientStepper:
         self.state = initial.copy()
         self.time = initial.time
         self._max_cached = max_cached_factors
-        self._factors: "OrderedDict[Tuple[float, float], object]" = OrderedDict()
+        # Each entry holds (LU factor, boundary rhs) for one flow
+        # signature at this stepper's dt — the rhs costs as much to
+        # rebuild per step as the triangular solves it accompanies.
+        self._factors: "OrderedDict[FactorKey, Tuple[object, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
         self._c_over_dt = model.capacitance / self.dt
 
-    def _factor(self):
-        key = (self.model.flow_signature(), self.dt)
-        if key in self._factors:
+    def _factor(self) -> Tuple[object, np.ndarray]:
+        key: FactorKey = (self.model.flow_signature(), self.dt)
+        entry = self._factors.get(key)
+        if entry is not None:
             self._factors.move_to_end(key)
-            return self._factors[key]
+            self._hits += 1
+            return entry
+        self._misses += 1
         matrix = self.model.system_matrix() + diags(self._c_over_dt)
-        factor = splu(matrix.tocsc())
-        self._factors[key] = factor
+        factor = splu(matrix.tocsc(), **SPLU_OPTIONS)
+        entry = (factor, self.model.boundary_rhs())
+        self._factors[key] = entry
         if len(self._factors) > self._max_cached:
             self._factors.popitem(last=False)
-        return factor
+        return entry
 
     @property
     def cached_factor_count(self) -> int:
         """Number of LU factorisations currently cached."""
         return len(self._factors)
+
+    def cache_info(self) -> CacheInfo:
+        """``lru_cache``-style statistics of the factor cache."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            currsize=len(self._factors),
+            maxsize=self._max_cached,
+        )
 
     def step(self, block_powers: Dict[BlockRef, float]) -> TemperatureField:
         """Advance one time step under the given block powers.
@@ -85,10 +124,21 @@ class TransientStepper:
         power = self.model.power_vector(block_powers)
         return self.step_with_power_vector(power)
 
+    def step_packed(self, packed_powers: np.ndarray) -> TemperatureField:
+        """Advance one step from a packed per-block power array.
+
+        The fast path for callers that already hold powers in the
+        model's canonical :meth:`CompactThermalModel.block_order`: the
+        nodal vector is one spmv on the precomputed injection operator.
+        """
+        return self.step_with_power_vector(
+            self.model.power_vector_packed(packed_powers)
+        )
+
     def step_with_power_vector(self, power: np.ndarray) -> TemperatureField:
         """Advance one time step with a pre-built nodal power vector."""
-        factor = self._factor()
-        rhs = self._c_over_dt * self.state.values + power + self.model.boundary_rhs()
+        factor, boundary = self._factor()
+        rhs = self._c_over_dt * self.state.values + power + boundary
         values = factor.solve(rhs)
         self.time += self.dt
         self.state = TemperatureField(self.model.grid, values, self.time)

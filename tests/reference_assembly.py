@@ -1,0 +1,199 @@
+"""Loop-built reference implementation of the thermal-model assembly.
+
+The production assembly (:mod:`repro.thermal.model`) derives every edge
+list with vectorised index arithmetic.  This module re-derives the same
+physical system with explicit nested Python loops and independent index
+computation (``node = level*nx*ny + y*nx + x``), then feeds each phase
+to the shared :class:`repro.thermal.assembly.ConductanceBuilder` as one
+batch.  Per the builder's determinism contract (same phases, same
+order, one conductance per phase) the result must match the production
+matrices *bit for bit* — any mismatch exposes an index- or
+formula-level bug, not floating-point noise.
+
+Kept outside the production package on purpose: it is O(cells) Python
+and exists only to pin down the vectorised implementation.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Dict, List
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.geometry.stack import Cavity, Layer, TwoPhaseCavity
+from repro.heat_transfer.convection import cavity_effective_htc
+from repro.thermal.assembly import ConductanceBuilder
+from repro.thermal.model import TWO_PHASE_ANCHOR_W_PER_K, CompactThermalModel
+
+
+def _half_resistance(element: Layer, area: float) -> float:
+    return element.thickness / (2.0 * element.material.conductivity * area)
+
+
+def reference_assemble(model: CompactThermalModel) -> SimpleNamespace:
+    """Re-assemble ``model``'s system with explicit loops.
+
+    Returns a namespace with ``a_base``, ``a_adv``, ``per_cavity_adv``,
+    ``per_cavity_b``, ``b_base``, ``b_adv`` and ``capacitance`` —
+    the same quantities the production ``_assemble`` stores.
+    """
+    grid = model.grid
+    stack = model.stack
+    elements = stack.elements
+    nx, ny = grid.nx, grid.ny
+    n = grid.size
+    area = grid.cell_area
+    dx, dy = grid.dx, grid.dy
+    cells_per_level = nx * ny
+
+    def node(level: int, y: int, x: int) -> int:
+        return level * cells_per_level + y * nx + x
+
+    base = ConductanceBuilder(n)
+    b_base = np.zeros(n)
+    b_adv = np.zeros(n)
+    capacitance = np.zeros(n)
+
+    # Phase 1: per-level capacitance fill (direct assignment).
+    lateral_kx: List[float] = []
+    lateral_ky: List[float] = []
+    for level, element in enumerate(elements):
+        if isinstance(element, Cavity):
+            geom = element.geometry
+            phi = geom.porosity
+            k_w = element.wall_material.conductivity
+            k_f = element.coolant.conductivity
+            lateral_kx.append(phi * k_f + (1.0 - phi) * k_w)
+            lateral_ky.append(1.0 / (phi / k_f + (1.0 - phi) / k_w))
+            c_v = (
+                phi * element.coolant.vol_heat_capacity
+                + (1.0 - phi) * element.wall_material.vol_heat_capacity
+            )
+        else:
+            lateral_kx.append(element.material.conductivity)
+            lateral_ky.append(element.material.conductivity)
+            c_v = element.material.vol_heat_capacity
+        value = c_v * (area * element.thickness)
+        for y in range(ny):
+            for x in range(nx):
+                capacitance[node(level, y, x)] = value
+
+    # Phase 2: lateral conduction — per level all x-edges, then all
+    # y-edges, each as one builder batch.
+    for level, element in enumerate(elements):
+        t = element.thickness
+        gx = lateral_kx[level] * (dy * t) / dx
+        gy = lateral_ky[level] * (dx * t) / dy
+        x_i = [node(level, y, x) for y in range(ny) for x in range(nx - 1)]
+        x_j = [node(level, y, x + 1) for y in range(ny) for x in range(nx - 1)]
+        base.add_edges(x_i, x_j, gx)
+        y_i = [node(level, y, x) for y in range(ny - 1) for x in range(nx)]
+        y_j = [node(level, y + 1, x) for y in range(ny - 1) for x in range(nx)]
+        base.add_edges(y_i, y_j, gy)
+
+    # Phase 3: vertical coupling between adjacent levels.
+    for level in range(len(elements) - 1):
+        lower = elements[level]
+        upper = elements[level + 1]
+        if isinstance(lower, Layer) and isinstance(upper, Layer):
+            r = _half_resistance(lower, area) + _half_resistance(upper, area)
+            lower_level, upper_level = level, level + 1
+        else:
+            cavity, cavity_level = (
+                (lower, level)
+                if isinstance(lower, Cavity)
+                else (upper, level + 1)
+            )
+            solid, solid_level = (
+                (upper, level + 1)
+                if isinstance(lower, Cavity)
+                else (lower, level)
+            )
+            if isinstance(cavity, TwoPhaseCavity):
+                h_eff = cavity.geometry.effective_htc(
+                    cavity.boiling_htc(), cavity.wall_material.conductivity
+                )
+            else:
+                h_eff = cavity_effective_htc(
+                    cavity.geometry, cavity.coolant, cavity.wall_material
+                )
+            r = _half_resistance(solid, area) + 1.0 / (h_eff * area)
+            lower_level, upper_level = solid_level, cavity_level
+        i = [node(lower_level, y, x) for y in range(ny) for x in range(nx)]
+        j = [node(upper_level, y, x) for y in range(ny) for x in range(nx)]
+        base.add_edges(i, j, 1.0 / r)
+
+    # Phase 4: wall-conduction bypass across each cavity.
+    for level, element in enumerate(elements):
+        if not isinstance(element, Cavity):
+            continue
+        below = elements[level - 1]
+        above = elements[level + 1]
+        wall_fraction = 1.0 - element.geometry.porosity
+        r = (
+            _half_resistance(below, area)
+            + element.thickness
+            / (element.wall_material.conductivity * wall_fraction * area)
+            + _half_resistance(above, area)
+        )
+        i = [node(level - 1, y, x) for y in range(ny) for x in range(nx)]
+        j = [node(level + 1, y, x) for y in range(ny) for x in range(nx)]
+        base.add_edges(i, j, 1.0 / r)
+
+    # Phase 5: two-phase saturation anchors.
+    for level, element in enumerate(elements):
+        if not isinstance(element, TwoPhaseCavity):
+            continue
+        cells = [node(level, y, x) for y in range(ny) for x in range(nx)]
+        base.add_diagonal(cells, TWO_PHASE_ANCHOR_W_PER_K)
+        for cell in cells:
+            b_base[cell] += TWO_PHASE_ANCHOR_W_PER_K * element.saturation_k
+
+    # Phase 6: advection stencils per single-phase cavity.
+    per_cavity_adv: Dict[str, csr_matrix] = {}
+    per_cavity_b: Dict[str, np.ndarray] = {}
+    for level, element in enumerate(elements):
+        if not isinstance(element, Cavity) or isinstance(
+            element, TwoPhaseCavity
+        ):
+            continue
+        builder = ConductanceBuilder(n)
+        cells = [node(level, y, x) for y in range(ny) for x in range(nx)]
+        builder.add_diagonal(cells, 1.0)
+        down = [node(level, y, x) for y in range(ny) for x in range(1, nx)]
+        up = [node(level, y, x - 1) for y in range(ny) for x in range(1, nx)]
+        builder.add_off_diagonal(down, up, -1.0)
+        c_b = np.zeros(n)
+        for y in range(ny):
+            c_b[node(level, y, 0)] = 1.0
+        per_cavity_adv[element.name] = builder.to_csr()
+        per_cavity_b[element.name] = c_b
+        b_adv += c_b
+
+    # Phase 7: lumped air sink.
+    if grid.has_sink_node:
+        top_level = len(elements) - 1
+        top = elements[top_level]
+        sink = grid.sink_index
+        g_cell = 1.0 / _half_resistance(top, area)
+        top_cells = [node(top_level, y, x) for y in range(ny) for x in range(nx)]
+        base.add_edges(top_cells, [sink] * len(top_cells), g_cell)
+        base.add_diagonal([sink], stack.sink_conductance)
+        b_base[sink] = stack.sink_conductance * model.ambient
+        capacitance[sink] = stack.sink_capacitance
+
+    a_adv = csr_matrix((n, n))
+    for matrix in per_cavity_adv.values():
+        a_adv = a_adv + matrix
+
+    return SimpleNamespace(
+        a_base=base.to_csr(),
+        a_adv=a_adv,
+        per_cavity_adv=per_cavity_adv,
+        per_cavity_b=per_cavity_b,
+        b_base=b_base,
+        b_adv=b_adv,
+        capacitance=capacitance,
+    )

@@ -171,3 +171,86 @@ def test_empty_rule_base_rejected():
     y = three_level_variable("y", 0.0, 1.0)
     with pytest.raises(ValueError):
         MamdaniController([x], [y], [])
+
+
+# ---------------------------------------------------------------------------
+# batched inference
+# ---------------------------------------------------------------------------
+
+
+def _speed_engine() -> MamdaniController:
+    """The controller's speed rule base (two inputs, one output)."""
+    from repro.core.controller import FuzzyThermalController
+
+    return FuzzyThermalController()._speed_engine
+
+
+def test_infer_many_matches_scalar_bitwise():
+    """Batched inference must equal the per-point loop bit for bit."""
+    engine = _speed_engine()
+    rng = np.random.default_rng(11)
+    # Random interior points plus every membership breakpoint, out-of-range
+    # values (clamping) and dead zones (midpoint fallback).
+    utilisation = np.concatenate(
+        [rng.uniform(-0.3, 1.3, 40), [0.0, 0.25, 0.5, 0.75, 1.0, -1.0, 2.0]]
+    )
+    temperature = np.concatenate(
+        [rng.uniform(20.0, 100.0, 40), [40.0, 56.0, 64.0, 67.0, 78.0, 80.0, 120.0]]
+    )
+    batch = engine.infer_many(
+        {"utilisation": utilisation, "temperature": temperature}
+    )["speed"]
+    for k in range(utilisation.size):
+        scalar = engine.infer(
+            {
+                "utilisation": float(utilisation[k]),
+                "temperature": float(temperature[k]),
+            }
+        )["speed"]
+        assert batch[k] == scalar
+
+
+@given(
+    x=st.floats(min_value=-0.5, max_value=1.5, allow_nan=False),
+    y=st.floats(min_value=-0.5, max_value=1.5, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_infer_many_scalar_property(x, y):
+    engine = _speed_engine()
+    batch = engine.infer_many(
+        {"utilisation": np.array([x]), "temperature": np.array([y * 60.0 + 30.0])}
+    )["speed"]
+    scalar = engine.infer(
+        {"utilisation": x, "temperature": y * 60.0 + 30.0}
+    )["speed"]
+    assert batch[0] == scalar
+
+
+def test_infer_many_three_input_engine():
+    """The flow rule base exercises rules with 1 and 2 antecedents."""
+    from repro.core.controller import FuzzyThermalController
+
+    engine = FuzzyThermalController()._flow_engine
+    rng = np.random.default_rng(5)
+    values = {
+        "temperature": rng.uniform(35.0, 90.0, 32),
+        "trend": rng.uniform(-2.0, 2.0, 32),
+        "utilisation": rng.uniform(0.0, 1.0, 32),
+    }
+    batch = engine.infer_many(values)["flow"]
+    for k in range(32):
+        point = {name: float(vec[k]) for name, vec in values.items()}
+        assert batch[k] == engine.infer(point)["flow"]
+
+
+def test_infer_many_validates_inputs():
+    engine = _speed_engine()
+    with pytest.raises(KeyError):
+        engine.infer_many({"utilisation": np.array([0.5])})
+    with pytest.raises(ValueError):
+        engine.infer_many(
+            {
+                "utilisation": np.array([0.5, 0.6]),
+                "temperature": np.array([50.0]),
+            }
+        )
