@@ -3,11 +3,15 @@
 from .report import Table, format_table, percent_change
 from .paper import PAPER_CLAIMS, Claim, within_band
 from .sweep import (
+    JobFailure,
     SteadyCase,
     SteadySweep,
     SimulationJob,
+    SweepOutcome,
     fan_out,
+    resilient_fan_out,
     run_simulations,
+    run_simulations_resilient,
 )
 from .reliability import (
     ThermalCycle,
@@ -22,11 +26,15 @@ __all__ = [
     "Table",
     "format_table",
     "percent_change",
+    "JobFailure",
     "SteadyCase",
     "SteadySweep",
     "SimulationJob",
+    "SweepOutcome",
     "fan_out",
+    "resilient_fan_out",
     "run_simulations",
+    "run_simulations_resilient",
     "PAPER_CLAIMS",
     "Claim",
     "within_band",

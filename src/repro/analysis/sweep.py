@@ -24,8 +24,18 @@ maps) — the benchmark harness keeps them opt-in via
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+import time as _time
+import traceback as _traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     Callable,
     Dict,
@@ -180,3 +190,392 @@ def run_simulations(
     """
     results = fan_out(_run_simulation_job, jobs, processes)
     return [(job.key, result) for job, result in zip(jobs, results)]
+
+
+# ---------------------------------------------------------------------------
+# resilient fan-out
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of one job that could not be completed.
+
+    Attributes
+    ----------
+    index:
+        Position of the job in the submitted sequence.
+    key:
+        The caller's label for the job (job index when none given).
+    phase:
+        ``"exception"`` (the job raised), ``"timeout"`` (exceeded the
+        per-job deadline) or ``"worker-crash"`` (the worker process
+        died — segfault, OOM kill, ``os._exit``).
+    error_type, message, traceback:
+        Exception details when available; the traceback is rendered in
+        the worker so it survives pickling.
+    attempts:
+        Attempts consumed before giving up.
+    """
+
+    index: int
+    key: object
+    phase: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+
+
+@dataclass
+class SweepOutcome:
+    """Partial results of a resilient fan-out.
+
+    ``results`` holds ``(key, value)`` pairs of the jobs that succeeded,
+    in submission order; ``failures`` the structured records of those
+    that did not.  ``results + failures`` always covers every submitted
+    job exactly once.
+    """
+
+    results: List[Tuple[object, object]]
+    failures: List[JobFailure]
+    total: int
+
+    @property
+    def succeeded(self) -> int:
+        return len(self.results)
+
+    @property
+    def complete(self) -> bool:
+        """True when every job produced a result."""
+        return not self.failures
+
+    def result_map(self) -> Dict[object, object]:
+        """``{key: value}`` of the successful jobs."""
+        return dict(self.results)
+
+    def raise_if_failed(self) -> "SweepOutcome":
+        """Raise a ``RuntimeError`` summarising failures, if any."""
+        if self.failures:
+            lines = [
+                f"  [{f.phase}] job {f.key!r}: {f.error_type}: {f.message}"
+                for f in self.failures
+            ]
+            raise RuntimeError(
+                f"{len(self.failures)}/{self.total} jobs failed:\n"
+                + "\n".join(lines)
+            )
+        return self
+
+
+def _drain_pool(
+    fn: Callable[[T], R],
+    work: Sequence[T],
+    indices: Sequence[int],
+    processes: int,
+    timeout_s: Optional[float],
+) -> Tuple[Dict[int, R], Dict[int, BaseException], set, bool, set]:
+    """Run one process-pool lifetime over the given job indices.
+
+    Returns ``(successes, errors, timed_out, crashed, unfinished)``.
+    ``unfinished`` jobs were aborted through no fault of their own
+    (pool crash or a sibling's timeout tearing the pool down) and must
+    be re-run without an attempt penalty.
+    """
+    successes: Dict[int, R] = {}
+    errors: Dict[int, BaseException] = {}
+    timed_out: set = set()
+    crashed = False
+    unfinished = set(indices)
+    pool = ProcessPoolExecutor(max_workers=processes)
+    must_kill = False
+    try:
+        outstanding: Dict[Future, int] = {
+            pool.submit(fn, work[i]): i for i in indices
+        }
+        deadline = (
+            None
+            if timeout_s is None
+            else {f: _time.monotonic() + timeout_s for f in outstanding}
+        )
+        while outstanding:
+            done, _ = wait(
+                set(outstanding),
+                timeout=None if deadline is None else 0.05,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                index = outstanding.pop(future)
+                try:
+                    successes[index] = future.result()
+                    unfinished.discard(index)
+                except BrokenProcessPool:
+                    crashed = True
+                except Exception as exc:  # job raised in the worker
+                    errors[index] = exc
+                    unfinished.discard(index)
+            if crashed:
+                break
+            if deadline is not None:
+                now = _time.monotonic()
+                overdue = [f for f in outstanding if now >= deadline[f]]
+                if overdue:
+                    for future in overdue:
+                        index = outstanding.pop(future)
+                        timed_out.add(index)
+                        unfinished.discard(index)
+                    # A hung worker never frees its slot: tear the pool
+                    # down; still-running innocents land in `unfinished`
+                    # and are resubmitted penalty-free.
+                    must_kill = True
+                    break
+    finally:
+        if must_kill or crashed:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+    return successes, errors, timed_out, crashed, unfinished
+
+
+def _render_traceback(exc: BaseException) -> str:
+    return "".join(
+        _traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+
+
+def _load_checkpoint(
+    path: Optional[Path], total: int
+) -> Dict[int, object]:
+    if path is None or not Path(path).exists():
+        return {}
+    try:
+        payload = pickle.loads(Path(path).read_bytes())
+    except Exception:
+        return {}
+    if payload.get("total") != total:
+        return {}
+    return dict(payload.get("results", {}))
+
+
+def _save_checkpoint(
+    path: Optional[Path], results: Dict[int, object], total: int
+) -> None:
+    if path is None:
+        return
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(
+        pickle.dumps({"results": dict(results), "total": total})
+    )
+    tmp.replace(path)
+
+
+def resilient_fan_out(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    processes: Optional[int] = None,
+    *,
+    keys: Optional[Sequence[object]] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    backoff_s: float = 0.0,
+    checkpoint_path: Optional[Path] = None,
+    checkpoint_every: int = 8,
+) -> SweepOutcome:
+    """Fan out with per-job isolation: one bad job cannot sink the grid.
+
+    Guarantees, relative to plain :func:`fan_out`:
+
+    * a job that **raises** is retried ``retries`` times with
+      exponential backoff, then recorded as a :class:`JobFailure`
+      while every sibling still completes;
+    * a job that **kills its worker** (segfault, OOM, ``os._exit``)
+      breaks the pool — the pool is rebuilt, survivors are resubmitted
+      penalty-free, and after a second crash jobs run one-at-a-time so
+      the culprit is identified and isolated before batch mode resumes;
+    * a job that **hangs** past ``timeout_s`` is recorded as a timeout
+      failure (after its retries) instead of stalling the sweep —
+      process mode only, a serial run cannot pre-empt the job;
+    * with ``checkpoint_path`` the completed results are periodically
+      pickled, and a re-run with the same path and job count resumes,
+      re-running only unfinished or previously failed jobs.
+
+    Serial runs (``processes in (None, 0, 1)``) honour retries,
+    backoff, checkpoints and exception isolation, but cannot survive a
+    job that kills the interpreter nor enforce timeouts.
+
+    Returns a :class:`SweepOutcome`; ``keys`` default to job indices.
+    """
+    work = list(items)
+    key_list = list(keys) if keys is not None else list(range(len(work)))
+    if len(key_list) != len(work):
+        raise ValueError("keys must match items one-to-one")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    max_attempts = retries + 1
+
+    results: Dict[int, object] = _load_checkpoint(checkpoint_path, len(work))
+    failures: Dict[int, JobFailure] = {}
+    attempts = {i: 0 for i in range(len(work))}
+    unsaved = 0
+
+    def note_success(index: int, value: object) -> None:
+        nonlocal unsaved
+        results[index] = value
+        unsaved += 1
+        if checkpoint_path is not None and unsaved >= checkpoint_every:
+            _save_checkpoint(checkpoint_path, results, len(work))
+            unsaved = 0
+
+    def note_failure(
+        index: int,
+        phase: str,
+        error_type: str,
+        message: str,
+        tb: str = "",
+    ) -> None:
+        failures[index] = JobFailure(
+            index=index,
+            key=key_list[index],
+            phase=phase,
+            error_type=error_type,
+            message=message,
+            traceback=tb,
+            attempts=attempts[index],
+        )
+
+    def backoff(attempt: int) -> None:
+        if backoff_s > 0.0:
+            _time.sleep(min(30.0, backoff_s * (2.0 ** max(0, attempt - 1))))
+
+    pending = [i for i in range(len(work)) if i not in results]
+
+    if processes is None or processes <= 1:
+        for index in pending:
+            while True:
+                attempts[index] += 1
+                try:
+                    note_success(index, fn(work[index]))
+                    break
+                except Exception as exc:
+                    if attempts[index] >= max_attempts:
+                        note_failure(
+                            index,
+                            "exception",
+                            type(exc).__name__,
+                            str(exc),
+                            _render_traceback(exc),
+                        )
+                        break
+                    backoff(attempts[index])
+    else:
+        crashes = 0
+        while pending:
+            isolate = crashes >= 2
+            batch = pending[:1] if isolate else pending
+            batch_attempt = max(attempts[i] for i in batch)
+            for index in batch:
+                attempts[index] += 1
+            successes, errors, timed_out, crashed, unfinished = _drain_pool(
+                fn, work, batch, 1 if isolate else processes, timeout_s
+            )
+            for index, value in successes.items():
+                note_success(index, value)
+            retry_needed = False
+            for index, exc in errors.items():
+                if attempts[index] >= max_attempts:
+                    note_failure(
+                        index,
+                        "exception",
+                        type(exc).__name__,
+                        str(exc),
+                        _render_traceback(exc),
+                    )
+                else:
+                    retry_needed = True
+            for index in timed_out:
+                if attempts[index] >= max_attempts:
+                    note_failure(
+                        index,
+                        "timeout",
+                        "TimeoutError",
+                        f"job exceeded the {timeout_s} s deadline",
+                    )
+                else:
+                    retry_needed = True
+            if crashed:
+                crashes += 1
+                if isolate:
+                    # One job per pool: the crash is attributable.
+                    index = batch[0]
+                    if attempts[index] >= max_attempts:
+                        note_failure(
+                            index,
+                            "worker-crash",
+                            "BrokenProcessPool",
+                            "the worker process died while running "
+                            "this job",
+                        )
+                        # Culprit isolated; batch mode can resume.
+                        crashes = 0
+                    unfinished.discard(index)
+            else:
+                # Jobs aborted by a sibling's timeout keep their
+                # attempt; give it back (they did not run to failure).
+                for index in unfinished:
+                    attempts[index] -= 1
+            if crashed and not isolate:
+                # Unattributable crash: nobody is penalised, rerun all.
+                for index in unfinished:
+                    attempts[index] -= 1
+            pending = [
+                i
+                for i in range(len(work))
+                if i not in results and i not in failures
+            ]
+            if retry_needed:
+                backoff(batch_attempt + 1)
+
+    _save_checkpoint(checkpoint_path, results, len(work))
+    return SweepOutcome(
+        results=[
+            (key_list[i], results[i]) for i in sorted(results)
+        ],
+        failures=[failures[i] for i in sorted(failures)],
+        total=len(work),
+    )
+
+
+def run_simulations_resilient(
+    jobs: Sequence[SimulationJob],
+    processes: Optional[int] = None,
+    *,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    backoff_s: float = 0.0,
+    checkpoint_path: Optional[Path] = None,
+    checkpoint_every: int = 8,
+) -> SweepOutcome:
+    """Resilient :func:`run_simulations`: partial results, not aborts.
+
+    Where :func:`run_simulations` re-raises the first worker exception
+    and loses the whole grid, this returns a :class:`SweepOutcome`
+    whose ``results`` are ``(job.key, SimulationResult)`` pairs for the
+    jobs that completed and whose ``failures`` carry a structured
+    :class:`JobFailure` per job that could not be salvaged.  See
+    :func:`resilient_fan_out` for the retry/timeout/crash semantics.
+    """
+    return resilient_fan_out(
+        _run_simulation_job,
+        jobs,
+        processes,
+        keys=[job.key for job in jobs],
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )

@@ -120,6 +120,87 @@ def cmd_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run a fault-injection campaign and print the degradation report."""
+    from .faults import (
+        ActuatorLagFault,
+        CloggedCavityFault,
+        DeadSensorFault,
+        FaultScenario,
+        FaultSet,
+        PumpDegradationFault,
+        run_fault_campaign,
+    )
+
+    policy = _policy_by_name(args.policy)
+    if policy.cooling.value != "liquid":
+        raise SystemExit("fault campaigns target the liquid-cooled policies")
+    threads = 32 * (args.tiers // 2)
+    suite = paper_workload_suite(threads=threads, duration=args.duration)
+    if args.workload not in suite:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; choose from {sorted(suite)}"
+        )
+    stack = build_3d_mpsoc(args.tiers, policy.cooling)
+    dead_ref = next(
+        (layer.name, block.name)
+        for layer, block in stack.iter_blocks()
+        if block.kind == "core"
+    )
+    cavity = stack.cavities[0].name
+    start = args.fault_start
+    pump = PumpDegradationFault(
+        remaining_fraction=1.0 - args.pump_loss, start=start
+    )
+    scenarios = [
+        FaultScenario(
+            "dead-sensor",
+            FaultSet(sensor_faults={dead_ref: DeadSensorFault(start=start)}),
+        ),
+        FaultScenario(
+            f"pump-{args.pump_loss:.0%}-loss", FaultSet(flow_faults=[pump])
+        ),
+        FaultScenario(
+            "clogged-cavity",
+            FaultSet(
+                flow_faults=[
+                    CloggedCavityFault(
+                        cavity=cavity, remaining_fraction=0.5, start=start
+                    )
+                ]
+            ),
+        ),
+        FaultScenario(
+            "dvfs-lag", FaultSet(actuator_lag=ActuatorLagFault(periods=5))
+        ),
+        FaultScenario(
+            "dead-sensor+pump-loss",
+            FaultSet(
+                sensor_faults={dead_ref: DeadSensorFault(start=start)},
+                flow_faults=[pump],
+            ),
+        ),
+    ]
+    report = run_fault_campaign(
+        stack,
+        policy,
+        suite[args.workload],
+        scenarios,
+        processes=args.processes,
+        timeout_s=args.timeout,
+        checkpoint_path=Path(args.checkpoint) if args.checkpoint else None,
+        nx=args.nx,
+        ny=args.ny,
+    )
+    print(report.table())
+    for failure in report.failures:
+        print(
+            f"scenario {failure.key!r} failed after {failure.attempts} "
+            f"attempt(s): {failure.error_type}: {failure.message}"
+        )
+    return 0 if report.complete else 1
+
+
 def cmd_bench_thermal(args: argparse.Namespace) -> int:
     """Run the thermal perf microbenchmarks and write BENCH_thermal.json."""
     from .analysis.perf import BASELINE_PATH, bench_thermal, write_bench_report
@@ -151,6 +232,28 @@ def cmd_bench_thermal(args: argparse.Namespace) -> int:
         )
     print(table)
     print(f"wrote {args.output}")
+    if args.gate:
+        if not speedup:
+            raise SystemExit(
+                "--gate needs a baseline to compare against "
+                f"(none found at {baseline_path})"
+            )
+        regressions = {
+            key: ratio
+            for key, ratio in speedup.items()
+            if ratio < args.gate_threshold
+        }
+        if regressions:
+            for key, ratio in sorted(regressions.items()):
+                print(
+                    f"REGRESSION: {key} at {ratio:.2f}x of the seed "
+                    f"baseline (gate {args.gate_threshold:.2f}x)"
+                )
+            return 1
+        print(
+            f"gate passed: no metric below {args.gate_threshold:.2f}x "
+            "of the seed baseline"
+        )
     return 0
 
 
@@ -198,7 +301,62 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quick", action="store_true", help="skip the 100x100 large-grid sample"
     )
+    bench.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when any metric regresses past the gate threshold",
+    )
+    bench.add_argument(
+        "--gate-threshold",
+        type=float,
+        default=0.8,
+        help="minimum acceptable speedup vs baseline (default 0.8 = "
+        "a >20%% regression fails)",
+    )
     bench.set_defaults(func=cmd_bench_thermal)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run a fault-injection campaign (dead sensors, pump loss, ...)",
+    )
+    faults.add_argument("--tiers", type=int, default=2, choices=(2, 4))
+    faults.add_argument(
+        "--policy", default="LC_FUZZY", choices=("LC_LB", "LC_FUZZY")
+    )
+    faults.add_argument("--workload", default="database")
+    faults.add_argument("--duration", type=int, default=30)
+    faults.add_argument(
+        "--fault-start",
+        type=float,
+        default=0.0,
+        help="time the faults strike [s]",
+    )
+    faults.add_argument(
+        "--pump-loss",
+        type=float,
+        default=0.3,
+        help="pump degradation as a flow-loss fraction (default 0.3 = 30%%)",
+    )
+    faults.add_argument("--nx", type=int, default=23)
+    faults.add_argument("--ny", type=int, default=20)
+    faults.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="fan the scenarios out across worker processes",
+    )
+    faults.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-scenario timeout [s] (process mode only)",
+    )
+    faults.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint file for resumable campaigns",
+    )
+    faults.set_defaults(func=cmd_faults)
     return parser
 
 

@@ -16,7 +16,8 @@ closed-loop simulation cheap (see :mod:`repro.thermal.solver`).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+import math
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -165,12 +166,52 @@ class FuzzyThermalController:
         self._last_max_temp: Optional[float] = None
         self._last_time: Optional[float] = None
         self._trend = 0.0
+        self._flow_boost = 1.0
+        self.last_lost_sensors: List[Hashable] = []
 
     def reset(self) -> None:
-        """Forget the trend estimator state."""
+        """Forget the trend estimator and degradation state."""
         self._last_max_temp = None
         self._last_time = None
         self._trend = 0.0
+        self._flow_boost = 1.0
+        self.last_lost_sensors = []
+
+    # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+
+    MAX_FLOW_BOOST = 8.0
+    """Upper bound on the flow-loss compensation factor."""
+
+    def observe_achieved_flow(self, commanded: float, achieved: float) -> None:
+        """Flow-meter feedback: re-plan when the loop under-delivers.
+
+        A worn pump or clogged cavity delivers less flow than
+        commanded; the controller compensates by scaling its next flow
+        command by the observed deficit (bounded), and drops the boost
+        once the loop delivers again.  Without a flow fault the
+        feedback equals the command and this is a no-op.
+        """
+        if not (
+            math.isfinite(commanded)
+            and math.isfinite(achieved)
+            and commanded > 0.0
+        ):
+            return
+        if achieved < 0.95 * commanded:
+            ratio = commanded / max(achieved, 1e-9)
+            self._flow_boost = min(
+                self.MAX_FLOW_BOOST, max(self._flow_boost, ratio)
+            )
+        else:
+            self._flow_boost = 1.0
+
+    def _apply_flow_boost(self, flow: float) -> float:
+        if self._flow_boost <= 1.0:
+            return flow
+        target = min(float(self.flow_grid[-1]), flow * self._flow_boost)
+        return float(self.flow_grid[np.abs(self.flow_grid - target).argmin()])
 
     # ------------------------------------------------------------------
 
@@ -234,10 +275,32 @@ class FuzzyThermalController:
         tuple
             ``(flow_ml_min, vf_settings)`` — the quantised per-cavity
             flow command and the VF index per core.
+
+        Notes
+        -----
+        Non-finite readings mark lost sensors (dead thermal diodes
+        read NaN, see :mod:`repro.faults.models`).  The controller
+        degrades gracefully instead of crashing: any sensor loss forces
+        the fail-safe maximum flow, blind cores are throttled to the
+        lowest operating point, and the sighted cores still get normal
+        fuzzy DVFS from the surviving readings.  The lost sensors of
+        the latest step are exposed as ``last_lost_sensors``.
         """
         if set(temperatures_k) != set(utilisations):
             raise ValueError("temperature and utilisation cores must match")
-        max_temp_c = kelvin_to_celsius(max(temperatures_k.values()))
+        valid = {
+            core: temp
+            for core, temp in temperatures_k.items()
+            if math.isfinite(temp)
+        }
+        lost = [core for core in temperatures_k if core not in valid]
+        self.last_lost_sensors = lost
+        if not valid:
+            # Total sensor loss: max flow, everything throttled.
+            return float(self.flow_grid[-1]), {
+                core: self.vf_table.lowest_index for core in temperatures_k
+            }
+        max_temp_c = kelvin_to_celsius(max(valid.values()))
         mean_util = sum(utilisations.values()) / len(utilisations)
         trend = self._update_trend(time, max_temp_c)
 
@@ -252,14 +315,14 @@ class FuzzyThermalController:
 
         # One batched inference call for all cores (bitwise identical to
         # the per-core loop, see MamdaniController.infer_many).
-        cores = list(temperatures_k)
+        cores = list(valid)
         speeds = self._speed_engine.infer_many(
             {
                 "utilisation": np.array(
                     [utilisations[core] for core in cores]
                 ),
                 "temperature": np.array(
-                    [kelvin_to_celsius(temperatures_k[core]) for core in cores]
+                    [kelvin_to_celsius(valid[core]) for core in cores]
                 ),
             }
         )["speed"]
@@ -267,8 +330,12 @@ class FuzzyThermalController:
             core: self.speed_to_vf_index(float(speed))
             for core, speed in zip(cores, speeds)
         }
-        # Hard safety net: never throttle-free above the threshold.
-        if max_temp_c >= constants.THERMAL_THRESHOLD_C:
+        for core in lost:
+            vf[core] = self.vf_table.lowest_index
+        flow = self._apply_flow_boost(flow)
+        # Hard safety nets: max flow above the threshold, and whenever
+        # a sensor is lost (the blind spot could be the hottest core).
+        if lost or max_temp_c >= constants.THERMAL_THRESHOLD_C:
             flow = float(self.flow_grid[-1])
         return flow, vf
 

@@ -59,7 +59,20 @@ class Policy(ABC):
         temperatures_k: Mapping[Hashable, float],
         utilisations: Mapping[Hashable, float],
     ) -> PolicyDecision:
-        """Produce actuator commands from the latest observations."""
+        """Produce actuator commands from the latest observations.
+
+        Lost sensors surface as non-finite (NaN) temperatures; policies
+        must degrade gracefully rather than crash on them.
+        """
+
+    def observe_flow(self, commanded_ml_min: float, achieved_ml_min: float) -> None:
+        """Flow-meter feedback after actuation (graceful degradation).
+
+        Called by the simulator once per control period with the
+        clamped flow command and the mean flow actually delivered
+        (these differ only under injected pump/cavity faults).  The
+        default is a no-op; closed-loop policies may re-plan.
+        """
 
     def reset(self) -> None:
         """Clear internal state between simulation runs."""
@@ -160,6 +173,12 @@ class LiquidFuzzy(Policy):
         if not self.dvfs_control:
             vf = {core: 0 for core in vf}
         return PolicyDecision(vf_settings=vf, flow_ml_min=flow)
+
+    def observe_flow(self, commanded_ml_min, achieved_ml_min) -> None:
+        if self.flow_control:
+            self.controller.observe_achieved_flow(
+                commanded_ml_min, achieved_ml_min
+            )
 
     def reset(self) -> None:
         self.controller.reset()

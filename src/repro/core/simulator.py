@@ -17,7 +17,7 @@ energy, pumping energy, hot-spot statistics and performance degradation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from ..hydraulics.pump import PumpModel, TABLE_I_PUMP
 from ..power.model import PowerModel
 from ..sched.loadbalance import LoadBalancer
 from ..sched.metrics import PerformanceTracker
+from ..thermal.diagnostics import ThermalInputError, validate_positive_scalar
 from ..thermal.field import BlockReduction
 from ..thermal.model import CompactThermalModel
 from ..thermal.sensors import TemperatureSensors
@@ -36,6 +37,9 @@ from ..workload.traces import WorkloadTrace
 from .energy import EnergyAccount
 from .hotspots import HotSpotStats
 from .policies import Policy
+
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> faults cycle
+    from ..faults.models import FaultSet
 
 BlockRef = Tuple[str, str]
 
@@ -90,6 +94,13 @@ class SystemSimulator:
     record_series:
         Keep per-control-period time series (time, max temperature,
         flow, chip power) in the result.
+    faults:
+        Optional :class:`~repro.faults.models.FaultSet` injected into
+        the run: sensor faults are installed into the sensor layer,
+        cooling-loop faults bend the delivered flow away from the
+        command (with the shortfall reported back to the policy via
+        :meth:`Policy.observe_flow`), and actuator lag delays the DVFS
+        settings reaching the cores.
     """
 
     def __init__(
@@ -105,14 +116,16 @@ class SystemSimulator:
         lb_threshold: float = 0.25,
         sensor_noise: float = 0.0,
         record_series: bool = False,
+        faults: Optional["FaultSet"] = None,
     ) -> None:
         if policy.cooling is not stack.cooling_mode:
             raise ValueError(
                 f"policy {policy.name} expects {policy.cooling.value} cooling "
                 f"but the stack is {stack.cooling_mode.value}-cooled"
             )
-        if control_period <= 0.0:
-            raise ValueError("control period must be positive")
+        control_period = validate_positive_scalar(
+            control_period, "control period"
+        )
         steps = round(trace.period / control_period)
         if steps < 1 or abs(steps * control_period - trace.period) > 1e-9:
             raise ValueError(
@@ -125,12 +138,17 @@ class SystemSimulator:
         self.control_period = control_period
         self.record_series = record_series
 
+        self.faults = faults
+
         self.model = CompactThermalModel(stack, nx=nx, ny=ny)
         self.power_model = PowerModel(stack)
         self.core_refs: List[BlockRef] = self.power_model.core_refs
         self.sensors = TemperatureSensors(
             self.model, refs=self.core_refs, noise_sigma=sensor_noise
         )
+        self._cavity_names = list(self.model.cavity_flows)
+        if faults is not None:
+            faults.install_sensor_faults(self.sensors)
         if trace.threads < len(self.core_refs):
             raise ValueError(
                 f"trace provides {trace.threads} threads for "
@@ -195,20 +213,46 @@ class SystemSimulator:
                 self.trace.interval(interval) * self._thread_share
             )
             for _ in range(steps_per_interval):
-                readings = self.sensors.read(stepper.state)
+                readings = self.sensors.read(stepper.state, time)
+                if self.faults is not None and self.faults.sensor_faults:
+                    # Hot-spot statistics track the physical die, not
+                    # the (possibly dead/stuck) sensor outputs the
+                    # policy is steering by.
+                    physical = self.sensors.true_values(stepper.state)
+                else:
+                    physical = readings
                 decision = self.policy.decide(time, readings, utils)
                 if decision.flow_ml_min is not None:
-                    flow = self.pump.clamp_flow(decision.flow_ml_min)
-                    self.model.set_flow(flow)
+                    commanded = float(decision.flow_ml_min)
+                    if not np.isfinite(commanded) or commanded <= 0.0:
+                        raise ThermalInputError(
+                            f"policy {self.policy.name} commanded an "
+                            f"invalid flow rate {commanded!r}"
+                        )
+                    flow = self.pump.clamp_flow(commanded)
+                    if self.faults is not None and self.faults.flow_faults:
+                        delivered = self.faults.effective_flows(
+                            time, flow, self._cavity_names
+                        )
+                        for name, value in delivered.items():
+                            self.model.set_cavity_flow(name, value)
+                        achieved = sum(delivered.values()) / len(delivered)
+                    else:
+                        self.model.set_flow(flow)
+                        achieved = flow
+                    self.policy.observe_flow(flow, achieved)
                     flow_sum += flow
                     flow_samples += 1
                 else:
                     flow = None
 
+                vf_settings = decision.vf_settings
+                if self.faults is not None:
+                    vf_settings = self.faults.delayed_vf(vf_settings)
                 speeds = np.array(
                     [
                         vf_table.speed_fraction(
-                            decision.vf_settings.get(ref, 0)
+                            vf_settings.get(ref, 0)
                         )
                         for ref in self.core_refs
                     ]
@@ -224,7 +268,7 @@ class SystemSimulator:
                     stepper.state.values, reduce="mean"
                 )
                 powers = self.power_model.block_powers(
-                    utils, decision.vf_settings, block_temps
+                    utils, vf_settings, block_temps
                 )
                 chip_w = sum(powers.values())
                 pump_w = self._pump_power(flow)
@@ -235,11 +279,11 @@ class SystemSimulator:
                 stepper.step_packed(packed)
                 time += dt
                 energy.add(chip_w, pump_w, dt)
-                hotspots.update(readings, dt)
+                hotspots.update(physical, dt)
                 if self.record_series:
                     series["time"].append(time)
                     series["max_temperature_c"].append(
-                        kelvin_to_celsius(max(readings.values()))
+                        kelvin_to_celsius(max(physical.values()))
                     )
                     series["flow_ml_min"].append(flow if flow is not None else 0.0)
                     series["chip_power_w"].append(chip_w)

@@ -1,0 +1,38 @@
+"""Fault injection for the closed-loop runtime.
+
+The paper's run-time management (Sections II-D, IV-A) assumes perfect
+sensors and a perfect pump; this package injects the failures a real
+3D MPSoC would see — stuck/dead/noisy thermal diodes, pump wear,
+clogged cavities, sluggish DVFS actuation — and drives campaigns that
+quantify how far the policies degrade under them.
+"""
+
+from .models import (
+    ActuatorLagFault,
+    CloggedCavityFault,
+    DeadSensorFault,
+    FaultSet,
+    NoisySensorFault,
+    PumpDegradationFault,
+    StuckSensorFault,
+)
+from .campaign import (
+    FaultScenario,
+    FaultCampaignReport,
+    ScenarioOutcome,
+    run_fault_campaign,
+)
+
+__all__ = [
+    "ActuatorLagFault",
+    "CloggedCavityFault",
+    "DeadSensorFault",
+    "FaultSet",
+    "NoisySensorFault",
+    "PumpDegradationFault",
+    "StuckSensorFault",
+    "FaultScenario",
+    "FaultCampaignReport",
+    "ScenarioOutcome",
+    "run_fault_campaign",
+]

@@ -9,6 +9,15 @@ with sparse direct methods.
 from .grid import ThermalGrid
 from .field import BlockReduction, TemperatureField
 from .assembly import ConductanceBuilder
+from .diagnostics import (
+    FactorizationError,
+    NonFiniteFieldError,
+    SolverDiagnostics,
+    SolverGuard,
+    ThermalInputError,
+    ThermalSolveError,
+    TransientDivergenceError,
+)
 from .model import CacheInfo, CompactThermalModel, SPLU_OPTIONS
 from .solver import TransientStepper
 from .sensors import TemperatureSensors
@@ -23,6 +32,13 @@ __all__ = [
     "CacheInfo",
     "CompactThermalModel",
     "SPLU_OPTIONS",
+    "SolverDiagnostics",
+    "SolverGuard",
+    "ThermalSolveError",
+    "ThermalInputError",
+    "FactorizationError",
+    "NonFiniteFieldError",
+    "TransientDivergenceError",
     "TransientStepper",
     "TemperatureSensors",
     "dense_steady_state",

@@ -1,0 +1,200 @@
+"""Solver diagnostics and the thermal solve error taxonomy.
+
+Every steady or transient solve can fail in one of a small number of
+ways — the factorisation itself fails, the solution comes back with
+NaN/Inf entries, or a transient step diverges beyond the configured
+residual tolerance.  Raw ``LinAlgError``/``RuntimeError`` exceptions
+from SciPy tell a caller nothing about *which* solve failed or what the
+runtime already tried; the taxonomy here carries a
+:class:`SolverDiagnostics` record so fault-campaign drivers and sweep
+workers can log, classify and retry without string-matching messages.
+
+The hierarchy::
+
+    ThermalSolveError
+    ├── ThermalInputError       (also a ValueError: bad powers/flows/dt)
+    ├── FactorizationError      (sparse LU construction failed)
+    ├── NonFiniteFieldError     (solution contains NaN/Inf)
+    └── TransientDivergenceError (dt-halving backoff exhausted)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SolverDiagnostics:
+    """Health record of one steady solve or transient step.
+
+    Attributes
+    ----------
+    kind:
+        ``"steady"`` or ``"transient"``.
+    residual_norm:
+        Relative residual ``||A x - b|| / ||b||`` when it was computed,
+        else ``None`` (transient steps skip it unless a residual
+        tolerance is configured — it costs one extra spmv per step).
+    finite:
+        Whether every entry of the solution is finite.
+    condition_estimate:
+        Cheap order-of-magnitude condition estimate of the factorised
+        matrix, ``max|diag(U)| / min|diag(U)|`` from the LU factor.
+    dt:
+        Requested step length [s] (transient only).
+    dt_effective:
+        Smallest substep actually taken after backoff (transient only).
+    retries:
+        Number of dt-halving retries consumed by the step.
+    factor_evictions:
+        Poisoned LU factors evicted while handling this solve.
+    """
+
+    kind: str
+    residual_norm: Optional[float] = None
+    finite: bool = True
+    condition_estimate: Optional[float] = None
+    dt: Optional[float] = None
+    dt_effective: Optional[float] = None
+    retries: int = 0
+    factor_evictions: int = 0
+
+    def healthy(self, residual_tolerance: float = 1e-6) -> bool:
+        """True when the solve needed no intervention and looks sane."""
+        if not self.finite or self.retries or self.factor_evictions:
+            return False
+        if self.residual_norm is not None:
+            return self.residual_norm <= residual_tolerance
+        return True
+
+
+@dataclass(frozen=True)
+class SolverGuard:
+    """Configuration of the numerical guards around solves.
+
+    Attributes
+    ----------
+    check_finite:
+        Reject NaN/Inf solutions (one cheap ``isfinite`` scan per
+        solve).  Disabling it removes every per-step guard.
+    residual_tolerance:
+        When set, compute the relative residual of each solve and treat
+        anything above the tolerance as a divergence.  Costs one extra
+        spmv (plus a sparse add for flow-dependent matrices) per solve,
+        so it is opt-in; the closed-loop benchmarks run without it.
+    max_dt_halvings:
+        Bound on the transient dt-halving backoff: a failing step is
+        split into ``2^k`` substeps for ``k = 1..max_dt_halvings``
+        before :class:`TransientDivergenceError` is raised.
+    """
+
+    check_finite: bool = True
+    residual_tolerance: Optional[float] = None
+    max_dt_halvings: int = 6
+
+    def __post_init__(self) -> None:
+        if self.max_dt_halvings < 0:
+            raise ValueError("max_dt_halvings must be non-negative")
+        if self.residual_tolerance is not None and not (
+            self.residual_tolerance > 0.0
+        ):
+            raise ValueError("residual_tolerance must be positive")
+
+
+class ThermalSolveError(RuntimeError):
+    """Base of every failure raised by the thermal solve path.
+
+    Attributes
+    ----------
+    diagnostics:
+        The :class:`SolverDiagnostics` observed when the failure was
+        detected, when one is available.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        diagnostics: Optional[SolverDiagnostics] = None,
+    ) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+class ThermalInputError(ThermalSolveError, ValueError):
+    """Invalid model input: NaN/negative powers, bad flow rates or dt.
+
+    Also a ``ValueError`` so pre-taxonomy callers that caught
+    ``ValueError`` on validation failures keep working.
+    """
+
+
+class FactorizationError(ThermalSolveError):
+    """Sparse LU factorisation of the system matrix failed."""
+
+
+class NonFiniteFieldError(ThermalSolveError):
+    """A solve produced NaN/Inf temperatures."""
+
+
+class TransientDivergenceError(ThermalSolveError):
+    """A transient step kept diverging after the bounded dt backoff."""
+
+
+def condition_estimate_from_factor(factor: object) -> Optional[float]:
+    """Cheap condition estimate from a SuperLU factor's U diagonal.
+
+    ``max|diag(U)| / min|diag(U)|`` bounds nothing rigorously but flags
+    near-singular systems (estimate → inf) at negligible cost; a proper
+    1-norm estimate would need several extra triangular solves.
+    """
+    try:
+        diag = np.abs(factor.U.diagonal())
+    except AttributeError:
+        return None
+    if diag.size == 0:
+        return None
+    smallest = diag.min()
+    if smallest == 0.0 or not np.isfinite(smallest):
+        return float("inf")
+    return float(diag.max() / smallest)
+
+
+def relative_residual(
+    matrix, solution: np.ndarray, rhs: np.ndarray
+) -> float:
+    """Relative residual ``||A x - b|| / ||b||`` (2-norm)."""
+    residual = matrix @ solution - rhs
+    scale = float(np.linalg.norm(rhs))
+    if scale == 0.0:
+        return float(np.linalg.norm(residual))
+    return float(np.linalg.norm(residual) / scale)
+
+
+def validate_finite_array(
+    values: np.ndarray, name: str, non_negative: bool = False
+) -> None:
+    """Reject NaN/Inf (and optionally negative) entries with context."""
+    values = np.asarray(values)
+    if not np.all(np.isfinite(values)):
+        bad = int(np.count_nonzero(~np.isfinite(values)))
+        raise ThermalInputError(
+            f"{name} contains {bad} non-finite entries; "
+            "check the upstream power/flow computation"
+        )
+    if non_negative and values.size and float(values.min()) < 0.0:
+        raise ThermalInputError(
+            f"{name} contains negative entries (min {float(values.min()):g})"
+        )
+
+
+def validate_positive_scalar(value: float, name: str) -> float:
+    """Reject non-finite or non-positive scalars with context."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ThermalInputError(
+            f"{name} must be a positive finite number, got {value!r}"
+        )
+    return value

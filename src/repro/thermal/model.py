@@ -57,6 +57,17 @@ from ..geometry.stack import Cavity, CoolingMode, Layer, StackDesign, TwoPhaseCa
 from ..heat_transfer.convection import cavity_effective_htc
 from ..units import celsius_to_kelvin, ml_per_min_to_m3_per_s
 from .assembly import ConductanceBuilder
+from .diagnostics import (
+    FactorizationError,
+    NonFiniteFieldError,
+    SolverDiagnostics,
+    SolverGuard,
+    ThermalInputError,
+    condition_estimate_from_factor,
+    relative_residual,
+    validate_finite_array,
+    validate_positive_scalar,
+)
 from .field import TemperatureField
 from .grid import ThermalGrid
 
@@ -132,9 +143,12 @@ class CompactThermalModel:
         ambient: float = DEFAULT_AMBIENT_K,
         inlet_temperature: float = DEFAULT_INLET_K,
         max_steady_factors: int = 8,
+        guard: Optional[SolverGuard] = None,
     ) -> None:
         if max_steady_factors < 1:
             raise ValueError("cache must hold at least one factorisation")
+        self.guard = guard if guard is not None else SolverGuard()
+        self.last_steady_diagnostics: Optional[SolverDiagnostics] = None
         self.stack = stack
         self.grid = ThermalGrid(stack, nx=nx, ny=ny)
         self.ambient = float(ambient)
@@ -376,8 +390,7 @@ class CompactThermalModel:
         signature, so the change takes effect immediately — no stale
         factorisation can be served.
         """
-        if flow_ml_min <= 0.0:
-            raise ValueError("flow rate must be positive")
+        flow_ml_min = validate_positive_scalar(flow_ml_min, "flow rate")
         self._flow_ml_min = float(flow_ml_min)
         self._flows = {name: float(flow_ml_min) for name in self._flows}
 
@@ -389,8 +402,7 @@ class CompactThermalModel:
         between cache tiers) while feeding hot ones — see
         ``benchmarks/bench_ablation_percavity.py`` for the pay-off.
         """
-        if flow_ml_min <= 0.0:
-            raise ValueError("flow rate must be positive")
+        flow_ml_min = validate_positive_scalar(flow_ml_min, "flow rate")
         if cavity_name not in self._flows:
             raise KeyError(
                 f"no single-phase cavity named {cavity_name!r} "
@@ -575,8 +587,13 @@ class CompactThermalModel:
             k = index.get(ref)
             if k is None:
                 raise KeyError(f"unknown block {ref}")
+            if not np.isfinite(power):
+                raise ThermalInputError(
+                    f"non-finite power {power!r} for block {ref}; "
+                    "check the upstream power model"
+                )
             if power < 0.0:
-                raise ValueError(f"negative power for block {ref}")
+                raise ThermalInputError(f"negative power for block {ref}")
             packed[k] += power
         return packed
 
@@ -588,6 +605,7 @@ class CompactThermalModel:
                 f"packed powers have shape {packed.shape}, "
                 f"expected ({operator.shape[1]},)"
             )
+        validate_finite_array(packed, "packed block powers", non_negative=True)
         return operator @ packed
 
     def power_vector(self, block_powers: Dict[BlockRef, float]) -> np.ndarray:
@@ -612,22 +630,44 @@ class CompactThermalModel:
         :meth:`set_flow` / :meth:`set_cavity_flow` can never leave a
         stale factor behind.
         """
-        key: object
-        if flow_ml_min is not None:
-            key = ("uniform", round(float(flow_ml_min), 6))
-        else:
-            key = self.flow_signature()
+        key = self._steady_key(flow_ml_min)
         factor = self._steady_factors.get(key)
         if factor is not None:
             self._steady_factors.move_to_end(key)
             self._steady_hits += 1
             return factor
         self._steady_misses += 1
-        factor = splu(self.system_matrix(flow_ml_min).tocsc(), **SPLU_OPTIONS)
+        try:
+            factor = splu(
+                self.system_matrix(flow_ml_min).tocsc(), **SPLU_OPTIONS
+            )
+        except Exception as exc:
+            raise FactorizationError(
+                f"steady LU factorisation failed for flow state {key!r}: "
+                f"{exc}"
+            ) from exc
         self._steady_factors[key] = factor
         if len(self._steady_factors) > self._max_steady_factors:
             self._steady_factors.popitem(last=False)
         return factor
+
+    def _steady_key(self, flow_ml_min: Optional[float]) -> object:
+        if flow_ml_min is not None:
+            return ("uniform", round(float(flow_ml_min), 6))
+        return self.flow_signature()
+
+    def evict_steady_factor(self, flow_ml_min: Optional[float] = None) -> bool:
+        """Drop one cached steady factor (a poisoned-factor escape hatch).
+
+        Returns whether an entry was actually evicted.  Guarded solves
+        call this when a factor produces non-finite or out-of-tolerance
+        solutions, so a retry refactorises instead of reusing the bad
+        factor.
+        """
+        return (
+            self._steady_factors.pop(self._steady_key(flow_ml_min), None)
+            is not None
+        )
 
     def steady_cache_info(self) -> CacheInfo:
         """Hit/miss statistics of the steady-factor cache."""
@@ -649,10 +689,70 @@ class CompactThermalModel:
         block_powers: Dict[BlockRef, float],
         flow_ml_min: Optional[float] = None,
     ) -> TemperatureField:
-        """Steady-state temperature field for constant block powers."""
+        """Steady-state temperature field for constant block powers.
+
+        The solve is guarded per ``self.guard``: non-finite solutions
+        evict the (poisoned) cached factor, one refactorised retry is
+        attempted, and a persistent failure raises
+        :class:`~repro.thermal.diagnostics.NonFiniteFieldError`.  The
+        health record of the last solve is kept in
+        ``last_steady_diagnostics``.
+        """
         factor = self.steady_factor(flow_ml_min)
         q = self.power_vector(block_powers) + self.boundary_rhs(flow_ml_min)
-        return TemperatureField(self.grid, factor.solve(q))
+        values = factor.solve(q)
+        evictions = 0
+        if self.guard.check_finite and not np.all(np.isfinite(values)):
+            # Poisoned or broken factor: evict, refactorise, retry once.
+            self.evict_steady_factor(flow_ml_min)
+            evictions = 1
+            factor = self.steady_factor(flow_ml_min)
+            values = factor.solve(q)
+            if not np.all(np.isfinite(values)):
+                diagnostics = SolverDiagnostics(
+                    kind="steady",
+                    finite=False,
+                    condition_estimate=condition_estimate_from_factor(factor),
+                    factor_evictions=evictions,
+                )
+                self.last_steady_diagnostics = diagnostics
+                raise NonFiniteFieldError(
+                    "steady solve produced non-finite temperatures even "
+                    "after refactorisation; the system matrix is singular "
+                    "or badly scaled",
+                    diagnostics,
+                )
+        residual = None
+        condition = None
+        if self.guard.residual_tolerance is not None:
+            residual = relative_residual(
+                self.system_matrix(flow_ml_min), values, q
+            )
+            condition = condition_estimate_from_factor(factor)
+            if residual > self.guard.residual_tolerance:
+                diagnostics = SolverDiagnostics(
+                    kind="steady",
+                    residual_norm=residual,
+                    finite=True,
+                    condition_estimate=condition,
+                    factor_evictions=evictions,
+                )
+                self.last_steady_diagnostics = diagnostics
+                self.evict_steady_factor(flow_ml_min)
+                raise NonFiniteFieldError(
+                    f"steady solve residual {residual:.3e} exceeds the "
+                    f"configured tolerance "
+                    f"{self.guard.residual_tolerance:.3e}",
+                    diagnostics,
+                )
+        self.last_steady_diagnostics = SolverDiagnostics(
+            kind="steady",
+            residual_norm=residual,
+            finite=True,
+            condition_estimate=condition,
+            factor_evictions=evictions,
+        )
+        return TemperatureField(self.grid, values)
 
     def uniform_field(self, temperature_k: float) -> TemperatureField:
         """A field with every node at the same temperature."""

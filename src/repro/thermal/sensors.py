@@ -9,12 +9,20 @@ and quantisation to emulate real thermal diodes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .field import BlockReduction, TemperatureField
 from .model import BlockRef, CompactThermalModel
+
+SensorFault = Callable[[float, float], float]
+"""A sensor fault transform: ``(time [s], true reading [K]) -> reading [K]``.
+
+Concrete fault models (stuck-at, dead returning NaN, extra noise) live
+in :mod:`repro.faults.models`; the sensor layer only applies them, so
+the thermal package stays free of fault-campaign concerns.
+"""
 
 
 class TemperatureSensors:
@@ -60,9 +68,45 @@ class TemperatureSensors:
         self.noise_sigma = noise_sigma
         self.quantisation = quantisation
         self._rng = np.random.default_rng(seed)
+        self._faults: Dict[BlockRef, SensorFault] = {}
 
-    def read(self, field: TemperatureField) -> Dict[BlockRef, float]:
-        """Sample all sensors from a temperature field [K]."""
+    def install_fault(self, ref: BlockRef, fault: SensorFault) -> None:
+        """Attach a fault transform to one sensor (replacing any prior).
+
+        The transform is applied last in :meth:`read`, after noise and
+        quantisation — it models a defect of the sensor output, not of
+        the die.  A dead sensor returns ``nan``; policies detect the
+        loss through the non-finite reading.
+        """
+        if ref not in self._masks:
+            raise KeyError(f"no sensor at {ref!r} (have {sorted(self._masks)})")
+        self._faults[ref] = fault
+
+    def clear_faults(self) -> None:
+        """Remove every installed sensor fault."""
+        self._faults.clear()
+
+    @property
+    def faulted_refs(self) -> List[BlockRef]:
+        """Sensors that currently have a fault installed."""
+        return list(self._faults)
+
+    def true_values(self, field: TemperatureField) -> Dict[BlockRef, float]:
+        """Ground-truth block temperatures: no noise, no faults [K].
+
+        Fault campaigns report physical hot-spot statistics from this
+        while the policy under test only sees :meth:`read`.
+        """
+        return self._reduction.reduce_dict(field.values, reduce="max")
+
+    def read(
+        self, field: TemperatureField, time: float = 0.0
+    ) -> Dict[BlockRef, float]:
+        """Sample all sensors from a temperature field [K].
+
+        ``time`` drives time-scheduled fault models; fault-free callers
+        can ignore it.
+        """
         readings = self._reduction.reduce_dict(field.values, reduce="max")
         if self.noise_sigma > 0.0:
             for ref in readings:
@@ -72,10 +116,27 @@ class TemperatureSensors:
             readings = {
                 ref: round(value / lsb) * lsb for ref, value in readings.items()
             }
+        for ref, fault in self._faults.items():
+            readings[ref] = float(fault(time, readings[ref]))
         return readings
 
-    def read_max(self, field: TemperatureField) -> Tuple[BlockRef, float]:
-        """The hottest sensor and its reading [K]."""
-        readings = self.read(field)
-        ref = max(readings, key=readings.get)
-        return ref, readings[ref]
+    def read_max(
+        self, field: TemperatureField, time: float = 0.0
+    ) -> Tuple[BlockRef, float]:
+        """The hottest *healthy* sensor and its reading [K].
+
+        Non-finite (dead-sensor) readings are skipped; with every
+        sensor dead the first sensor is reported with its NaN reading
+        so the caller sees the loss rather than a crash.
+        """
+        readings = self.read(field, time)
+        finite = {
+            ref: value
+            for ref, value in readings.items()
+            if np.isfinite(value)
+        }
+        if not finite:
+            ref = self.refs[0]
+            return ref, readings[ref]
+        ref = max(finite, key=finite.get)
+        return ref, finite[ref]

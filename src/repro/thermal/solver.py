@@ -12,6 +12,13 @@ simulations with 100 ms control periods cheap.  The boundary vector
 ``b(f)`` depends on the same signature and is cached alongside the
 factor, so a cached step performs exactly one spmv (power injection),
 one triangular solve pair, and one vector add.
+
+Every step is guarded (see :class:`~repro.thermal.diagnostics.SolverGuard`):
+non-finite solutions evict the offending LU factor — a retry therefore
+refactorises instead of reusing a poisoned factor — and the step is
+re-attempted as ``2^k`` backward-Euler substeps at ``dt / 2^k`` with
+bounded ``k`` before :class:`TransientDivergenceError` is raised.  The
+health record of the last step is kept in ``last_diagnostics``.
 """
 
 from __future__ import annotations
@@ -23,6 +30,16 @@ import numpy as np
 from scipy.sparse import diags
 from scipy.sparse.linalg import splu
 
+from .diagnostics import (
+    FactorizationError,
+    SolverDiagnostics,
+    SolverGuard,
+    TransientDivergenceError,
+    condition_estimate_from_factor,
+    relative_residual,
+    validate_finite_array,
+    validate_positive_scalar,
+)
 from .field import TemperatureField
 from .model import (
     SPLU_OPTIONS,
@@ -34,6 +51,9 @@ from .model import (
 
 FactorKey = Tuple[FlowSignature, float]
 """Cache key of one factorisation: ``(flow signature, dt)``."""
+
+FactorEntry = Tuple[object, np.ndarray, object]
+"""One cache entry: ``(LU factor, boundary rhs, system matrix)``."""
 
 
 class TransientStepper:
@@ -51,6 +71,8 @@ class TransientStepper:
         ``model.steady_state(...)``.
     max_cached_factors:
         Upper bound on retained LU factorisations (LRU eviction).
+    guard:
+        Numerical-guard configuration; defaults to the model's.
 
     Notes
     -----
@@ -66,41 +88,65 @@ class TransientStepper:
         dt: float,
         initial: TemperatureField,
         max_cached_factors: int = 16,
+        guard: Optional[SolverGuard] = None,
     ) -> None:
-        if dt <= 0.0:
-            raise ValueError("dt must be positive")
+        dt = validate_positive_scalar(dt, "dt")
         if max_cached_factors < 1:
             raise ValueError("cache must hold at least one factorisation")
         self.model = model
         self.dt = float(dt)
+        self.guard = guard if guard is not None else model.guard
         self.state = initial.copy()
         self.time = initial.time
+        self.last_diagnostics: Optional[SolverDiagnostics] = None
         self._max_cached = max_cached_factors
-        # Each entry holds (LU factor, boundary rhs) for one flow
-        # signature at this stepper's dt — the rhs costs as much to
-        # rebuild per step as the triangular solves it accompanies.
-        self._factors: "OrderedDict[FactorKey, Tuple[object, np.ndarray]]" = (
-            OrderedDict()
-        )
+        # Each entry holds (LU factor, boundary rhs, system matrix) for
+        # one flow signature at one dt — the rhs costs as much to
+        # rebuild per step as the triangular solves it accompanies, and
+        # the matrix (already assembled for the factorisation) backs
+        # the optional residual check.
+        self._factors: "OrderedDict[FactorKey, FactorEntry]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._c_over_dt = model.capacitance / self.dt
 
-    def _factor(self) -> Tuple[object, np.ndarray]:
-        key: FactorKey = (self.model.flow_signature(), self.dt)
+    def _c_over(self, dt: float) -> np.ndarray:
+        if dt == self.dt:
+            return self._c_over_dt
+        return self.model.capacitance / dt
+
+    def _factor(self, dt: Optional[float] = None) -> FactorEntry:
+        dt = self.dt if dt is None else dt
+        key: FactorKey = (self.model.flow_signature(), dt)
         entry = self._factors.get(key)
         if entry is not None:
             self._factors.move_to_end(key)
             self._hits += 1
             return entry
         self._misses += 1
-        matrix = self.model.system_matrix() + diags(self._c_over_dt)
-        factor = splu(matrix.tocsc(), **SPLU_OPTIONS)
-        entry = (factor, self.model.boundary_rhs())
+        matrix = self.model.system_matrix() + diags(self._c_over(dt))
+        try:
+            factor = splu(matrix.tocsc(), **SPLU_OPTIONS)
+        except Exception as exc:
+            raise FactorizationError(
+                f"transient LU factorisation failed for key {key!r}: {exc}"
+            ) from exc
+        entry = (factor, self.model.boundary_rhs(), matrix)
         self._factors[key] = entry
         if len(self._factors) > self._max_cached:
             self._factors.popitem(last=False)
         return entry
+
+    def evict_factor(self, dt: Optional[float] = None) -> bool:
+        """Drop the cached factor of the current flow state at ``dt``.
+
+        Guarded steps call this when a factor yields non-finite or
+        out-of-tolerance solutions, so the retry refactorises instead of
+        reusing the poisoned factor.  Returns whether an entry existed.
+        """
+        dt = self.dt if dt is None else dt
+        key: FactorKey = (self.model.flow_signature(), dt)
+        return self._factors.pop(key, None) is not None
 
     @property
     def cached_factor_count(self) -> int:
@@ -135,13 +181,97 @@ class TransientStepper:
             self.model.power_vector_packed(packed_powers)
         )
 
+    def _attempt(
+        self, values: np.ndarray, power: np.ndarray, dt: float
+    ) -> Tuple[np.ndarray, bool, Optional[float]]:
+        """One unguarded backward-Euler solve; reports solution health."""
+        factor, boundary, matrix = self._factor(dt)
+        rhs = self._c_over(dt) * values + power + boundary
+        solution = factor.solve(rhs)
+        residual: Optional[float] = None
+        ok = True
+        if self.guard.check_finite and not np.all(np.isfinite(solution)):
+            ok = False
+        if ok and self.guard.residual_tolerance is not None:
+            residual = relative_residual(matrix, solution, rhs)
+            if residual > self.guard.residual_tolerance:
+                ok = False
+        return solution, ok, residual
+
     def step_with_power_vector(self, power: np.ndarray) -> TemperatureField:
-        """Advance one time step with a pre-built nodal power vector."""
-        factor, boundary = self._factor()
-        rhs = self._c_over_dt * self.state.values + power + boundary
-        values = factor.solve(rhs)
+        """Advance one guarded time step with a pre-built power vector."""
+        if self.guard.check_finite:
+            validate_finite_array(power, "nodal power vector")
+        values, ok, residual = self._attempt(self.state.values, power, self.dt)
+        evictions = 0
+        retries = 0
+        dt_effective = self.dt
+        if not ok:
+            # The factor may be poisoned (e.g. cached before a failed
+            # solve): evict and retry once with a fresh factorisation.
+            if self.evict_factor(self.dt):
+                evictions += 1
+            values, ok, residual = self._attempt(
+                self.state.values, power, self.dt
+            )
+        if not ok:
+            # Bounded dt-halving backoff: 2^k substeps at dt / 2^k.
+            for halvings in range(1, self.guard.max_dt_halvings + 1):
+                sub_dt = self.dt / (2.0 ** halvings)
+                current = self.state.values
+                diverged = False
+                for _ in range(2 ** halvings):
+                    current, sub_ok, residual = self._attempt(
+                        current, power, sub_dt
+                    )
+                    if not sub_ok:
+                        if self.evict_factor(sub_dt):
+                            evictions += 1
+                        diverged = True
+                        break
+                if not diverged:
+                    values = current
+                    ok = True
+                    retries = halvings
+                    dt_effective = sub_dt
+                    break
+        if not ok:
+            factor, _, _ = self._factor(self.dt)
+            diagnostics = SolverDiagnostics(
+                kind="transient",
+                residual_norm=residual,
+                finite=bool(np.all(np.isfinite(values))),
+                condition_estimate=condition_estimate_from_factor(factor),
+                dt=self.dt,
+                dt_effective=self.dt / (2.0 ** self.guard.max_dt_halvings),
+                retries=self.guard.max_dt_halvings,
+                factor_evictions=evictions,
+            )
+            self.last_diagnostics = diagnostics
+            raise TransientDivergenceError(
+                f"transient step at t={self.time:.3f}s diverged and the "
+                f"dt backoff was exhausted after "
+                f"{self.guard.max_dt_halvings} halvings",
+                diagnostics,
+            )
         self.time += self.dt
         self.state = TemperatureField(self.model.grid, values, self.time)
+        if retries or evictions or self.guard.residual_tolerance is not None:
+            condition = condition_estimate_from_factor(
+                self._factor(dt_effective)[0]
+            )
+        else:
+            condition = None
+        self.last_diagnostics = SolverDiagnostics(
+            kind="transient",
+            residual_norm=residual,
+            finite=True,
+            condition_estimate=condition,
+            dt=self.dt,
+            dt_effective=dt_effective,
+            retries=retries,
+            factor_evictions=evictions,
+        )
         return self.state
 
     def run(

@@ -1,0 +1,223 @@
+"""Resilient fan-out: isolation of raising, crashing and hanging jobs.
+
+Worker functions live at module level so the process-pool paths can
+pickle them.  The crash test kills its worker with ``os._exit`` — the
+closest portable stand-in for a segfault or OOM kill.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    SimulationJob,
+    SweepOutcome,
+    resilient_fan_out,
+    run_simulations_resilient,
+)
+from repro.core.policies import LiquidLoadBalancing
+from repro.geometry import CoolingMode, build_3d_mpsoc
+from tests.conftest import make_constant_trace
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _fail_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError(f"bad item {x}")
+    return x * x
+
+
+def _exit_on_three(x: int) -> int:
+    if x == 3:
+        os._exit(13)  # kills the worker process outright
+    return x * x
+
+
+def _hang_on_three(x: int) -> int:
+    if x == 3:
+        time.sleep(60.0)
+    return x * x
+
+
+def _flaky_once(arg) -> int:
+    marker, x = arg
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("tried")
+        raise RuntimeError("transient failure")
+    return x
+
+
+def _count_runs(arg) -> int:
+    directory, x = arg
+    marker = Path(directory) / f"ran-{x}.txt"
+    count = int(marker.read_text()) if marker.exists() else 0
+    marker.write_text(str(count + 1))
+    if x == 2 and count == 0:
+        raise RuntimeError("fails on its first ever attempt")
+    return x
+
+
+# ---------------------------------------------------------------------------
+# basic contracts
+# ---------------------------------------------------------------------------
+
+
+def test_all_jobs_succeed_serial_matches_fan_out():
+    outcome = resilient_fan_out(_square, range(5))
+    assert isinstance(outcome, SweepOutcome)
+    assert outcome.complete
+    assert outcome.succeeded == outcome.total == 5
+    assert outcome.results == [(i, i * i) for i in range(5)]
+    assert outcome.raise_if_failed() is outcome
+
+
+def test_keys_must_match_items():
+    with pytest.raises(ValueError):
+        resilient_fan_out(_square, range(3), keys=["only-one"])
+    with pytest.raises(ValueError):
+        resilient_fan_out(_square, range(3), retries=-1)
+
+
+def test_raising_job_is_isolated_serial():
+    outcome = resilient_fan_out(_fail_on_three, range(6), retries=1)
+    assert not outcome.complete
+    assert outcome.succeeded == 5
+    assert sorted(value for _, value in outcome.results) == [0, 1, 4, 16, 25]
+    (failure,) = outcome.failures
+    assert failure.key == 3
+    assert failure.phase == "exception"
+    assert failure.error_type == "ValueError"
+    assert failure.attempts == 2  # first try + one retry
+    assert "bad item 3" in failure.traceback
+    with pytest.raises(RuntimeError):
+        outcome.raise_if_failed()
+
+
+def test_raising_job_is_isolated_in_process_pool():
+    outcome = resilient_fan_out(
+        _fail_on_three, range(6), processes=2, retries=0
+    )
+    assert outcome.succeeded == 5
+    (failure,) = outcome.failures
+    assert failure.phase == "exception"
+    assert failure.error_type == "ValueError"
+
+
+def test_retry_rescues_a_transient_failure(tmp_path):
+    marker = tmp_path / "first-attempt"
+    outcome = resilient_fan_out(_flaky_once, [(str(marker), 7)], retries=1)
+    assert outcome.complete
+    assert outcome.results == [(0, 7)]
+
+
+# ---------------------------------------------------------------------------
+# worker death and hangs (acceptance: losing a worker loses one job)
+# ---------------------------------------------------------------------------
+
+
+def test_dying_worker_loses_only_its_own_job():
+    outcome = resilient_fan_out(
+        _exit_on_three, range(6), processes=2, retries=1
+    )
+    assert outcome.succeeded == 5
+    assert outcome.result_map() == {
+        i: i * i for i in range(6) if i != 3
+    }
+    (failure,) = outcome.failures
+    assert failure.key == 3
+    assert failure.phase == "worker-crash"
+    assert failure.error_type == "BrokenProcessPool"
+
+
+def test_hanging_job_times_out_while_siblings_complete():
+    outcome = resilient_fan_out(
+        _hang_on_three, range(5), processes=2, timeout_s=1.5, retries=0
+    )
+    assert outcome.succeeded == 4
+    (failure,) = outcome.failures
+    assert failure.key == 3
+    assert failure.phase == "timeout"
+    assert failure.error_type == "TimeoutError"
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / resume
+# ---------------------------------------------------------------------------
+
+
+def test_checkpoint_resume_skips_completed_jobs(tmp_path):
+    checkpoint = tmp_path / "sweep.ckpt"
+    jobs = [(str(tmp_path), x) for x in range(4)]
+
+    first = resilient_fan_out(
+        _count_runs, jobs, retries=0, checkpoint_path=checkpoint
+    )
+    assert first.succeeded == 3
+    assert [f.key for f in first.failures] == [2]
+    assert checkpoint.exists()
+
+    second = resilient_fan_out(
+        _count_runs, jobs, retries=0, checkpoint_path=checkpoint
+    )
+    assert second.complete
+    assert sorted(value for _, value in second.results) == [0, 1, 2, 3]
+    # Only the previously failed job was re-executed on resume.
+    runs = {
+        x: int((tmp_path / f"ran-{x}.txt").read_text()) for x in range(4)
+    }
+    assert runs == {0: 1, 1: 1, 2: 2, 3: 1}
+
+
+def test_checkpoint_with_wrong_total_is_ignored(tmp_path):
+    checkpoint = tmp_path / "stale.ckpt"
+    resilient_fan_out(_square, range(3), checkpoint_path=checkpoint)
+    outcome = resilient_fan_out(
+        _square, range(5), checkpoint_path=checkpoint
+    )
+    assert outcome.complete
+    assert outcome.total == 5
+
+
+# ---------------------------------------------------------------------------
+# simulation-job wrapper
+# ---------------------------------------------------------------------------
+
+
+def test_bad_simulation_job_fails_while_sibling_completes():
+    liquid = build_3d_mpsoc(2, CoolingMode.LIQUID)
+    air = build_3d_mpsoc(2, CoolingMode.AIR)
+    trace = make_constant_trace(0.5, intervals=2)
+    jobs = [
+        SimulationJob(
+            stack=liquid,
+            policy=LiquidLoadBalancing(),
+            trace=trace,
+            key="good",
+            kwargs={"nx": 12, "ny": 10},
+        ),
+        # A liquid policy on an air stack: the simulator constructor
+        # rejects the mismatch, which must surface as a JobFailure.
+        SimulationJob(
+            stack=air,
+            policy=LiquidLoadBalancing(),
+            trace=trace,
+            key="bad",
+            kwargs={"nx": 12, "ny": 10},
+        ),
+    ]
+    outcome = run_simulations_resilient(jobs, retries=0)
+    assert outcome.succeeded == 1
+    result_map = outcome.result_map()
+    assert result_map["good"].peak_temperature_c > 0.0
+    (failure,) = outcome.failures
+    assert failure.key == "bad"
+    assert failure.phase == "exception"
+    assert failure.error_type == "ValueError"
