@@ -1,0 +1,179 @@
+"""Direct vs iterative steady-solve crossover on the 4-tier stack.
+
+Sweeps the per-level grid resolution from 50x50 to 300x300 and solves
+the same 4-tier steady problem with both backends, each in its own
+subprocess so peak RSS (``ru_maxrss``) reflects exactly one
+factorisation.  The output justifies ``DIRECT_NODE_LIMIT`` in
+:mod:`repro.thermal.krylov`: below the crossover the SuperLU
+factorisation wins on wall time, above it ILU+BiCGSTAB is both faster
+and dramatically lighter on memory (direct LU fill-in at 300x300 per
+level exceeds the 2 GB class while the ILU stays near ``4 x nnz``).
+
+Run directly to (re)generate the ``solver_crossover`` section of the
+committed ``BENCH_thermal.json``::
+
+    PYTHONPATH=src python benchmarks/bench_solver_crossover.py
+
+The pytest entry point is marked ``large_grid`` and excluded from the
+tier-1 suite; opt in with ``-m large_grid``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.thermal.krylov import direct_node_limit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_thermal.json"
+
+SIZES = (50, 100, 150, 200, 300)
+METHODS = ("direct", "iterative")
+TIMEOUT_S = 900.0
+"""Per-solve budget; a backend that blows it is recorded as ``timeout``
+and counts as beaten at that size."""
+
+CHILD = """
+import json, resource, sys, time
+from repro.geometry import build_3d_mpsoc
+from repro.thermal import CompactThermalModel
+
+size, method = int(sys.argv[1]), sys.argv[2]
+stack = build_3d_mpsoc(4)
+start = time.perf_counter()
+model = CompactThermalModel(stack, nx=size, ny=size, solver=method)
+powers = {ref: 2.0 for ref in model.block_masks()}
+field = model.steady_state(powers)
+wall = time.perf_counter() - start
+print(json.dumps({
+    "status": "ok",
+    "nodes": int(model.grid.size),
+    "wall_s": wall,
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    / 1024.0,
+    "peak_temperature_k": float(field.max()),
+    "stats": model.steady_stats.as_dict(),
+}))
+"""
+
+
+def run_case(size, method, timeout=TIMEOUT_S):
+    """One (size, method) steady solve in a fresh subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", CHILD, str(size), method],
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+            env=env,
+        )
+    except subprocess.TimeoutExpired:
+        return {"status": "timeout", "timeout_s": timeout}
+    if proc.returncode != 0:
+        return {
+            "status": "error",
+            "returncode": proc.returncode,
+            "stderr": proc.stderr[-500:],
+        }
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def iterative_wins(direct, iterative):
+    """Did the iterative backend beat direct at this size?
+
+    A direct-path timeout or crash (memory exhaustion) counts as
+    beaten as long as the iterative solve finished.
+    """
+    if iterative.get("status") != "ok":
+        return False
+    if direct.get("status") != "ok":
+        return True
+    return iterative["wall_s"] < direct["wall_s"]
+
+
+def sweep(sizes=SIZES, timeout=TIMEOUT_S, verbose=False):
+    """Solve every (size, method) pair; returns the crossover summary."""
+    curves = []
+    for size in sizes:
+        entry = {"grid": f"{size}x{size}"}
+        for method in METHODS:
+            record = run_case(size, method, timeout=timeout)
+            entry[method] = record
+            if record.get("nodes"):
+                entry["nodes"] = record["nodes"]
+            if verbose:
+                wall = record.get("wall_s")
+                rss = record.get("peak_rss_mb")
+                print(
+                    f"  {size}x{size} {method:<9s} "
+                    + (
+                        f"{wall:8.2f} s  {rss:8.1f} MB"
+                        if record["status"] == "ok"
+                        else record["status"]
+                    ),
+                    flush=True,
+                )
+        curves.append(entry)
+
+    crossover_nodes = None
+    for entry in curves:
+        if iterative_wins(entry["direct"], entry["iterative"]):
+            crossover_nodes = entry.get("nodes")
+            break
+    return {
+        "description": (
+            "4-tier steady solve, direct LU vs ILU+BiCGSTAB; one "
+            "subprocess per point so peak_rss_mb isolates one "
+            "factorisation"
+        ),
+        "sizes": list(f"{s}x{s}" for s in sizes),
+        "crossover_nodes": crossover_nodes,
+        "direct_node_limit": direct_node_limit(),
+        "curves": curves,
+    }
+
+
+def merge_into_report(summary, path=REPORT_PATH):
+    """Write the crossover section into ``BENCH_thermal.json``."""
+    report = {}
+    if path.exists():
+        report = json.loads(path.read_text())
+    report["solver_crossover"] = summary
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.large_grid
+def test_crossover_iterative_beats_direct_at_large_grids():
+    """Above the auto-selection limit the iterative path must win."""
+    summary = sweep(sizes=(50, 150), timeout=TIMEOUT_S)
+    small, large = summary["curves"]
+    # 50x50 (30k nodes) sits below DIRECT_NODE_LIMIT: direct must work.
+    assert small["direct"]["status"] == "ok"
+    # 150x150 per level (~270k nodes) is beyond the limit: the
+    # iterative backend must finish and beat (or outlive) direct LU.
+    assert large["nodes"] > direct_node_limit()
+    assert iterative_wins(large["direct"], large["iterative"])
+    # The iterative path must stay in the 2 GB class at this size.
+    assert large["iterative"]["peak_rss_mb"] < 2048.0
+
+
+def main():
+    print("solver crossover sweep (4-tier):", flush=True)
+    summary = sweep(verbose=True)
+    merge_into_report(summary)
+    cross = summary["crossover_nodes"]
+    print(
+        f"crossover at {cross} nodes "
+        f"(DIRECT_NODE_LIMIT={summary['direct_node_limit']}); "
+        f"recorded in {REPORT_PATH.name}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,12 +6,17 @@ from .sweep import (
     JobFailure,
     SteadyCase,
     SteadySweep,
+    SharedJobRef,
+    SharedSweepPayload,
     SimulationJob,
     SweepOutcome,
+    TransientSweep,
+    TransientSweepResult,
     fan_out,
     resilient_fan_out,
     run_simulations,
     run_simulations_resilient,
+    run_simulations_shared,
 )
 from .reliability import (
     ThermalCycle,
@@ -29,12 +34,17 @@ __all__ = [
     "JobFailure",
     "SteadyCase",
     "SteadySweep",
+    "SharedJobRef",
+    "SharedSweepPayload",
     "SimulationJob",
     "SweepOutcome",
+    "TransientSweep",
+    "TransientSweepResult",
     "fan_out",
     "resilient_fan_out",
     "run_simulations",
     "run_simulations_resilient",
+    "run_simulations_shared",
     "PAPER_CLAIMS",
     "Claim",
     "within_band",

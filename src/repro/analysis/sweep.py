@@ -8,6 +8,12 @@ Three layers, from cheapest to heaviest:
   with one multi-right-hand-side triangular solve.  SuperLU processes
   the RHS columns independently, so the fields are bitwise identical
   to point-by-point :meth:`CompactThermalModel.steady_state` calls.
+* :class:`TransientSweep` — batched backward-Euler stepping of many
+  power traces against one thermal model.  All traces share the flow
+  state and dt, so every step is one cached factorisation lookup, one
+  batched power injection and one multi-right-hand-side triangular
+  solve; the trajectories are bitwise identical to per-trace
+  :meth:`~repro.thermal.solver.TransientStepper.step_packed` loops.
 * :func:`fan_out` — map a function over independent design points,
   serially by default or across a ``concurrent.futures`` process pool.
 * :class:`SimulationJob` / :func:`run_simulations` — closed-loop
@@ -19,12 +25,19 @@ Three layers, from cheapest to heaviest:
 Process pools pay a fork + pickle cost per job, so they only win when
 each job runs for seconds (closed-loop simulations, fine-grid steady
 maps) — the benchmark harness keeps them opt-in via
-``REPRO_BENCH_PROCESSES``.
+``REPRO_BENCH_PROCESSES``.  :func:`run_simulations_shared` removes
+most of that tax: job components are deduplicated into one
+:class:`SharedSweepPayload` that workers share zero-copy (fork
+inheritance, with a ``multiprocessing.shared_memory`` fallback for
+spawn platforms), and each worker reuses one cached thermal model per
+stack instead of assembling per job.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
+import struct
 import time as _time
 import traceback as _traceback
 from concurrent.futures import (
@@ -50,11 +63,23 @@ from typing import (
 
 import numpy as np
 
+from .. import constants
 from ..core.policies import Policy
-from ..core.simulator import SimulationResult, SystemSimulator
+from ..core.simulator import (
+    DEFAULT_NX,
+    DEFAULT_NY,
+    SimulationResult,
+    SystemSimulator,
+)
 from ..geometry.stack import StackDesign
+from ..thermal.diagnostics import (
+    SolverGuard,
+    validate_finite_array,
+    validate_positive_scalar,
+)
 from ..thermal.field import TemperatureField
 from ..thermal.model import BlockRef, CompactThermalModel
+from ..thermal.solver import TransientStepper
 from ..workload.traces import WorkloadTrace
 
 T = TypeVar("T")
@@ -127,6 +152,220 @@ class SteadySweep:
         return np.array([field_.max() for field_ in self.solve(cases)])
 
 
+@dataclass
+class TransientSweepResult:
+    """Outcome of one batched transient sweep.
+
+    Attributes
+    ----------
+    fields:
+        Final temperature field per trace, in input order.
+    peak_k:
+        ``(steps, traces)`` stack peak temperature per step [K].
+    steps:
+        Number of backward-Euler steps taken.
+    """
+
+    fields: List[TemperatureField]
+    peak_k: np.ndarray
+    steps: int
+
+
+class TransientSweep:
+    """Batched transient stepping of many power traces on one model.
+
+    Workload studies repeatedly integrate the *same* stack under many
+    power schedules — different benchmarks, phase shifts, or
+    what-if scalings.  Stepping each trace through its own
+    :class:`~repro.thermal.solver.TransientStepper` repeats the
+    factorisation lookup, the power injection spmv and the pair of
+    triangular solves per trace per step.  This driver keeps all trace
+    states in one ``(nodes, traces)`` matrix so every step costs one
+    cached factorisation lookup, one batched injection
+    (``operator @ powers.T``) and one multi-right-hand-side
+    ``factor.solve``.
+
+    SuperLU processes right-hand-side columns independently and the
+    CSR-times-dense product accumulates each column exactly like the
+    single-vector spmv, so the trajectories are **bitwise identical**
+    to per-trace sequential stepping (asserted by the test suite).
+
+    All traces share the model's current flow state and the step
+    length — that is what makes one factorisation serve every column.
+    Callers that sweep flow as well should group traces by flow setting
+    (compare :class:`SteadySweep`).
+
+    Guard behaviour: packed powers are validated up front; if a batched
+    step produces non-finite entries, the shared factor is evicted and
+    the offending columns are re-stepped individually through a guarded
+    :class:`~repro.thermal.solver.TransientStepper` (eviction, retry,
+    dt-halving backoff), so a single diverging trace cannot poison its
+    siblings.
+
+    Parameters
+    ----------
+    model:
+        The assembled thermal model (shared by every trace).
+    dt:
+        Backward-Euler step length [s].
+    guard:
+        Numerical-guard configuration; defaults to the model's.
+    max_cached_factors:
+        LRU bound of the underlying factor cache.
+    """
+
+    def __init__(
+        self,
+        model: CompactThermalModel,
+        dt: float,
+        *,
+        guard: Optional[SolverGuard] = None,
+        max_cached_factors: int = 16,
+    ) -> None:
+        self.model = model
+        self.dt = validate_positive_scalar(dt, "dt")
+        self.guard = guard if guard is not None else model.guard
+        # The internal stepper exists for its factor cache: it builds
+        # (C/dt + A(f)) with exactly the same SPLU options and cached
+        # boundary vector as sequential stepping, which is what makes
+        # the bitwise-identity guarantee hold.
+        self._stepper = TransientStepper(
+            model,
+            self.dt,
+            TemperatureField(model.grid, np.zeros(model.grid.size)),
+            max_cached_factors=max_cached_factors,
+            guard=self.guard,
+            solver="direct",
+        )
+
+    def cache_info(self):
+        """Factor-cache statistics of the shared stepper."""
+        return self._stepper.cache_info()
+
+    def _initial_states(
+        self,
+        initial,
+        n_traces: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Build the ``(nodes, traces)`` state matrix and start times."""
+        if isinstance(initial, TemperatureField):
+            fields = [initial] * n_traces
+        else:
+            fields = list(initial)
+            if len(fields) != n_traces:
+                raise ValueError(
+                    f"{len(fields)} initial fields for {n_traces} traces"
+                )
+        states = np.empty((self.model.grid.size, n_traces))
+        times = np.empty(n_traces)
+        for column, field_ in enumerate(fields):
+            if field_.values.shape != (self.model.grid.size,):
+                raise ValueError("initial field does not match the grid")
+            states[:, column] = field_.values
+            times[column] = field_.time
+        return states, times
+
+    def _recover_step(
+        self,
+        states: np.ndarray,
+        nodal: np.ndarray,
+        solution: np.ndarray,
+        times: np.ndarray,
+    ) -> np.ndarray:
+        """Re-step non-finite columns through guarded sequential solves.
+
+        The shared factor may be poisoned: evict it so both the
+        per-column retries and the next batched step refactorise.
+        Raises :class:`~repro.thermal.diagnostics.TransientDivergenceError`
+        if a column cannot be salvaged even by the dt backoff.
+        """
+        self._stepper.evict_factor()
+        bad = np.flatnonzero(~np.all(np.isfinite(solution), axis=0))
+        for column in bad:
+            scratch = TransientStepper(
+                self.model,
+                self.dt,
+                TemperatureField(
+                    self.model.grid,
+                    states[:, column].copy(),
+                    float(times[column]),
+                ),
+                guard=self.guard,
+                solver="direct",
+            )
+            scratch.step_with_power_vector(
+                np.ascontiguousarray(nodal[:, column])
+            )
+            solution[:, column] = scratch.state.values
+        return solution
+
+    def run(
+        self,
+        packed_traces: Sequence[np.ndarray],
+        initial,
+    ) -> TransientSweepResult:
+        """Integrate every trace over its full length.
+
+        Parameters
+        ----------
+        packed_traces:
+            One ``(steps, n_blocks)`` power array per trace in the
+            model's canonical :meth:`CompactThermalModel.block_order`
+            (see :meth:`CompactThermalModel.pack_powers`).  All traces
+            must be equally long.
+        initial:
+            A single :class:`TemperatureField` shared by every trace,
+            or one field per trace.
+
+        Returns
+        -------
+        TransientSweepResult
+            Final fields (input order) plus the per-step peak
+            temperature of every trace.
+        """
+        operator = self.model.injection_operator()
+        n_blocks = operator.shape[1]
+        traces = [np.asarray(trace, dtype=float) for trace in packed_traces]
+        if not traces:
+            raise ValueError("need at least one power trace")
+        steps = traces[0].shape[0]
+        for index, trace in enumerate(traces):
+            if trace.ndim != 2 or trace.shape != (steps, n_blocks):
+                raise ValueError(
+                    f"trace {index} has shape {trace.shape}; every trace "
+                    f"must be ({steps}, {n_blocks})"
+                )
+            if self.guard.check_finite:
+                validate_finite_array(
+                    trace, f"packed trace {index}", non_negative=True
+                )
+
+        states, times = self._initial_states(initial, len(traces))
+        c_over_dt = self.model.capacitance / self.dt
+        peak_k = np.empty((steps, len(traces)))
+        # (traces, steps, blocks) so one step slices to (traces, blocks).
+        powers = np.stack(traces)
+        for step in range(steps):
+            factor, boundary, _ = self._stepper.factor_entry()
+            nodal = operator @ np.ascontiguousarray(powers[:, step, :].T)
+            rhs = c_over_dt[:, None] * states + nodal + boundary[:, None]
+            solution = factor.solve(rhs)
+            if self.guard.check_finite and not np.all(np.isfinite(solution)):
+                solution = self._recover_step(states, nodal, solution, times)
+            states = solution
+            times = times + self.dt
+            peak_k[step] = states.max(axis=0)
+        fields = [
+            TemperatureField(
+                self.model.grid,
+                np.ascontiguousarray(states[:, column]),
+                float(times[column]),
+            )
+            for column in range(len(traces))
+        ]
+        return TransientSweepResult(fields=fields, peak_k=peak_k, steps=steps)
+
+
 def fan_out(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -189,6 +428,257 @@ def run_simulations(
     Returns ``(job.key, result)`` pairs in job order.
     """
     results = fan_out(_run_simulation_job, jobs, processes)
+    return [(job.key, result) for job, result in zip(jobs, results)]
+
+
+# ---------------------------------------------------------------------------
+# zero-copy fan-out
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SharedSweepPayload:
+    """Deduplicated design-space inputs shared by every worker.
+
+    A benchmark grid crosses a handful of stacks, policies and traces
+    into hundreds of jobs; pickling each :class:`SimulationJob`
+    re-serialises the same objects per job.  The payload stores each
+    distinct object once, and jobs shrink to index triples
+    (:class:`SharedJobRef`).
+    """
+
+    stacks: List[StackDesign]
+    policies: List[Policy]
+    traces: List[WorkloadTrace]
+    kwargs: List[Dict[str, object]]
+
+
+@dataclass(frozen=True)
+class SharedJobRef:
+    """Tiny picklable handle of one simulation job: payload indices."""
+
+    stack: int
+    policy: int
+    trace: int
+    kwargs: int
+
+
+# Worker-side shared state.  On fork platforms the parent installs the
+# payload (and pre-assembled models) *before* the pool exists, so every
+# worker inherits them through copy-on-write pages — zero per-job or
+# per-worker serialisation.  On spawn platforms the pool initializer
+# reads one pickled copy of the payload out of a
+# ``multiprocessing.shared_memory`` segment; models are then assembled
+# once per worker and cached across that worker's jobs.
+_shared_payload: Optional[SharedSweepPayload] = None
+_shared_models: Dict[Tuple[int, int, int], CompactThermalModel] = {}
+
+
+def _install_shared_payload(payload: SharedSweepPayload) -> None:
+    global _shared_payload
+    _shared_payload = payload
+    _shared_models.clear()
+
+
+def _clear_shared_payload() -> None:
+    global _shared_payload
+    _shared_payload = None
+    _shared_models.clear()
+
+
+def _install_payload_from_shm(name: str) -> None:
+    """Spawn-pool initializer: unpickle the payload from shared memory."""
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        (size,) = struct.unpack_from("<Q", segment.buf, 0)
+        payload = pickle.loads(bytes(segment.buf[8 : 8 + size]))
+    finally:
+        segment.close()
+    _install_shared_payload(payload)
+
+
+def _model_key(ref: SharedJobRef, kwargs: Mapping) -> Tuple[int, int, int]:
+    return (
+        ref.stack,
+        int(kwargs.get("nx", DEFAULT_NX)),
+        int(kwargs.get("ny", DEFAULT_NY)),
+    )
+
+
+def _resolve_shared_simulator(ref: SharedJobRef) -> SystemSimulator:
+    """Build one job's simulator from the shared payload + model cache."""
+    payload = _shared_payload
+    if payload is None:
+        raise RuntimeError(
+            "no shared sweep payload installed in this process; "
+            "use run_simulations_shared()"
+        )
+    kwargs = dict(payload.kwargs[ref.kwargs])
+    key = _model_key(ref, kwargs)
+    model = _shared_models.get(key)
+    if model is not None:
+        # Back to the fresh-construction flow state; warm factor caches
+        # stay valid because they are keyed by flow signature.
+        model.set_flow(constants.FLOW_RATE_MAX_ML_MIN)
+    simulator = SystemSimulator(
+        payload.stacks[ref.stack],
+        payload.policies[ref.policy],
+        payload.traces[ref.trace],
+        model=model,
+        **kwargs,
+    )
+    _shared_models[key] = simulator.model
+    return simulator
+
+
+def _run_shared_job(ref: SharedJobRef) -> SimulationResult:
+    return _resolve_shared_simulator(ref).run()
+
+
+def _build_shared_payload(
+    jobs: Sequence[SimulationJob],
+) -> Tuple[SharedSweepPayload, List[SharedJobRef]]:
+    """Dedupe job components (by identity) into a payload + refs."""
+    payload = SharedSweepPayload(
+        stacks=[], policies=[], traces=[], kwargs=[]
+    )
+
+    def intern(seen: Dict[int, int], pool: List, obj: object) -> int:
+        index = seen.get(id(obj))
+        if index is None:
+            index = len(pool)
+            seen[id(obj)] = index
+            pool.append(obj)
+        return index
+
+    seen_stacks: Dict[int, int] = {}
+    seen_policies: Dict[int, int] = {}
+    seen_traces: Dict[int, int] = {}
+    seen_kwargs: Dict[object, int] = {}
+    refs: List[SharedJobRef] = []
+    for job in jobs:
+        try:
+            kwargs_key: object = tuple(sorted(job.kwargs.items()))
+        except TypeError:
+            kwargs_key = id(job.kwargs)
+        kwargs_index = seen_kwargs.get(kwargs_key)
+        if kwargs_index is None:
+            kwargs_index = len(payload.kwargs)
+            seen_kwargs[kwargs_key] = kwargs_index
+            payload.kwargs.append(dict(job.kwargs))
+        refs.append(
+            SharedJobRef(
+                stack=intern(seen_stacks, payload.stacks, job.stack),
+                policy=intern(seen_policies, payload.policies, job.policy),
+                trace=intern(seen_traces, payload.traces, job.trace),
+                kwargs=kwargs_index,
+            )
+        )
+    return payload, refs
+
+
+def _prewarm_shared_models(
+    payload: SharedSweepPayload, refs: Sequence[SharedJobRef]
+) -> None:
+    """Assemble one model per distinct (stack, grid) before forking.
+
+    Fork workers then inherit the assembled conductance/advection
+    matrices, injection operators and the warm steady factor through
+    copy-on-write pages instead of re-assembling per worker.
+    """
+    for ref in refs:
+        kwargs = payload.kwargs[ref.kwargs]
+        key = _model_key(ref, kwargs)
+        if key in _shared_models:
+            continue
+        model = CompactThermalModel(
+            payload.stacks[ref.stack], nx=key[1], ny=key[2]
+        )
+        model.injection_operator()
+        model.steady_factor(None)
+        _shared_models[key] = model
+
+
+def run_simulations_shared(
+    jobs: Sequence[SimulationJob],
+    processes: Optional[int] = None,
+    *,
+    start_method: Optional[str] = None,
+) -> List[Tuple[object, SimulationResult]]:
+    """:func:`run_simulations` without the per-job serialisation tax.
+
+    Plain :func:`run_simulations` pickles every job's stack, policy and
+    trace into each worker and assembles a fresh thermal model per job
+    — for short traces that setup dwarfs the simulation itself.  This
+    driver dedupes the design-space objects into one
+    :class:`SharedSweepPayload` shared across workers (fork
+    inheritance where available, one pickled copy in
+    ``multiprocessing.shared_memory`` on spawn platforms), sends only
+    index triples per job, and reuses one cached thermal model per
+    distinct (stack, grid resolution) within each worker.
+
+    Results are identical to :func:`run_simulations`: model reuse only
+    resets the flow state and keeps signature-keyed factor caches warm,
+    and every simulation remains deterministic — asserted across fork
+    and spawn by the test suite.
+
+    Parameters
+    ----------
+    jobs:
+        The simulation jobs (same objects as :func:`run_simulations`).
+    processes:
+        ``None``, 0 or 1 run serially in-process (still reusing cached
+        models across jobs); larger values fan out across a pool.
+    start_method:
+        Force ``"fork"`` or ``"spawn"`` (default: the platform's).
+
+    Returns ``(job.key, result)`` pairs in job order.
+    """
+    payload, refs = _build_shared_payload(jobs)
+    if processes is None or processes <= 1:
+        _install_shared_payload(payload)
+        try:
+            results = [_run_shared_job(ref) for ref in refs]
+        finally:
+            _clear_shared_payload()
+        return [(job.key, result) for job, result in zip(jobs, results)]
+
+    context = multiprocessing.get_context(start_method)
+    if context.get_start_method() == "fork":
+        _install_shared_payload(payload)
+        try:
+            _prewarm_shared_models(payload, refs)
+            with ProcessPoolExecutor(
+                max_workers=processes, mp_context=context
+            ) as pool:
+                results = list(pool.map(_run_shared_job, refs))
+        finally:
+            _clear_shared_payload()
+    else:
+        from multiprocessing import shared_memory
+
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        segment = shared_memory.SharedMemory(
+            create=True, size=len(blob) + 8
+        )
+        try:
+            struct.pack_into("<Q", segment.buf, 0, len(blob))
+            segment.buf[8 : 8 + len(blob)] = blob
+            with ProcessPoolExecutor(
+                max_workers=processes,
+                mp_context=context,
+                initializer=_install_payload_from_shm,
+                initargs=(segment.name,),
+            ) as pool:
+                results = list(pool.map(_run_shared_job, refs))
+        finally:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
     return [(job.key, result) for job, result in zip(jobs, results)]
 
 

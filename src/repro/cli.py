@@ -203,7 +203,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 def cmd_bench_thermal(args: argparse.Namespace) -> int:
     """Run the thermal perf microbenchmarks and write BENCH_thermal.json."""
-    from .analysis.perf import BASELINE_PATH, bench_thermal, write_bench_report
+    from .analysis.perf import (
+        BASELINE_PATH,
+        bench_thermal,
+        solver_observability,
+        write_baseline,
+        write_bench_report,
+    )
 
     if args.repeats < 1:
         raise SystemExit("--repeats must be at least 1")
@@ -214,8 +220,14 @@ def cmd_bench_thermal(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         large_grid=not args.quick,
     )
+    observability = solver_observability()
     baseline_path = Path(args.baseline) if args.baseline else BASELINE_PATH
-    report = write_bench_report(results, Path(args.output), baseline_path)
+    report = write_bench_report(
+        results,
+        Path(args.output),
+        baseline_path,
+        extras={"observability": observability},
+    )
 
     table = Table(
         "Thermal-pipeline benchmarks (speedup vs committed seed baseline)",
@@ -231,7 +243,30 @@ def cmd_bench_thermal(args: argparse.Namespace) -> int:
             f"{speedup[key]:.2f}x" if key in speedup else "-",
         )
     print(table)
+
+    print("solver observability (2-tier reference workload):")
+    for section in ("steady_cache", "transient_cache"):
+        for backend, info in observability[section].items():
+            print(
+                f"  {section.replace('_', ' ')} [{backend}]: "
+                f"hits={info['hits']} misses={info['misses']} "
+                f"size={info['currsize']}/{info['maxsize']}"
+            )
+    for section in ("steady_stats", "transient_stats"):
+        for backend, stats in observability[section].items():
+            print(
+                f"  {section.replace('_', ' ')} [{backend}]: "
+                f"direct={stats['direct_solves']} "
+                f"iterative={stats['iterative_solves']} "
+                f"krylov_iterations={stats['krylov_iterations']} "
+                f"fallbacks={stats['fallbacks_to_direct']}"
+            )
     print(f"wrote {args.output}")
+    if args.update_baseline:
+        written = write_baseline(
+            results, baseline_path if args.baseline else None
+        )
+        print(f"regenerated baseline at {written}")
     if args.gate:
         if not speedup:
             raise SystemExit(
@@ -300,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=10)
     bench.add_argument(
         "--quick", action="store_true", help="skip the 100x100 large-grid sample"
+    )
+    bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the seed baseline (benchmarks/baseline_seed.json, "
+        "or --baseline) from this run's results",
     )
     bench.add_argument(
         "--gate",

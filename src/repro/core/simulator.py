@@ -43,6 +43,15 @@ if TYPE_CHECKING:  # imported lazily to avoid a core <-> faults cycle
 
 BlockRef = Tuple[str, str]
 
+DEFAULT_NX = 23
+DEFAULT_NY = 20
+"""Default thermal-grid resolution of closed-loop runs.
+
+Module-level so fan-out drivers (see :mod:`repro.analysis.sweep`) can
+pre-assemble and cache thermal models for jobs that do not override
+``nx``/``ny`` without duplicating the defaults.
+"""
+
 
 @dataclass
 class SimulationResult:
@@ -101,6 +110,13 @@ class SystemSimulator:
         command (with the shortfall reported back to the policy via
         :meth:`Policy.observe_flow`), and actuator lag delays the DVFS
         settings reaching the cores.
+    model:
+        Pre-assembled :class:`CompactThermalModel` to reuse instead of
+        assembling a fresh one (must have been built for ``stack``;
+        ``nx``/``ny`` are ignored then).  Shared-memory fan-out workers
+        pass their cached per-stack model so repeated short jobs skip
+        the assembly cost entirely — warm factor caches carry over and
+        stay valid because they are keyed by flow signature.
     """
 
     def __init__(
@@ -110,13 +126,14 @@ class SystemSimulator:
         trace: WorkloadTrace,
         *,
         pump: PumpModel = TABLE_I_PUMP,
-        nx: int = 23,
-        ny: int = 20,
+        nx: int = DEFAULT_NX,
+        ny: int = DEFAULT_NY,
         control_period: float = constants.SENSOR_PERIOD,
         lb_threshold: float = 0.25,
         sensor_noise: float = 0.0,
         record_series: bool = False,
         faults: Optional["FaultSet"] = None,
+        model: Optional[CompactThermalModel] = None,
     ) -> None:
         if policy.cooling is not stack.cooling_mode:
             raise ValueError(
@@ -140,7 +157,14 @@ class SystemSimulator:
 
         self.faults = faults
 
-        self.model = CompactThermalModel(stack, nx=nx, ny=ny)
+        if model is None:
+            model = CompactThermalModel(stack, nx=nx, ny=ny)
+        elif model.stack is not stack:
+            raise ValueError(
+                "the provided thermal model was assembled for a "
+                "different stack design"
+            )
+        self.model = model
         self.power_model = PowerModel(stack)
         self.core_refs: List[BlockRef] = self.power_model.core_refs
         self.sensors = TemperatureSensors(

@@ -11,12 +11,20 @@ from .field import BlockReduction, TemperatureField
 from .assembly import ConductanceBuilder
 from .diagnostics import (
     FactorizationError,
+    IterativeConvergenceError,
     NonFiniteFieldError,
     SolverDiagnostics,
     SolverGuard,
+    SolverStats,
     ThermalInputError,
     ThermalSolveError,
     TransientDivergenceError,
+)
+from .krylov import (
+    DIRECT_NODE_LIMIT,
+    KrylovOptions,
+    KrylovSolver,
+    choose_backend,
 )
 from .model import CacheInfo, CompactThermalModel, SPLU_OPTIONS
 from .solver import TransientStepper
@@ -34,11 +42,17 @@ __all__ = [
     "SPLU_OPTIONS",
     "SolverDiagnostics",
     "SolverGuard",
+    "SolverStats",
     "ThermalSolveError",
     "ThermalInputError",
     "FactorizationError",
+    "IterativeConvergenceError",
     "NonFiniteFieldError",
     "TransientDivergenceError",
+    "DIRECT_NODE_LIMIT",
+    "KrylovOptions",
+    "KrylovSolver",
+    "choose_backend",
     "TransientStepper",
     "TemperatureSensors",
     "dense_steady_state",

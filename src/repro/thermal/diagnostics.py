@@ -15,7 +15,15 @@ The hierarchy::
     ├── ThermalInputError       (also a ValueError: bad powers/flows/dt)
     ├── FactorizationError      (sparse LU construction failed)
     ├── NonFiniteFieldError     (solution contains NaN/Inf)
-    └── TransientDivergenceError (dt-halving backoff exhausted)
+    ├── TransientDivergenceError (dt-halving backoff exhausted)
+    └── IterativeConvergenceError (Krylov solve failed to converge)
+
+The Krylov path (see :mod:`repro.thermal.krylov`) reports through the
+same records: :class:`SolverDiagnostics` carries the method that
+produced the solution, the iteration count, and whether the solve had
+to fall back to the direct factorisation; :class:`SolverStats`
+accumulates those per model/stepper for observability
+(``repro bench-thermal`` prints them).
 """
 
 from __future__ import annotations
@@ -51,6 +59,15 @@ class SolverDiagnostics:
         Number of dt-halving retries consumed by the step.
     factor_evictions:
         Poisoned LU factors evicted while handling this solve.
+    method:
+        ``"direct"`` (sparse LU) or ``"bicgstab"`` (ILU-preconditioned
+        Krylov); the method that produced the accepted solution.
+    iterations:
+        Krylov iteration count when the iterative path ran, else
+        ``None``.
+    fallback_to_direct:
+        Whether the iterative solve failed to converge and the direct
+        factorisation produced the accepted solution instead.
     """
 
     kind: str
@@ -61,10 +78,15 @@ class SolverDiagnostics:
     dt_effective: Optional[float] = None
     retries: int = 0
     factor_evictions: int = 0
+    method: str = "direct"
+    iterations: Optional[int] = None
+    fallback_to_direct: bool = False
 
     def healthy(self, residual_tolerance: float = 1e-6) -> bool:
         """True when the solve needed no intervention and looks sane."""
         if not self.finite or self.retries or self.factor_evictions:
+            return False
+        if self.fallback_to_direct:
             return False
         if self.residual_norm is not None:
             return self.residual_norm <= residual_tolerance
@@ -104,6 +126,45 @@ class SolverGuard:
             raise ValueError("residual_tolerance must be positive")
 
 
+@dataclass
+class SolverStats:
+    """Running counters over the solves of one model or stepper.
+
+    Where :class:`SolverDiagnostics` is the health record of a *single*
+    solve, this accumulates across a whole run so sweep drivers and the
+    benchmark harness can report how the tiered backend actually
+    behaved: how often each path ran, how many Krylov iterations were
+    spent, and how often the iterative path had to hand a solve back to
+    the direct factorisation.
+    """
+
+    direct_solves: int = 0
+    iterative_solves: int = 0
+    krylov_iterations: int = 0
+    fallbacks_to_direct: int = 0
+
+    def record(self, diagnostics: "SolverDiagnostics") -> None:
+        """Fold one solve's diagnostics into the counters."""
+        if diagnostics.iterations is not None:
+            self.krylov_iterations += diagnostics.iterations
+        if diagnostics.fallback_to_direct:
+            self.fallbacks_to_direct += 1
+            self.direct_solves += 1
+        elif diagnostics.method == "direct":
+            self.direct_solves += 1
+        else:
+            self.iterative_solves += 1
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for JSON reports."""
+        return {
+            "direct_solves": self.direct_solves,
+            "iterative_solves": self.iterative_solves,
+            "krylov_iterations": self.krylov_iterations,
+            "fallbacks_to_direct": self.fallbacks_to_direct,
+        }
+
+
 class ThermalSolveError(RuntimeError):
     """Base of every failure raised by the thermal solve path.
 
@@ -141,6 +202,17 @@ class NonFiniteFieldError(ThermalSolveError):
 
 class TransientDivergenceError(ThermalSolveError):
     """A transient step kept diverging after the bounded dt backoff."""
+
+
+class IterativeConvergenceError(ThermalSolveError):
+    """A Krylov solve did not converge to the requested tolerance.
+
+    Raised by :class:`repro.thermal.krylov.KrylovSolver` when BiCGSTAB
+    exhausts its iteration budget or breaks down.  The tiered solve
+    paths catch it and fall back to the direct factorisation; it only
+    propagates to callers that request the iterative backend
+    explicitly with the fallback disabled.
+    """
 
 
 def condition_estimate_from_factor(factor: object) -> Optional[float]:

@@ -1,0 +1,234 @@
+"""Preconditioned Krylov solves for large thermal grids.
+
+Beyond roughly 200x200 cells per level the sparse direct LU becomes
+memory-bound: SuperLU fill-in grows superlinearly with the grid, so a
+300x300 4-tier stack (over a million nodes) needs many gigabytes for
+the factors alone.  The system ``A(f) = A_base + c(f) A_adv`` is an
+M-matrix (symmetric positive-definite conductance part) plus a skew
+upwind-advection part, which is exactly the regime where an incomplete
+LU preconditioner with a nonsymmetric Krylov method shines:
+
+* **ILU** with a modest drop tolerance captures the strong vertical /
+  lateral couplings at a small multiple of ``nnz(A)`` memory,
+* **BiCGSTAB** handles the (mild) nonsymmetry of the advection stencil
+  without the long recurrences of GMRES,
+* **warm starts** from the previous solution (transient state, or the
+  last steady solve at the same flow point) cut the iteration count to
+  a handful on the closed-loop and sweep hot paths.
+
+:func:`choose_backend` implements the automatic direct↔iterative
+selection; :class:`KrylovSolver` packages one preconditioned operator
+so the steady and transient paths cache it exactly like they cache LU
+factors.  Non-convergence raises
+:class:`~repro.thermal.diagnostics.IterativeConvergenceError`, which
+the tiered solve paths catch to fall back to the guarded direct LU.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.sparse import csc_matrix
+from scipy.sparse.linalg import LinearOperator, bicgstab, spilu
+
+from .diagnostics import FactorizationError, IterativeConvergenceError
+
+DIRECT_NODE_LIMIT = 75_000
+"""Node count above which ``"auto"`` prefers the iterative path.
+
+Calibrated on the 4-tier stack (see
+``benchmarks/bench_solver_crossover.py``): on a *cold single* solve
+ILU+BiCGSTAB already wins at 50x50 per level (30k nodes) and is ~2x
+faster at 100x100 (120k nodes) with a fraction of the memory.  The
+limit is deliberately higher than that cold crossover because the
+closed-loop and sweep paths amortise one cached LU over many repeated
+solves, where direct stays ahead until fill-in memory dominates.
+Override with the ``REPRO_DIRECT_NODE_LIMIT`` environment variable.
+"""
+
+SOLVER_CHOICES = ("auto", "direct", "iterative")
+"""Accepted solver-backend selections."""
+
+
+def direct_node_limit() -> int:
+    """The auto-selection threshold, honouring the env override."""
+    raw = os.environ.get("REPRO_DIRECT_NODE_LIMIT")
+    if raw is None:
+        return DIRECT_NODE_LIMIT
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DIRECT_NODE_LIMIT
+
+
+def estimate_direct_factor_bytes(n_nodes: int, nnz: int) -> int:
+    """Rough memory estimate of a sparse LU factorisation [bytes].
+
+    Fill-in for these 7-point-stencil stacks grows like the bandwidth
+    of the nested-dissection separators — empirically ~``nnz *
+    sqrt(n) / 40`` nonzeros across the 50x50..300x300 range — times 12
+    bytes per stored entry (value + index).  Order-of-magnitude only;
+    used to explain the auto selection in logs and docs, not to gate
+    allocations.
+    """
+    fill = max(1.0, np.sqrt(float(n_nodes)) / 40.0)
+    return int(nnz * fill * 12)
+
+
+def choose_backend(
+    requested: str,
+    n_nodes: int,
+    node_limit: Optional[int] = None,
+) -> str:
+    """Resolve a solver request to ``"direct"`` or ``"iterative"``.
+
+    Parameters
+    ----------
+    requested:
+        ``"auto"``, ``"direct"`` or ``"iterative"``.
+    n_nodes:
+        Problem size (grid nodes).
+    node_limit:
+        Auto-selection threshold; defaults to
+        :func:`direct_node_limit`.
+    """
+    if requested not in SOLVER_CHOICES:
+        raise ValueError(
+            f"unknown solver {requested!r}; choose from {SOLVER_CHOICES}"
+        )
+    if requested != "auto":
+        return requested
+    limit = direct_node_limit() if node_limit is None else node_limit
+    return "iterative" if n_nodes > limit else "direct"
+
+
+@dataclass(frozen=True)
+class KrylovOptions:
+    """Tuning knobs of the ILU-preconditioned BiCGSTAB solve.
+
+    Attributes
+    ----------
+    rtol, atol:
+        Convergence test ``||r|| <= max(rtol * ||b||, atol)``.  The
+        default ``rtol`` keeps iterative temperatures within ~1e-8 of
+        the direct solve on calibration grids.
+    maxiter:
+        Iteration budget before
+        :class:`~repro.thermal.diagnostics.IterativeConvergenceError`.
+        Cold-start counts grow roughly linearly with the grid side
+        (57 at 50x50 per level to ~550 at 300x300 on the 4-tier
+        stack), so the default leaves headroom beyond the largest
+        benchmarked grid; warm starts need a small fraction of it.
+    drop_tol, fill_factor:
+        ILU sparsity controls (see ``scipy.sparse.linalg.spilu``).  The
+        defaults keep the preconditioner near ``4 x nnz(A)`` — measured
+        best wall-time on the 4-tier stack and far below direct-LU
+        fill at large grids.
+    """
+
+    rtol: float = 1e-10
+    atol: float = 0.0
+    maxiter: int = 2000
+    drop_tol: float = 1e-3
+    fill_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not (self.rtol > 0.0 or self.atol > 0.0):
+            raise ValueError("one of rtol/atol must be positive")
+        if self.maxiter < 1:
+            raise ValueError("maxiter must be at least 1")
+
+
+class KrylovSolver:
+    """One preconditioned iterative operator, cacheable like an LU factor.
+
+    Parameters
+    ----------
+    matrix:
+        The system matrix (``A(f)`` for steady solves, ``C/dt + A(f)``
+        for transient steps).  Converted to CSC once for the ILU.
+    options:
+        Solver tuning; defaults to :class:`KrylovOptions`.
+
+    The ILU factorisation happens in the constructor so the steady /
+    transient caches can account it exactly like a direct
+    factorisation; each :meth:`solve` then costs only the BiCGSTAB
+    sweeps.  ``iterations_total`` accumulates across solves for
+    observability.
+    """
+
+    method = "bicgstab"
+
+    def __init__(
+        self,
+        matrix,
+        options: Optional[KrylovOptions] = None,
+    ) -> None:
+        self.options = options if options is not None else KrylovOptions()
+        self.matrix = matrix.tocsr()
+        csc = csc_matrix(matrix)
+        try:
+            self._ilu = spilu(
+                csc,
+                drop_tol=self.options.drop_tol,
+                fill_factor=self.options.fill_factor,
+            )
+        except Exception as exc:
+            raise FactorizationError(
+                f"ILU preconditioner construction failed: {exc}"
+            ) from exc
+        self._preconditioner = LinearOperator(
+            matrix.shape, matvec=self._ilu.solve
+        )
+        self.iterations_total = 0
+        self.solve_count = 0
+
+    def solve(
+        self,
+        rhs: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, int]:
+        """Solve ``A x = rhs``; returns ``(solution, iterations)``.
+
+        Parameters
+        ----------
+        rhs:
+            Right-hand side (1-D).
+        x0:
+            Warm-start initial guess; a good guess (previous transient
+            state, previous steady solve at the same flow point) cuts
+            the iteration count dramatically.
+
+        Raises
+        ------
+        IterativeConvergenceError
+            When BiCGSTAB exhausts ``maxiter`` or breaks down, or the
+            solution contains non-finite entries.
+        """
+        iterations = 0
+
+        def count(_xk: np.ndarray) -> None:
+            nonlocal iterations
+            iterations += 1
+
+        solution, info = bicgstab(
+            self.matrix,
+            rhs,
+            x0=x0,
+            rtol=self.options.rtol,
+            atol=self.options.atol,
+            maxiter=self.options.maxiter,
+            M=self._preconditioner,
+            callback=count,
+        )
+        self.iterations_total += iterations
+        self.solve_count += 1
+        if info != 0 or not np.all(np.isfinite(solution)):
+            raise IterativeConvergenceError(
+                f"BiCGSTAB did not converge (info={info}) after "
+                f"{iterations} iterations at rtol={self.options.rtol:g}"
+            )
+        return solution, iterations

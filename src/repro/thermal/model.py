@@ -59,9 +59,11 @@ from ..units import celsius_to_kelvin, ml_per_min_to_m3_per_s
 from .assembly import ConductanceBuilder
 from .diagnostics import (
     FactorizationError,
+    IterativeConvergenceError,
     NonFiniteFieldError,
     SolverDiagnostics,
     SolverGuard,
+    SolverStats,
     ThermalInputError,
     condition_estimate_from_factor,
     relative_residual,
@@ -70,6 +72,12 @@ from .diagnostics import (
 )
 from .field import TemperatureField
 from .grid import ThermalGrid
+from .krylov import (
+    SOLVER_CHOICES,
+    KrylovOptions,
+    KrylovSolver,
+    choose_backend,
+)
 
 DEFAULT_AMBIENT_K = celsius_to_kelvin(46.0)
 """Default air ambient [K].
@@ -133,6 +141,15 @@ class CompactThermalModel:
         Coolant inlet temperature [K] (liquid mode).
     max_steady_factors:
         Upper bound on cached steady-solve LU factorisations (LRU).
+    solver:
+        Steady-solve backend: ``"direct"`` (sparse LU), ``"iterative"``
+        (ILU-preconditioned BiCGSTAB with warm starts and a guarded
+        direct fallback) or ``"auto"`` (direct below
+        :data:`repro.thermal.krylov.DIRECT_NODE_LIMIT` nodes,
+        iterative above — large grids stay out of LU fill-in memory).
+    krylov:
+        Tuning of the iterative path; defaults to
+        :class:`~repro.thermal.krylov.KrylovOptions`.
     """
 
     def __init__(
@@ -144,10 +161,19 @@ class CompactThermalModel:
         inlet_temperature: float = DEFAULT_INLET_K,
         max_steady_factors: int = 8,
         guard: Optional[SolverGuard] = None,
+        solver: str = "auto",
+        krylov: Optional[KrylovOptions] = None,
     ) -> None:
         if max_steady_factors < 1:
             raise ValueError("cache must hold at least one factorisation")
         self.guard = guard if guard is not None else SolverGuard()
+        if solver not in SOLVER_CHOICES:
+            raise ValueError(
+                f"unknown solver {solver!r}; choose from {SOLVER_CHOICES}"
+            )
+        self.solver = solver
+        self.krylov_options = krylov if krylov is not None else KrylovOptions()
+        self.steady_stats = SolverStats()
         self.last_steady_diagnostics: Optional[SolverDiagnostics] = None
         self.stack = stack
         self.grid = ThermalGrid(stack, nx=nx, ny=ny)
@@ -168,6 +194,11 @@ class CompactThermalModel:
         self._max_steady_factors = int(max_steady_factors)
         self._steady_hits = 0
         self._steady_misses = 0
+        # Iterative-path state, keyed like the LU cache: one
+        # ILU-preconditioned operator per flow state, plus the last
+        # solution at that state as the warm-start guess.
+        self._steady_krylov: "OrderedDict[object, KrylovSolver]" = OrderedDict()
+        self._steady_warm: Dict[object, np.ndarray] = {}
         self._assemble()
 
     # ------------------------------------------------------------------
@@ -662,12 +693,14 @@ class CompactThermalModel:
         Returns whether an entry was actually evicted.  Guarded solves
         call this when a factor produces non-finite or out-of-tolerance
         solutions, so a retry refactorises instead of reusing the bad
-        factor.
+        factor.  Covers both backends: the LU factor and the iterative
+        path's preconditioner/warm-start state of the same key.
         """
-        return (
-            self._steady_factors.pop(self._steady_key(flow_ml_min), None)
-            is not None
-        )
+        key = self._steady_key(flow_ml_min)
+        dropped_lu = self._steady_factors.pop(key, None) is not None
+        dropped_ilu = self._steady_krylov.pop(key, None) is not None
+        self._steady_warm.pop(key, None)
+        return dropped_lu or dropped_ilu
 
     def steady_cache_info(self) -> CacheInfo:
         """Hit/miss statistics of the steady-factor cache."""
@@ -679,10 +712,81 @@ class CompactThermalModel:
         )
 
     def clear_steady_cache(self) -> None:
-        """Drop all cached steady factorisations (and their statistics)."""
+        """Drop all cached steady factorisations (and their statistics).
+
+        Covers both backends: direct LU factors and the iterative
+        path's preconditioners and warm-start guesses.
+        """
         self._steady_factors.clear()
+        self._steady_krylov.clear()
+        self._steady_warm.clear()
         self._steady_hits = 0
         self._steady_misses = 0
+
+    def steady_backend(self) -> str:
+        """The resolved steady-solve backend for this model's grid.
+
+        ``"auto"`` resolves by problem size (see
+        :func:`repro.thermal.krylov.choose_backend`); explicit
+        ``"direct"`` / ``"iterative"`` requests pass through.
+        """
+        return choose_backend(self.solver, self.grid.size)
+
+    def steady_krylov_solver(
+        self, flow_ml_min: Optional[float] = None
+    ) -> KrylovSolver:
+        """Cached ILU-preconditioned operator of ``A(f)``.
+
+        The iterative twin of :meth:`steady_factor`: keyed by the same
+        flow signatures, bounded by the same LRU budget, and therefore
+        equally immune to stale entries after flow changes.
+        """
+        key = self._steady_key(flow_ml_min)
+        solver = self._steady_krylov.get(key)
+        if solver is not None:
+            self._steady_krylov.move_to_end(key)
+            self._steady_hits += 1
+            return solver
+        self._steady_misses += 1
+        solver = KrylovSolver(
+            self.system_matrix(flow_ml_min), self.krylov_options
+        )
+        self._steady_krylov[key] = solver
+        if len(self._steady_krylov) > self._max_steady_factors:
+            evicted, _ = self._steady_krylov.popitem(last=False)
+            self._steady_warm.pop(evicted, None)
+        return solver
+
+    def _steady_iterative(
+        self, q: np.ndarray, flow_ml_min: Optional[float]
+    ) -> Tuple[Optional[np.ndarray], Optional[int]]:
+        """One iterative steady solve; ``(None, iterations)`` on failure.
+
+        Warm-starts from the last solution at the same flow state.  A
+        non-convergent or out-of-tolerance solve evicts the
+        preconditioner (it may have been built from a poisoned matrix)
+        and reports failure so the caller falls back to the guarded
+        direct path.
+        """
+        key = self._steady_key(flow_ml_min)
+        try:
+            solver = self.steady_krylov_solver(flow_ml_min)
+        except FactorizationError:
+            return None, None
+        try:
+            values, iterations = solver.solve(q, x0=self._steady_warm.get(key))
+        except IterativeConvergenceError:
+            self._steady_krylov.pop(key, None)
+            self._steady_warm.pop(key, None)
+            return None, solver.iterations_total
+        if self.guard.residual_tolerance is not None:
+            residual = relative_residual(solver.matrix, values, q)
+            if residual > self.guard.residual_tolerance:
+                self._steady_krylov.pop(key, None)
+                self._steady_warm.pop(key, None)
+                return None, iterations
+        self._steady_warm[key] = values
+        return values, iterations
 
     def steady_state(
         self,
@@ -691,15 +795,57 @@ class CompactThermalModel:
     ) -> TemperatureField:
         """Steady-state temperature field for constant block powers.
 
-        The solve is guarded per ``self.guard``: non-finite solutions
-        evict the (poisoned) cached factor, one refactorised retry is
-        attempted, and a persistent failure raises
+        The backend follows :meth:`steady_backend`: large grids run
+        ILU-preconditioned BiCGSTAB (warm-started per flow state) and
+        fall back to the guarded direct LU on non-convergence; small
+        grids run the direct LU outright.  Either way the solve is
+        guarded per ``self.guard``: non-finite solutions evict the
+        (poisoned) cached factor, one refactorised retry is attempted,
+        and a persistent failure raises
         :class:`~repro.thermal.diagnostics.NonFiniteFieldError`.  The
         health record of the last solve is kept in
-        ``last_steady_diagnostics``.
+        ``last_steady_diagnostics``; running counters in
+        ``steady_stats``.
         """
+        if self.steady_backend() == "iterative":
+            q = self.power_vector(block_powers) + self.boundary_rhs(
+                flow_ml_min
+            )
+            values, iterations = self._steady_iterative(q, flow_ml_min)
+            if values is not None:
+                residual = None
+                if self.guard.residual_tolerance is not None:
+                    residual = relative_residual(
+                        self.system_matrix(flow_ml_min), values, q
+                    )
+                diagnostics = SolverDiagnostics(
+                    kind="steady",
+                    residual_norm=residual,
+                    finite=True,
+                    method="bicgstab",
+                    iterations=iterations,
+                )
+                self.last_steady_diagnostics = diagnostics
+                self.steady_stats.record(diagnostics)
+                return TemperatureField(self.grid, values)
+            return self._steady_direct(
+                q, flow_ml_min, fallback=True, iterations=iterations
+            )
         factor = self.steady_factor(flow_ml_min)
         q = self.power_vector(block_powers) + self.boundary_rhs(flow_ml_min)
+        return self._steady_direct(q, flow_ml_min, factor=factor)
+
+    def _steady_direct(
+        self,
+        q: np.ndarray,
+        flow_ml_min: Optional[float],
+        factor: Optional[object] = None,
+        fallback: bool = False,
+        iterations: Optional[int] = None,
+    ) -> TemperatureField:
+        """The guarded direct-LU steady solve (also the Krylov fallback)."""
+        if factor is None:
+            factor = self.steady_factor(flow_ml_min)
         values = factor.solve(q)
         evictions = 0
         if self.guard.check_finite and not np.all(np.isfinite(values)):
@@ -714,6 +860,8 @@ class CompactThermalModel:
                     finite=False,
                     condition_estimate=condition_estimate_from_factor(factor),
                     factor_evictions=evictions,
+                    iterations=iterations,
+                    fallback_to_direct=fallback,
                 )
                 self.last_steady_diagnostics = diagnostics
                 raise NonFiniteFieldError(
@@ -736,6 +884,8 @@ class CompactThermalModel:
                     finite=True,
                     condition_estimate=condition,
                     factor_evictions=evictions,
+                    iterations=iterations,
+                    fallback_to_direct=fallback,
                 )
                 self.last_steady_diagnostics = diagnostics
                 self.evict_steady_factor(flow_ml_min)
@@ -745,13 +895,17 @@ class CompactThermalModel:
                     f"{self.guard.residual_tolerance:.3e}",
                     diagnostics,
                 )
-        self.last_steady_diagnostics = SolverDiagnostics(
+        diagnostics = SolverDiagnostics(
             kind="steady",
             residual_norm=residual,
             finite=True,
             condition_estimate=condition,
             factor_evictions=evictions,
+            iterations=iterations,
+            fallback_to_direct=fallback,
         )
+        self.last_steady_diagnostics = diagnostics
+        self.steady_stats.record(diagnostics)
         return TemperatureField(self.grid, values)
 
     def uniform_field(self, temperature_k: float) -> TemperatureField:

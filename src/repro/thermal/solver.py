@@ -32,8 +32,10 @@ from scipy.sparse.linalg import splu
 
 from .diagnostics import (
     FactorizationError,
+    IterativeConvergenceError,
     SolverDiagnostics,
     SolverGuard,
+    SolverStats,
     TransientDivergenceError,
     condition_estimate_from_factor,
     relative_residual,
@@ -41,6 +43,7 @@ from .diagnostics import (
     validate_positive_scalar,
 )
 from .field import TemperatureField
+from .krylov import KrylovOptions, KrylovSolver, choose_backend
 from .model import (
     SPLU_OPTIONS,
     BlockRef,
@@ -54,6 +57,15 @@ FactorKey = Tuple[FlowSignature, float]
 
 FactorEntry = Tuple[object, np.ndarray, object]
 """One cache entry: ``(LU factor, boundary rhs, system matrix)``."""
+
+KrylovEntry = Tuple[KrylovSolver, np.ndarray]
+"""One iterative-path cache entry: ``(preconditioned solver, boundary rhs)``."""
+
+AttemptOutcome = Tuple[
+    np.ndarray, bool, Optional[float], str, Optional[int], bool
+]
+"""One unguarded solve attempt:
+``(solution, ok, residual, method, iterations, fell_back)``."""
 
 
 class TransientStepper:
@@ -73,6 +85,15 @@ class TransientStepper:
         Upper bound on retained LU factorisations (LRU eviction).
     guard:
         Numerical-guard configuration; defaults to the model's.
+    solver:
+        Backend selection (``"auto"`` / ``"direct"`` / ``"iterative"``);
+        defaults to the model's.  The iterative path solves
+        ``(C/dt + A(f))`` with ILU-preconditioned BiCGSTAB warm-started
+        from the previous state — the dominant-diagonal ``C/dt`` makes
+        these systems converge in a handful of iterations — and falls
+        back to the guarded direct LU on non-convergence.
+    krylov:
+        Iterative-path tuning; defaults to the model's.
 
     Notes
     -----
@@ -89,6 +110,8 @@ class TransientStepper:
         initial: TemperatureField,
         max_cached_factors: int = 16,
         guard: Optional[SolverGuard] = None,
+        solver: Optional[str] = None,
+        krylov: Optional[KrylovOptions] = None,
     ) -> None:
         dt = validate_positive_scalar(dt, "dt")
         if max_cached_factors < 1:
@@ -99,6 +122,13 @@ class TransientStepper:
         self.state = initial.copy()
         self.time = initial.time
         self.last_diagnostics: Optional[SolverDiagnostics] = None
+        self.stats = SolverStats()
+        self._backend = choose_backend(
+            solver if solver is not None else model.solver, model.grid.size
+        )
+        self.krylov_options = (
+            krylov if krylov is not None else model.krylov_options
+        )
         self._max_cached = max_cached_factors
         # Each entry holds (LU factor, boundary rhs, system matrix) for
         # one flow signature at one dt — the rhs costs as much to
@@ -106,6 +136,9 @@ class TransientStepper:
         # the matrix (already assembled for the factorisation) backs
         # the optional residual check.
         self._factors: "OrderedDict[FactorKey, FactorEntry]" = OrderedDict()
+        # Iterative-path twin: one ILU-preconditioned operator plus its
+        # boundary rhs per (flow signature, dt).
+        self._krylov: "OrderedDict[FactorKey, KrylovEntry]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._c_over_dt = model.capacitance / self.dt
@@ -137,16 +170,57 @@ class TransientStepper:
             self._factors.popitem(last=False)
         return entry
 
+    @property
+    def backend(self) -> str:
+        """The resolved solve backend (``"direct"`` or ``"iterative"``)."""
+        return self._backend
+
+    def factor_entry(self, dt: Optional[float] = None) -> FactorEntry:
+        """The cached ``(LU factor, boundary rhs, system matrix)`` entry.
+
+        Public accessor of the direct-path cache for batched drivers
+        (see :class:`repro.analysis.sweep.TransientSweep`): the factor
+        solves ``(C/dt + A(f)) x = rhs`` for the model's *current* flow
+        state, and SuperLU handles 2-D right-hand sides column by
+        column, so many traces can share one factorisation per step.
+        """
+        return self._factor(dt)
+
+    def _krylov_factor(self, dt: Optional[float] = None) -> KrylovEntry:
+        """Cached ILU-preconditioned operator of ``C/dt + A(f)``."""
+        dt = self.dt if dt is None else dt
+        key: FactorKey = (self.model.flow_signature(), dt)
+        entry = self._krylov.get(key)
+        if entry is not None:
+            self._krylov.move_to_end(key)
+            self._hits += 1
+            return entry
+        self._misses += 1
+        matrix = self.model.system_matrix() + diags(self._c_over(dt))
+        solver = KrylovSolver(matrix, self.krylov_options)
+        entry = (solver, self.model.boundary_rhs())
+        self._krylov[key] = entry
+        if len(self._krylov) > self._max_cached:
+            self._krylov.popitem(last=False)
+        return entry
+
+    def _evict_krylov(self, dt: float) -> bool:
+        key: FactorKey = (self.model.flow_signature(), dt)
+        return self._krylov.pop(key, None) is not None
+
     def evict_factor(self, dt: Optional[float] = None) -> bool:
         """Drop the cached factor of the current flow state at ``dt``.
 
         Guarded steps call this when a factor yields non-finite or
         out-of-tolerance solutions, so the retry refactorises instead of
-        reusing the poisoned factor.  Returns whether an entry existed.
+        reusing the poisoned factor.  Returns whether an entry existed
+        (in either the direct or the iterative cache).
         """
         dt = self.dt if dt is None else dt
         key: FactorKey = (self.model.flow_signature(), dt)
-        return self._factors.pop(key, None) is not None
+        dropped_lu = self._factors.pop(key, None) is not None
+        dropped_ilu = self._krylov.pop(key, None) is not None
+        return dropped_lu or dropped_ilu
 
     @property
     def cached_factor_count(self) -> int:
@@ -183,12 +257,45 @@ class TransientStepper:
 
     def _attempt(
         self, values: np.ndarray, power: np.ndarray, dt: float
-    ) -> Tuple[np.ndarray, bool, Optional[float]]:
-        """One unguarded backward-Euler solve; reports solution health."""
+    ) -> AttemptOutcome:
+        """One unguarded backward-Euler solve; reports solution health.
+
+        On the iterative backend this tries the warm-started Krylov
+        solve first and hands the step to the direct factorisation
+        when it does not converge (``fell_back=True`` in the outcome);
+        the guarded retry/backoff logic above never needs to know which
+        backend produced the solution.
+        """
+        iterations: Optional[int] = None
+        fell_back = False
+        if self._backend == "iterative":
+            try:
+                solver, boundary = self._krylov_factor(dt)
+                rhs = self._c_over(dt) * values + power + boundary
+                solution, iterations = solver.solve(rhs, x0=values)
+            except (FactorizationError, IterativeConvergenceError):
+                self._evict_krylov(dt)
+                fell_back = True
+            else:
+                residual: Optional[float] = None
+                ok = True
+                if self.guard.residual_tolerance is not None:
+                    residual = relative_residual(
+                        solver.matrix, solution, rhs
+                    )
+                    if residual > self.guard.residual_tolerance:
+                        ok = False
+                if ok:
+                    return (
+                        solution, True, residual, "bicgstab", iterations,
+                        False,
+                    )
+                self._evict_krylov(dt)
+                fell_back = True
         factor, boundary, matrix = self._factor(dt)
         rhs = self._c_over(dt) * values + power + boundary
         solution = factor.solve(rhs)
-        residual: Optional[float] = None
+        residual = None
         ok = True
         if self.guard.check_finite and not np.all(np.isfinite(solution)):
             ok = False
@@ -196,13 +303,17 @@ class TransientStepper:
             residual = relative_residual(matrix, solution, rhs)
             if residual > self.guard.residual_tolerance:
                 ok = False
-        return solution, ok, residual
+        return solution, ok, residual, "direct", iterations, fell_back
 
     def step_with_power_vector(self, power: np.ndarray) -> TemperatureField:
         """Advance one guarded time step with a pre-built power vector."""
         if self.guard.check_finite:
             validate_finite_array(power, "nodal power vector")
-        values, ok, residual = self._attempt(self.state.values, power, self.dt)
+        values, ok, residual, method, iterations, fell_back = self._attempt(
+            self.state.values, power, self.dt
+        )
+        iteration_total = iterations or 0
+        saw_iterative = iterations is not None
         evictions = 0
         retries = 0
         dt_effective = self.dt
@@ -211,9 +322,12 @@ class TransientStepper:
             # solve): evict and retry once with a fresh factorisation.
             if self.evict_factor(self.dt):
                 evictions += 1
-            values, ok, residual = self._attempt(
-                self.state.values, power, self.dt
+            values, ok, residual, method, iterations, sub_fell = (
+                self._attempt(self.state.values, power, self.dt)
             )
+            iteration_total += iterations or 0
+            saw_iterative = saw_iterative or iterations is not None
+            fell_back = fell_back or sub_fell
         if not ok:
             # Bounded dt-halving backoff: 2^k substeps at dt / 2^k.
             for halvings in range(1, self.guard.max_dt_halvings + 1):
@@ -221,9 +335,12 @@ class TransientStepper:
                 current = self.state.values
                 diverged = False
                 for _ in range(2 ** halvings):
-                    current, sub_ok, residual = self._attempt(
-                        current, power, sub_dt
+                    current, sub_ok, residual, method, iterations, sub_fell = (
+                        self._attempt(current, power, sub_dt)
                     )
+                    iteration_total += iterations or 0
+                    saw_iterative = saw_iterative or iterations is not None
+                    fell_back = fell_back or sub_fell
                     if not sub_ok:
                         if self.evict_factor(sub_dt):
                             evictions += 1
@@ -246,6 +363,9 @@ class TransientStepper:
                 dt_effective=self.dt / (2.0 ** self.guard.max_dt_halvings),
                 retries=self.guard.max_dt_halvings,
                 factor_evictions=evictions,
+                method=method,
+                iterations=iteration_total if saw_iterative else None,
+                fallback_to_direct=fell_back,
             )
             self.last_diagnostics = diagnostics
             raise TransientDivergenceError(
@@ -256,13 +376,18 @@ class TransientStepper:
             )
         self.time += self.dt
         self.state = TemperatureField(self.model.grid, values, self.time)
-        if retries or evictions or self.guard.residual_tolerance is not None:
+        if method == "direct" and (
+            retries or evictions or self.guard.residual_tolerance is not None
+        ):
+            # Only when a direct factor produced the solution: computing
+            # the estimate on the iterative path would force exactly the
+            # LU factorisation the backend exists to avoid.
             condition = condition_estimate_from_factor(
                 self._factor(dt_effective)[0]
             )
         else:
             condition = None
-        self.last_diagnostics = SolverDiagnostics(
+        diagnostics = SolverDiagnostics(
             kind="transient",
             residual_norm=residual,
             finite=True,
@@ -271,7 +396,12 @@ class TransientStepper:
             dt_effective=dt_effective,
             retries=retries,
             factor_evictions=evictions,
+            method=method,
+            iterations=iteration_total if saw_iterative else None,
+            fallback_to_direct=fell_back,
         )
+        self.last_diagnostics = diagnostics
+        self.stats.record(diagnostics)
         return self.state
 
     def run(

@@ -1,0 +1,103 @@
+"""BatchFuzzyThermalController: batched decisions bitwise match decide()."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchFuzzyThermalController, FuzzyThermalController
+
+CORES = ["core0", "core1", "core2", "core3"]
+
+
+def _step_inputs(rng, n_sims):
+    sims = []
+    for _ in range(n_sims):
+        temps = {core: 300.0 + 60.0 * float(rng.random()) for core in CORES}
+        utils = {core: float(rng.random()) for core in CORES}
+        sims.append((temps, utils))
+    return sims
+
+
+def test_decide_many_bitwise_matches_decide():
+    rng = np.random.default_rng(5)
+    batch = BatchFuzzyThermalController.of_size(3)
+    reference = [FuzzyThermalController() for _ in range(3)]
+    for step in range(6):
+        time = 0.1 * step
+        sims = _step_inputs(rng, 3)
+        expected = [
+            controller.decide(time, temps, utils)
+            for controller, (temps, utils) in zip(reference, sims)
+        ]
+        got = batch.decide_many(
+            time,
+            [temps for temps, _ in sims],
+            [utils for _, utils in sims],
+        )
+        # Exact equality: the batched Mamdani inference is bitwise the
+        # per-simulation inference, and all scalar state (trend, flow
+        # boost) lives in the per-simulation controllers either way.
+        assert got == expected
+
+
+def test_decide_many_handles_lost_sensors():
+    batch = BatchFuzzyThermalController.of_size(3)
+    reference = [FuzzyThermalController() for _ in range(3)]
+    nan = float("nan")
+    utils = {core: 0.5 for core in CORES}
+    sims = [
+        # One dead diode: fail-safe max flow, blind core throttled.
+        ({"core0": 310.0, "core1": nan, "core2": 320.0, "core3": 315.0}, utils),
+        # Total sensor loss: max flow, everything at the lowest point.
+        ({core: nan for core in CORES}, utils),
+        # Healthy sibling keeps normal fuzzy control.
+        ({core: 305.0 + i for i, core in enumerate(CORES)}, utils),
+    ]
+    expected = [
+        controller.decide(0.0, temps, sim_utils)
+        for controller, (temps, sim_utils) in zip(reference, sims)
+    ]
+    got = batch.decide_many(
+        0.0,
+        [temps for temps, _ in sims],
+        [sim_utils for _, sim_utils in sims],
+    )
+    assert got == expected
+    assert batch.controllers[0].last_lost_sensors == ["core1"]
+    assert batch.controllers[1].last_lost_sensors == CORES
+    assert batch.controllers[2].last_lost_sensors == []
+
+
+def test_decide_many_validates_inputs():
+    batch = BatchFuzzyThermalController.of_size(2)
+    temps = {core: 310.0 for core in CORES}
+    utils = {core: 0.5 for core in CORES}
+    with pytest.raises(ValueError):
+        # One reading set for two simulations.
+        batch.decide_many(0.0, [temps], [utils, utils])
+    with pytest.raises(ValueError):
+        # Mismatched core sets within one simulation.
+        batch.decide_many(
+            0.0, [temps, {"other": 300.0}], [utils, utils]
+        )
+
+
+def test_observe_achieved_flows_and_reset_fan_out():
+    batch = BatchFuzzyThermalController.of_size(2)
+    batch.observe_achieved_flows([40.0, 40.0], [40.0, 10.0])
+    # The starved simulation's controller accumulated boost state; the
+    # healthy one did not — the wrapper must keep them independent.
+    assert batch.controllers[0]._flow_boost == 1.0
+    assert batch.controllers[1]._flow_boost > 1.0
+    batch.reset()
+    temps = {core: 310.0 for core in CORES}
+    utils = {core: 0.5 for core in CORES}
+    fresh = FuzzyThermalController()
+    assert batch.decide_many(0.0, [temps, temps], [utils, utils]) == [
+        fresh.decide(0.0, temps, utils)
+    ] * 2
+
+
+def test_of_size_requires_controllers():
+    with pytest.raises(ValueError):
+        BatchFuzzyThermalController([])
+    assert len(BatchFuzzyThermalController.of_size(4)) == 4

@@ -1,0 +1,115 @@
+"""Zero-copy fan-out: shared payload runs match plain run_simulations."""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.analysis import (
+    SimulationJob,
+    run_simulations,
+    run_simulations_shared,
+)
+from repro.analysis.sweep import (
+    _build_shared_payload,
+    _clear_shared_payload,
+    _install_shared_payload,
+    _resolve_shared_simulator,
+)
+from repro.core import paper_policies
+from repro.geometry import build_3d_mpsoc
+from repro.workload import paper_workload_suite
+
+
+def _jobs():
+    policies = {p.name: p for p in paper_policies()}
+    policy = policies["LC_LB"]
+    suite = paper_workload_suite(threads=32, duration=2)
+    stack = build_3d_mpsoc(2, policy.cooling)
+    return [
+        SimulationJob(
+            stack=stack,
+            policy=policy,
+            trace=suite[workload],
+            key=workload,
+            kwargs={"nx": 12, "ny": 10},
+        )
+        for workload in ("web", "database")
+    ]
+
+
+def _flat(results):
+    """Every float of every result, for exact-equality comparison."""
+    return [
+        (
+            key,
+            r.workload,
+            r.duration,
+            r.peak_temperature_c,
+            r.chip_energy_j,
+            r.pump_energy_j,
+            r.hotspot_percent_avg,
+            r.hotspot_percent_any,
+            r.degradation_percent,
+            r.mean_flow_ml_min,
+        )
+        for key, r in results
+    ]
+
+
+def test_shared_serial_matches_plain():
+    jobs = _jobs()
+    assert _flat(run_simulations_shared(jobs)) == _flat(
+        run_simulations(jobs)
+    )
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_shared_pool_matches_plain(start_method):
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {start_method!r} unavailable here")
+    jobs = _jobs()
+    expected = _flat(run_simulations(jobs))
+    got = _flat(
+        run_simulations_shared(
+            jobs, processes=2, start_method=start_method
+        )
+    )
+    assert got == expected
+
+
+def test_payload_dedupes_and_refs_stay_tiny():
+    jobs = _jobs()
+    payload, refs = _build_shared_payload(jobs)
+    # Both jobs share one stack, one policy and one kwargs dict; only
+    # the traces differ.
+    assert len(payload.stacks) == 1
+    assert len(payload.policies) == 1
+    assert len(payload.traces) == 2
+    assert len(payload.kwargs) == 1
+    assert len(refs) == len(jobs)
+    # The per-job pickle shrinks from the whole design space to four
+    # indices — that is the fan-out serialisation saving.
+    job_bytes = len(pickle.dumps(jobs[0]))
+    ref_bytes = len(pickle.dumps(refs[0]))
+    assert ref_bytes * 10 < job_bytes
+
+
+def test_worker_reuses_cached_model_across_jobs():
+    jobs = _jobs()
+    payload, refs = _build_shared_payload(jobs)
+    _install_shared_payload(payload)
+    try:
+        first = _resolve_shared_simulator(refs[0])
+        second = _resolve_shared_simulator(refs[1])
+        # Same stack and grid: the assembled thermal model is shared.
+        assert second.model is first.model
+    finally:
+        _clear_shared_payload()
+
+
+def test_resolve_outside_pool_is_an_error():
+    _clear_shared_payload()
+    payload, refs = _build_shared_payload(_jobs())
+    with pytest.raises(RuntimeError):
+        _resolve_shared_simulator(refs[0])

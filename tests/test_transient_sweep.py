@@ -1,0 +1,107 @@
+"""TransientSweep: batched multi-trace stepping, bitwise vs sequential."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TransientSweep
+from repro.geometry import build_3d_mpsoc
+from repro.thermal import CompactThermalModel, TransientStepper
+from repro.thermal.diagnostics import ThermalInputError
+
+
+def _traces(model, n_traces, steps, seed=11):
+    rng = np.random.default_rng(seed)
+    n_blocks = len(model.block_order)
+    return [
+        rng.uniform(0.2, 4.0, (steps, n_blocks)) for _ in range(n_traces)
+    ]
+
+
+def _sequential(model, dt, initials, traces):
+    """Reference: each trace through its own direct stepper."""
+    finals = []
+    peaks = np.empty((traces[0].shape[0], len(traces)))
+    for column, (initial, trace) in enumerate(zip(initials, traces)):
+        stepper = TransientStepper(model, dt, initial, solver="direct")
+        for step, row in enumerate(trace):
+            stepper.step_packed(row)
+            peaks[step, column] = stepper.state.values.max()
+        finals.append(stepper.state)
+    return finals, peaks
+
+
+def test_batched_bitwise_equals_sequential():
+    model = CompactThermalModel(build_3d_mpsoc(2), nx=12, ny=10)
+    traces = _traces(model, 5, 8)
+    initial = model.steady_state({ref: 1.5 for ref in model.block_order})
+    result = TransientSweep(model, 0.1).run(traces, initial)
+    finals, peaks = _sequential(model, 0.1, [initial] * 5, traces)
+    assert result.steps == 8
+    assert result.peak_k.shape == (8, 5)
+    for column, reference in enumerate(finals):
+        assert np.array_equal(
+            result.fields[column].values, reference.values
+        )
+        assert result.fields[column].time == reference.time
+    assert np.array_equal(result.peak_k, peaks)
+
+
+def test_per_trace_initial_fields():
+    model = CompactThermalModel(build_3d_mpsoc(2), nx=12, ny=10)
+    traces = _traces(model, 2, 4, seed=3)
+    initials = [
+        model.steady_state({ref: 1.0 for ref in model.block_order}),
+        model.steady_state({ref: 3.0 for ref in model.block_order}),
+    ]
+    result = TransientSweep(model, 0.1).run(traces, initials)
+    finals, _ = _sequential(model, 0.1, initials, traces)
+    for column, reference in enumerate(finals):
+        assert np.array_equal(
+            result.fields[column].values, reference.values
+        )
+
+
+def test_one_factorisation_serves_all_traces():
+    model = CompactThermalModel(build_3d_mpsoc(2), nx=12, ny=10)
+    sweep = TransientSweep(model, 0.1)
+    initial = model.steady_state({ref: 1.0 for ref in model.block_order})
+    sweep.run(_traces(model, 6, 4), initial)
+    info = sweep.cache_info()
+    # Four steps over six traces: one factorisation, three cache hits.
+    assert info.misses == 1
+    assert info.hits == 3
+
+
+def test_shape_and_count_validation():
+    model = CompactThermalModel(build_3d_mpsoc(2), nx=12, ny=10)
+    sweep = TransientSweep(model, 0.1)
+    initial = model.steady_state({ref: 1.0 for ref in model.block_order})
+    n_blocks = len(model.block_order)
+    with pytest.raises(ValueError):
+        sweep.run([], initial)
+    with pytest.raises(ValueError):
+        sweep.run(
+            [np.ones((4, n_blocks)), np.ones((3, n_blocks))], initial
+        )
+    with pytest.raises(ValueError):
+        sweep.run([np.ones((4, n_blocks + 1))], initial)
+    with pytest.raises(ValueError):
+        # Two initial fields for three traces.
+        sweep.run(
+            [np.ones((2, n_blocks))] * 3, [initial, initial]
+        )
+
+
+def test_guard_rejects_bad_power_traces():
+    model = CompactThermalModel(build_3d_mpsoc(2), nx=12, ny=10)
+    sweep = TransientSweep(model, 0.1)
+    initial = model.steady_state({ref: 1.0 for ref in model.block_order})
+    n_blocks = len(model.block_order)
+    bad = np.ones((3, n_blocks))
+    bad[1, 0] = np.nan
+    with pytest.raises(ThermalInputError):
+        sweep.run([bad], initial)
+    negative = np.ones((3, n_blocks))
+    negative[2, 1] = -0.5
+    with pytest.raises(ThermalInputError):
+        sweep.run([negative], initial)
