@@ -2,39 +2,65 @@
 liquid cooling does not (Sections I, II-C, IV-A).
 
 Runs the max-utilisation workload on the 2- and 4-tier stacks with both
-cooling technologies, then reproduces the Section II-C scaling study by
-sweeping steady-state peak temperature against tier count at constant
-per-tier power.
+cooling technologies — each combination one declarative
+:class:`repro.scenario.Scenario` — then reproduces the Section II-C
+scaling study by sweeping steady-state peak temperature against tier
+count at constant per-tier power.
 
 Run with:  python examples/four_tier_scaling.py
+Set REPRO_EXAMPLE_QUICK=1 for a coarse-grid smoke run (used by CI).
 """
 
-from repro import SystemSimulator, build_3d_mpsoc
-from repro.analysis import Table
-from repro.core import AirLoadBalancing, LiquidLoadBalancing
-from repro.geometry import CoolingMode
+import os
+
+from repro.analysis import Table, run_simulations
+from repro.scenario import (
+    ControlSpec,
+    PolicySpec,
+    Scenario,
+    SolverSpec,
+    StackSpec,
+    WorkloadSpec,
+    build_stack,
+)
 from repro.thermal import CompactThermalModel
-from repro.workload import max_utilisation_trace
+
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+DURATION = 4 if QUICK else 60
+SOLVER = SolverSpec(nx=12, ny=10) if QUICK else SolverSpec()
 
 
 def closed_loop_comparison() -> None:
+    scenarios = []
+    for tiers in (2, 4):
+        for policy_name in ("AC_LB", "LC_LB"):
+            policy = PolicySpec(name=policy_name)
+            scenarios.append(
+                Scenario(
+                    stack=StackSpec(tiers=tiers, cooling=policy.cooling),
+                    workload=WorkloadSpec(
+                        source="generator",
+                        name="max-utilisation",
+                        duration=DURATION,
+                    ),
+                    policy=policy,
+                    solver=SOLVER,
+                    control=ControlSpec(),
+                    label=f"{tiers}-tier/{policy.cooling}",
+                )
+            )
     table = Table(
-        "2 vs 4 tiers under the max-utilisation workload (60 s)",
+        f"2 vs 4 tiers under the max-utilisation workload ({DURATION} s)",
         ["Stack", "Cooling", "Peak [degC]", "Hot-spot time [%]", "System [kJ]"],
     )
-    for tiers in (2, 4):
-        threads = 32 * (tiers // 2)
-        trace = max_utilisation_trace(threads=threads, duration=60)
-        for policy in (AirLoadBalancing(), LiquidLoadBalancing()):
-            stack = build_3d_mpsoc(tiers, policy.cooling)
-            result = SystemSimulator(stack, policy, trace).run()
-            table.add_row(
-                f"{tiers}-tier",
-                policy.cooling.value,
-                f"{result.peak_temperature_c:.1f}",
-                f"{result.hotspot_percent_any:.1f}",
-                f"{result.total_energy_j / 1e3:.2f}",
-            )
+    for scenario, (_, result) in zip(scenarios, run_simulations(scenarios)):
+        table.add_row(
+            f"{scenario.stack.tiers}-tier",
+            scenario.stack.cooling,
+            f"{result.peak_temperature_c:.1f}",
+            f"{result.hotspot_percent_any:.1f}",
+            f"{result.total_energy_j / 1e3:.2f}",
+        )
     print(table)
     print(
         "-> the 4-tier air-cooled stack is thermally unmanageable "
@@ -51,19 +77,19 @@ def steady_state_scaling() -> None:
     )
     for tiers in (2, 4):
         peaks = {}
-        for mode in (CoolingMode.AIR, CoolingMode.LIQUID):
-            stack = build_3d_mpsoc(tiers, mode)
-            model = CompactThermalModel(stack)
+        for cooling in ("air", "liquid"):
+            stack = build_stack(StackSpec(tiers=tiers, cooling=cooling))
+            model = CompactThermalModel(stack, nx=SOLVER.nx, ny=SOLVER.ny)
             powers = {
                 (layer.name, block.name): 5.0
                 for layer, block in stack.iter_blocks()
                 if block.kind == "core"
             }
-            peaks[mode] = model.steady_state(powers).max() - 273.15
+            peaks[cooling] = model.steady_state(powers).max() - 273.15
         table.add_row(
             tiers,
-            f"{peaks[CoolingMode.AIR]:.1f}",
-            f"{peaks[CoolingMode.LIQUID]:.1f}",
+            f"{peaks['air']:.1f}",
+            f"{peaks['liquid']:.1f}",
         )
     print(table)
     print(

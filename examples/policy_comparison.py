@@ -2,26 +2,59 @@
 
 Reproduces the Fig. 6/7 comparison in miniature: AC_LB, AC_TDVFS_LB,
 LC_LB and LC_FUZZY on the 2-tier stack, one workload, with hot-spot
-statistics, energy, degradation and peak temperature per policy.
+statistics, energy, degradation and peak temperature per policy.  Each
+run is one declarative :class:`repro.scenario.Scenario`, and the four
+scenarios go through the sweep fan-out in one call.
 
 Run with:  python examples/policy_comparison.py [workload]
 where workload is one of: web, database, multimedia, max-utilisation
 (default: max-utilisation, the most stressful).
+Set REPRO_EXAMPLE_QUICK=1 for a coarse-grid smoke run (used by CI).
 """
 
+import os
 import sys
 
-from repro import SystemSimulator, build_3d_mpsoc, paper_policies
-from repro.analysis import Table
-from repro.workload import paper_workload_suite
+from repro.analysis import Table, run_simulations
+from repro.scenario import (
+    ControlSpec,
+    PolicySpec,
+    Scenario,
+    ScenarioError,
+    SolverSpec,
+    StackSpec,
+    WorkloadSpec,
+)
+
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+DURATION = 4 if QUICK else 60
+POLICIES = ("AC_LB", "AC_TDVFS_LB", "LC_LB", "LC_FUZZY")
+
+
+def build_scenarios(workload: str):
+    solver = SolverSpec(nx=12, ny=10) if QUICK else SolverSpec()
+    scenarios = []
+    for name in POLICIES:
+        policy = PolicySpec(name=name)
+        scenarios.append(
+            Scenario(
+                stack=StackSpec(tiers=2, cooling=policy.cooling),
+                workload=WorkloadSpec(name=workload, duration=DURATION),
+                policy=policy,
+                solver=solver,
+                control=ControlSpec(),
+                label=name,
+            )
+        )
+    return scenarios
 
 
 def main(workload: str = "max-utilisation") -> None:
-    suite = paper_workload_suite(threads=32, duration=60)
-    if workload not in suite:
-        raise SystemExit(f"unknown workload {workload!r}; pick from {sorted(suite)}")
-    trace = suite[workload]
-    print(f"Workload: {trace} (60 s, 32 hardware threads)")
+    try:
+        scenarios = build_scenarios(workload)
+    except ScenarioError as error:
+        raise SystemExit(str(error))
+    print(f"Workload: '{workload}' ({DURATION} s, 32 hardware threads)")
     print()
 
     table = Table(
@@ -36,11 +69,9 @@ def main(workload: str = "max-utilisation") -> None:
             "Delay [%]",
         ],
     )
-    results = {}
-    for policy in paper_policies():
-        stack = build_3d_mpsoc(2, policy.cooling)
-        result = SystemSimulator(stack, policy, trace).run()
-        results[policy.name] = result
+    results = dict(run_simulations(scenarios))
+    for name in POLICIES:
+        result = results[name]
         table.add_row(
             result.policy,
             f"{result.peak_temperature_c:.1f}",

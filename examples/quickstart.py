@@ -1,29 +1,61 @@
 """Quickstart: simulate the paper's 2-tier 3D MPSoC under fuzzy control.
 
-Builds the UltraSPARC-T1-based 2-tier stack with inter-tier water
-cooling, runs the LC_FUZZY controller on a synthetic database workload,
-and prints the headline outcome: peak temperature, energy split, and
-how the controller modulated the coolant flow.
+Declares the experiment as a :class:`repro.scenario.Scenario` — the
+UltraSPARC-T1-based 2-tier stack with inter-tier water cooling, the
+LC_FUZZY controller, a synthetic database workload — runs it through
+the scenario Runner, and prints the headline outcome: peak temperature,
+energy split, and how the controller modulated the coolant flow.
+
+The same experiment as JSON lives in ``examples/specs/`` and runs with
+``python -m repro run examples/specs/two_tier_fuzzy.json``.
 
 Run with:  python examples/quickstart.py
+Set REPRO_EXAMPLE_QUICK=1 for a coarse-grid smoke run (used by CI).
 """
 
-from repro import SystemSimulator, LiquidFuzzy, build_3d_mpsoc
-from repro.workload import database_trace
+import os
+
+from repro.scenario import (
+    ControlSpec,
+    PolicySpec,
+    Scenario,
+    SolverSpec,
+    StackSpec,
+    WorkloadSpec,
+    run_scenario,
+)
+
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+DURATION = 6 if QUICK else 60
+
+
+def build_scenario() -> Scenario:
+    return Scenario(
+        stack=StackSpec(tiers=2, cooling="liquid"),
+        workload=WorkloadSpec(
+            source="generator",
+            name="database",
+            threads=32,
+            duration=DURATION,
+            seed=2,
+        ),
+        policy=PolicySpec(name="LC_FUZZY"),
+        solver=SolverSpec(nx=12, ny=10) if QUICK else SolverSpec(),
+        control=ControlSpec(),
+        record_series=True,
+        label="quickstart: 2-tier LC_FUZZY on database",
+    )
 
 
 def main() -> None:
-    stack = build_3d_mpsoc(tiers=2)
-    trace = database_trace(threads=32, duration=60, seed=2)
-    policy = LiquidFuzzy()
+    scenario = build_scenario()
+    print(f"Scenario: {scenario.label} [{scenario.content_hash()[:12]}]")
+    print(f"Workload: {scenario.workload.name} ({DURATION} s, "
+          f"{scenario.workload.threads} hardware threads)")
+    print(f"Policy:   {scenario.policy.name}")
+    print(f"Simulating {DURATION} s with a 100 ms control period ...")
 
-    print(f"Stack:    {stack}")
-    print(f"Workload: {trace}")
-    print(f"Policy:   {policy.name}")
-    print("Simulating 60 s with a 100 ms control period ...")
-
-    simulator = SystemSimulator(stack, policy, trace, record_series=True)
-    result = simulator.run()
+    result = run_scenario(scenario)
 
     print()
     print(f"Peak temperature: {result.peak_temperature_c:6.1f} degC "
@@ -38,8 +70,9 @@ def main() -> None:
 
     flows = result.series["flow_ml_min"]
     temps = result.series["max_temperature_c"]
+    bin_s = DURATION // 6
     print()
-    print("Flow-rate trajectory (10 s bins):")
+    print(f"Flow-rate trajectory ({bin_s} s bins):")
     bin_size = len(flows) // 6
     for i in range(6):
         lo = i * bin_size
@@ -47,7 +80,7 @@ def main() -> None:
         t_chunk = temps[lo : lo + bin_size]
         bar = "#" * int(round(chunk.mean() - 9))
         print(
-            f"  {i * 10:3d}-{(i + 1) * 10:3d} s  "
+            f"  {i * bin_s:3d}-{(i + 1) * bin_s:3d} s  "
             f"{chunk.mean():5.1f} ml/min  Tmax {t_chunk.max():5.1f} C  {bar}"
         )
 

@@ -7,15 +7,24 @@ thermal modelling of 3D stacks with micro-channel liquid cooling
 run-time fuzzy flow-rate + DVFS management policies of the CMOSAIC
 project.
 
-Quickstart::
+Quickstart (declarative)::
+
+    from repro import Scenario, run_scenario
+
+    scenario = Scenario.load("examples/specs/two_tier_fuzzy.json")
+    result = run_scenario(scenario)
+    print(result.peak_temperature_c, result.total_energy_j)
+
+or hand-wired::
 
     from repro import build_3d_mpsoc, SystemSimulator, LiquidFuzzy
     from repro.workload import database_trace
 
     stack = build_3d_mpsoc(tiers=2)
     result = SystemSimulator(stack, LiquidFuzzy(), database_trace()).run()
-    print(result.peak_temperature_c, result.total_energy_j)
 """
+
+__version__ = "1.0.0"
 
 from .geometry import build_3d_mpsoc, CoolingMode, StackDesign
 from .thermal import CompactThermalModel, TransientStepper, TemperatureSensors
@@ -31,8 +40,7 @@ from .core import (
     LiquidFuzzy,
     paper_policies,
 )
-
-__version__ = "1.0.0"
+from .scenario import ResultCache, Runner, Scenario, run_scenario
 
 __all__ = [
     "build_3d_mpsoc",
@@ -53,5 +61,9 @@ __all__ = [
     "LiquidLoadBalancing",
     "LiquidFuzzy",
     "paper_policies",
+    "ResultCache",
+    "Runner",
+    "Scenario",
+    "run_scenario",
     "__version__",
 ]

@@ -20,7 +20,13 @@ Three layers, from cheapest to heaviest:
   :class:`~repro.core.simulator.SystemSimulator` runs as picklable
   jobs, fanned out with the same helper.  Every (stack, policy,
   workload) combination is independent, which is what makes the
-  benchmark grids embarrassingly parallel.
+  benchmark grids embarrassingly parallel.  A job is either a bundle
+  of live objects (legacy) or a declarative
+  :class:`~repro.scenario.Scenario` — every fan-out below accepts
+  scenarios (or bare :class:`Scenario` instances) directly, and
+  scenario-backed jobs can be served from the hash-keyed on-disk
+  result cache (``cache_dir=...``) so repeated sweep points are never
+  recomputed.
 
 Process pools pay a fork + pickle cost per job, so they only win when
 each job runs for seconds (closed-loop simulations, fine-grid steady
@@ -48,6 +54,7 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 from typing import (
     Callable,
@@ -59,6 +66,7 @@ from typing import (
     Sequence,
     Tuple,
     TypeVar,
+    Union,
 )
 
 import numpy as np
@@ -72,6 +80,9 @@ from ..core.simulator import (
     SystemSimulator,
 )
 from ..geometry.stack import StackDesign
+from ..scenario.cache import ResultCache
+from ..scenario.runner import Runner, build_model, build_simulator
+from ..scenario.spec import Scenario
 from ..thermal.diagnostics import (
     SolverGuard,
     validate_finite_array,
@@ -395,39 +406,114 @@ def fan_out(
 
 @dataclass
 class SimulationJob:
-    """One picklable closed-loop simulation: (stack, policy, trace).
+    """One picklable closed-loop simulation.
+
+    The single job type behind every fan-out below, in one of two
+    construction modes:
+
+    * **scenario-backed** (preferred): ``scenario`` holds a declarative
+      :class:`~repro.scenario.Scenario`; the stack, policy, trace,
+      thermal model and fault set are built fresh in the worker and the
+      run can be served from the hash-keyed result cache.
+    * **legacy objects**: ``stack``/``policy``/``trace`` carry live
+      instances and ``kwargs`` are forwarded to
+      :class:`SystemSimulator` (grid resolution, control period, ...).
 
     ``key`` is an opaque caller label carried through to make result
-    bookkeeping trivial after a fan-out; ``kwargs`` are forwarded to
-    :class:`SystemSimulator` (grid resolution, control period, ...).
+    bookkeeping trivial after a fan-out; scenario-backed jobs default
+    it to the scenario's ``label``.
     """
 
-    stack: StackDesign
-    policy: Policy
-    trace: WorkloadTrace
+    stack: Optional[StackDesign] = None
+    policy: Optional[Policy] = None
+    trace: Optional[WorkloadTrace] = None
     key: object = None
     kwargs: Dict[str, object] = field(default_factory=dict)
+    scenario: Optional[Scenario] = None
 
-    def run(self) -> SimulationResult:
+    def __post_init__(self) -> None:
+        if self.scenario is not None:
+            if (
+                self.stack is not None
+                or self.policy is not None
+                or self.trace is not None
+                or self.kwargs
+            ):
+                raise ValueError(
+                    "a scenario-backed job must not also carry live "
+                    "stack/policy/trace objects or kwargs — put the "
+                    "configuration into the Scenario"
+                )
+            if self.key is None:
+                self.key = self.scenario.label
+        elif self.stack is None or self.policy is None or self.trace is None:
+            raise ValueError(
+                "a job needs either a Scenario or all three of "
+                "stack, policy and trace"
+            )
+
+    @classmethod
+    def from_scenario(
+        cls, scenario: Scenario, key: object = None
+    ) -> "SimulationJob":
+        """A job for one declarative scenario (``key`` defaults to its
+        label)."""
+        return cls(scenario=scenario, key=key)
+
+    def run(
+        self, cache: Optional[ResultCache] = None
+    ) -> SimulationResult:
+        """Execute the job (scenario jobs may hit the result cache)."""
+        if self.scenario is not None:
+            return Runner(self.scenario, cache=cache).run()
         simulator = SystemSimulator(
             self.stack, self.policy, self.trace, **self.kwargs
         )
         return simulator.run()
 
 
-def _run_simulation_job(job: SimulationJob) -> SimulationResult:
-    return job.run()
+JobLike = Union[SimulationJob, Scenario]
+
+
+def _coerce_jobs(jobs: Sequence[JobLike]) -> List[SimulationJob]:
+    """Accept bare scenarios anywhere a job sequence is expected."""
+    return [
+        SimulationJob.from_scenario(job)
+        if isinstance(job, Scenario)
+        else job
+        for job in jobs
+    ]
+
+
+def _run_simulation_job(
+    job: SimulationJob, cache_dir: Optional[str] = None
+) -> SimulationResult:
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return job.run(cache=cache)
 
 
 def run_simulations(
-    jobs: Sequence[SimulationJob],
+    jobs: Sequence[JobLike],
     processes: Optional[int] = None,
+    *,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> List[Tuple[object, SimulationResult]]:
     """Run independent simulations, optionally across processes.
 
+    ``jobs`` may mix :class:`SimulationJob` instances and bare
+    :class:`~repro.scenario.Scenario` specs.  With ``cache_dir`` set,
+    scenario-backed jobs are served from (and written to) the on-disk
+    result cache keyed by scenario content hash + code version, so a
+    repeated sweep point costs a pickle load instead of a solve.
+
     Returns ``(job.key, result)`` pairs in job order.
     """
-    results = fan_out(_run_simulation_job, jobs, processes)
+    jobs = _coerce_jobs(jobs)
+    runner = partial(
+        _run_simulation_job,
+        cache_dir=None if cache_dir is None else str(cache_dir),
+    )
+    results = fan_out(runner, jobs, processes)
     return [(job.key, result) for job, result in zip(jobs, results)]
 
 
@@ -451,16 +537,24 @@ class SharedSweepPayload:
     policies: List[Policy]
     traces: List[WorkloadTrace]
     kwargs: List[Dict[str, object]]
+    scenarios: List[Scenario] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
 class SharedJobRef:
-    """Tiny picklable handle of one simulation job: payload indices."""
+    """Tiny picklable handle of one simulation job.
 
-    stack: int
-    policy: int
-    trace: int
-    kwargs: int
+    Either payload indices into stacks/policies/traces/kwargs (legacy
+    object jobs) or a ``scenario`` index; ``model_key`` names the
+    worker-side thermal-model cache entry the job may reuse.
+    """
+
+    stack: int = -1
+    policy: int = -1
+    trace: int = -1
+    kwargs: int = -1
+    scenario: Optional[int] = None
+    model_key: str = ""
 
 
 # Worker-side shared state.  On fork platforms the parent installs the
@@ -471,7 +565,7 @@ class SharedJobRef:
 # ``multiprocessing.shared_memory`` segment; models are then assembled
 # once per worker and cached across that worker's jobs.
 _shared_payload: Optional[SharedSweepPayload] = None
-_shared_models: Dict[Tuple[int, int, int], CompactThermalModel] = {}
+_shared_models: Dict[str, CompactThermalModel] = {}
 
 
 def _install_shared_payload(payload: SharedSweepPayload) -> None:
@@ -499,14 +593,6 @@ def _install_payload_from_shm(name: str) -> None:
     _install_shared_payload(payload)
 
 
-def _model_key(ref: SharedJobRef, kwargs: Mapping) -> Tuple[int, int, int]:
-    return (
-        ref.stack,
-        int(kwargs.get("nx", DEFAULT_NX)),
-        int(kwargs.get("ny", DEFAULT_NY)),
-    )
-
-
 def _resolve_shared_simulator(ref: SharedJobRef) -> SystemSimulator:
     """Build one job's simulator from the shared payload + model cache."""
     payload = _shared_payload
@@ -515,25 +601,46 @@ def _resolve_shared_simulator(ref: SharedJobRef) -> SystemSimulator:
             "no shared sweep payload installed in this process; "
             "use run_simulations_shared()"
         )
-    kwargs = dict(payload.kwargs[ref.kwargs])
-    key = _model_key(ref, kwargs)
+    key = ref.model_key
     model = _shared_models.get(key)
     if model is not None:
         # Back to the fresh-construction flow state; warm factor caches
         # stay valid because they are keyed by flow signature.
         model.set_flow(constants.FLOW_RATE_MAX_ML_MIN)
-    simulator = SystemSimulator(
-        payload.stacks[ref.stack],
-        payload.policies[ref.policy],
-        payload.traces[ref.trace],
-        model=model,
-        **kwargs,
-    )
+    if ref.scenario is not None:
+        simulator = build_simulator(
+            payload.scenarios[ref.scenario], model=model
+        )
+    else:
+        simulator = SystemSimulator(
+            payload.stacks[ref.stack],
+            payload.policies[ref.policy],
+            payload.traces[ref.trace],
+            model=model,
+            **dict(payload.kwargs[ref.kwargs]),
+        )
     _shared_models[key] = simulator.model
     return simulator
 
 
-def _run_shared_job(ref: SharedJobRef) -> SimulationResult:
+def _run_shared_job(
+    ref: SharedJobRef, cache_dir: Optional[str] = None
+) -> SimulationResult:
+    if ref.scenario is not None and cache_dir is not None:
+        payload = _shared_payload
+        if payload is None:
+            raise RuntimeError(
+                "no shared sweep payload installed in this process; "
+                "use run_simulations_shared()"
+            )
+        scenario = payload.scenarios[ref.scenario]
+        cache = ResultCache(cache_dir)
+        cached = cache.get(scenario)
+        if cached is not None:
+            return cached
+        result = _resolve_shared_simulator(ref).run()
+        cache.put(scenario, result)
+        return result
     return _resolve_shared_simulator(ref).run()
 
 
@@ -557,8 +664,23 @@ def _build_shared_payload(
     seen_policies: Dict[int, int] = {}
     seen_traces: Dict[int, int] = {}
     seen_kwargs: Dict[object, int] = {}
+    seen_scenarios: Dict[str, int] = {}
     refs: List[SharedJobRef] = []
     for job in jobs:
+        if job.scenario is not None:
+            content = job.scenario.content_hash()
+            scenario_index = seen_scenarios.get(content)
+            if scenario_index is None:
+                scenario_index = len(payload.scenarios)
+                seen_scenarios[content] = scenario_index
+                payload.scenarios.append(job.scenario)
+            refs.append(
+                SharedJobRef(
+                    scenario=scenario_index,
+                    model_key=job.scenario.model_hash(),
+                )
+            )
+            continue
         try:
             kwargs_key: object = tuple(sorted(job.kwargs.items()))
         except TypeError:
@@ -568,12 +690,16 @@ def _build_shared_payload(
             kwargs_index = len(payload.kwargs)
             seen_kwargs[kwargs_key] = kwargs_index
             payload.kwargs.append(dict(job.kwargs))
+        stack_index = intern(seen_stacks, payload.stacks, job.stack)
+        nx = int(job.kwargs.get("nx", DEFAULT_NX))
+        ny = int(job.kwargs.get("ny", DEFAULT_NY))
         refs.append(
             SharedJobRef(
-                stack=intern(seen_stacks, payload.stacks, job.stack),
+                stack=stack_index,
                 policy=intern(seen_policies, payload.policies, job.policy),
                 trace=intern(seen_traces, payload.traces, job.trace),
                 kwargs=kwargs_index,
+                model_key=f"stack{stack_index}:{nx}x{ny}",
             )
         )
     return payload, refs
@@ -589,23 +715,29 @@ def _prewarm_shared_models(
     copy-on-write pages instead of re-assembling per worker.
     """
     for ref in refs:
-        kwargs = payload.kwargs[ref.kwargs]
-        key = _model_key(ref, kwargs)
-        if key in _shared_models:
+        if ref.model_key in _shared_models:
             continue
-        model = CompactThermalModel(
-            payload.stacks[ref.stack], nx=key[1], ny=key[2]
-        )
+        if ref.scenario is not None:
+            model = build_model(payload.scenarios[ref.scenario])
+        else:
+            kwargs = payload.kwargs[ref.kwargs]
+            model = CompactThermalModel(
+                payload.stacks[ref.stack],
+                nx=int(kwargs.get("nx", DEFAULT_NX)),
+                ny=int(kwargs.get("ny", DEFAULT_NY)),
+            )
         model.injection_operator()
-        model.steady_factor(None)
-        _shared_models[key] = model
+        if model.steady_backend() == "direct":
+            model.steady_factor(None)
+        _shared_models[ref.model_key] = model
 
 
 def run_simulations_shared(
-    jobs: Sequence[SimulationJob],
+    jobs: Sequence[JobLike],
     processes: Optional[int] = None,
     *,
     start_method: Optional[str] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> List[Tuple[object, SimulationResult]]:
     """:func:`run_simulations` without the per-job serialisation tax.
 
@@ -627,20 +759,29 @@ def run_simulations_shared(
     Parameters
     ----------
     jobs:
-        The simulation jobs (same objects as :func:`run_simulations`).
+        The simulation jobs (same objects as :func:`run_simulations`;
+        bare :class:`~repro.scenario.Scenario` specs are accepted too).
     processes:
         ``None``, 0 or 1 run serially in-process (still reusing cached
         models across jobs); larger values fan out across a pool.
     start_method:
         Force ``"fork"`` or ``"spawn"`` (default: the platform's).
+    cache_dir:
+        Optional on-disk result-cache root for scenario-backed jobs
+        (see :func:`run_simulations`).
 
     Returns ``(job.key, result)`` pairs in job order.
     """
+    jobs = _coerce_jobs(jobs)
+    run_job = partial(
+        _run_shared_job,
+        cache_dir=None if cache_dir is None else str(cache_dir),
+    )
     payload, refs = _build_shared_payload(jobs)
     if processes is None or processes <= 1:
         _install_shared_payload(payload)
         try:
-            results = [_run_shared_job(ref) for ref in refs]
+            results = [run_job(ref) for ref in refs]
         finally:
             _clear_shared_payload()
         return [(job.key, result) for job, result in zip(jobs, results)]
@@ -653,7 +794,7 @@ def run_simulations_shared(
             with ProcessPoolExecutor(
                 max_workers=processes, mp_context=context
             ) as pool:
-                results = list(pool.map(_run_shared_job, refs))
+                results = list(pool.map(run_job, refs))
         finally:
             _clear_shared_payload()
     else:
@@ -672,7 +813,7 @@ def run_simulations_shared(
                 initializer=_install_payload_from_shm,
                 initargs=(segment.name,),
             ) as pool:
-                results = list(pool.map(_run_shared_job, refs))
+                results = list(pool.map(run_job, refs))
         finally:
             segment.close()
             try:
@@ -1040,7 +1181,7 @@ def resilient_fan_out(
 
 
 def run_simulations_resilient(
-    jobs: Sequence[SimulationJob],
+    jobs: Sequence[JobLike],
     processes: Optional[int] = None,
     *,
     timeout_s: Optional[float] = None,
@@ -1048,6 +1189,7 @@ def run_simulations_resilient(
     backoff_s: float = 0.0,
     checkpoint_path: Optional[Path] = None,
     checkpoint_every: int = 8,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> SweepOutcome:
     """Resilient :func:`run_simulations`: partial results, not aborts.
 
@@ -1057,9 +1199,15 @@ def run_simulations_resilient(
     jobs that completed and whose ``failures`` carry a structured
     :class:`JobFailure` per job that could not be salvaged.  See
     :func:`resilient_fan_out` for the retry/timeout/crash semantics.
+    Scenario-backed jobs honour ``cache_dir`` exactly as in
+    :func:`run_simulations`.
     """
+    jobs = _coerce_jobs(jobs)
     return resilient_fan_out(
-        _run_simulation_job,
+        partial(
+            _run_simulation_job,
+            cache_dir=None if cache_dir is None else str(cache_dir),
+        ),
         jobs,
         processes,
         keys=[job.key for job in jobs],

@@ -3,10 +3,19 @@
 A thin front-end over the library for users who want results without
 writing Python::
 
+    python -m repro run examples/specs/two_tier_fuzzy.json
     python -m repro simulate --tiers 2 --policy LC_FUZZY --workload web
+    python -m repro export-scenario --policy LC_LB --out spec.json
     python -m repro fig8
     python -m repro claims
     python -m repro traces --out traces/ --duration 300
+
+Every simulation command is a thin builder over the declarative
+:class:`~repro.scenario.Scenario` layer: ``simulate`` and ``faults``
+assemble a scenario from their flags and hand it to the
+:class:`~repro.scenario.Runner`, ``export-scenario`` prints that
+scenario as JSON, and ``run`` executes a JSON spec directly (optionally
+through the hash-keyed on-disk result cache).
 
 The full experiment harness (every table and figure with paper-band
 assertions) lives in ``benchmarks/`` and runs under
@@ -21,38 +30,28 @@ from pathlib import Path
 from typing import List, Optional
 
 from .analysis import PAPER_CLAIMS, Table
-from .core import SystemSimulator, paper_policies
-from .geometry import build_3d_mpsoc
+from .core.simulator import SimulationResult
+from .scenario import (
+    ControlSpec,
+    PolicySpec,
+    ResultCache,
+    Runner,
+    Scenario,
+    ScenarioError,
+    SolverSpec,
+    StackSpec,
+    WorkloadSpec,
+    run_scenario,
+)
 from .twophase import HotSpotTestVehicle
 from .workload import paper_workload_suite, save_trace_csv
 
 POLICY_NAMES = ("AC_LB", "AC_TDVFS_LB", "LC_LB", "LC_FUZZY")
 
 
-def _policy_by_name(name: str):
-    for policy in paper_policies():
-        if policy.name == name:
-            return policy
-    raise SystemExit(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
-
-
-def cmd_simulate(args: argparse.Namespace) -> int:
-    """Run one closed-loop simulation and print its summary."""
-    policy = _policy_by_name(args.policy)
-    threads = 32 * (args.tiers // 2)
-    suite = paper_workload_suite(threads=threads, duration=args.duration)
-    if args.workload not in suite:
-        raise SystemExit(
-            f"unknown workload {args.workload!r}; choose from {sorted(suite)}"
-        )
-    stack = build_3d_mpsoc(args.tiers, policy.cooling)
-    result = SystemSimulator(stack, policy, suite[args.workload]).run()
-
-    table = Table(
-        f"{args.tiers}-tier {policy.name} on '{args.workload}' "
-        f"({args.duration} s)",
-        ["Metric", "Value"],
-    )
+def _result_table(title: str, result: SimulationResult) -> Table:
+    """The standard single-run summary table."""
+    table = Table(title, ["Metric", "Value"])
     table.add_row("peak temperature [degC]", f"{result.peak_temperature_c:.1f}")
     table.add_row("hot-spot time (any core) [%]", f"{result.hotspot_percent_any:.1f}")
     table.add_row("chip energy [kJ]", f"{result.chip_energy_j / 1e3:.2f}")
@@ -60,7 +59,66 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     table.add_row("system energy [kJ]", f"{result.total_energy_j / 1e3:.2f}")
     table.add_row("mean flow [ml/min]", f"{result.mean_flow_ml_min:.1f}")
     table.add_row("performance degradation [%]", f"{result.degradation_percent:.3f}")
-    print(table)
+    return table
+
+
+def _simulate_scenario(args: argparse.Namespace) -> Scenario:
+    """The scenario the ``simulate``/``export-scenario`` flags describe."""
+    policy = PolicySpec(name=args.policy)
+    try:
+        return Scenario(
+            stack=StackSpec(tiers=args.tiers, cooling=policy.cooling),
+            workload=WorkloadSpec(
+                name=args.workload, duration=args.duration
+            ),
+            policy=policy,
+            solver=SolverSpec(),
+            control=ControlSpec(),
+            label=f"{args.tiers}-tier {args.policy} on '{args.workload}'",
+        )
+    except ScenarioError as error:
+        raise SystemExit(str(error)) from error
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one closed-loop simulation and print its summary."""
+    scenario = _simulate_scenario(args)
+    result = run_scenario(scenario)
+    print(
+        _result_table(f"{scenario.label} ({args.duration} s)", result)
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a declarative scenario spec (JSON file) end to end."""
+    path = Path(args.spec)
+    if not path.exists():
+        raise SystemExit(f"no such scenario spec: {path}")
+    try:
+        scenario = Scenario.load(path)
+    except ScenarioError as error:
+        raise SystemExit(f"invalid scenario spec {path}: {error}") from error
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir)
+    result = Runner(scenario, cache=cache).run()
+    title = scenario.label or path.stem
+    print(_result_table(f"{title} [{scenario.content_hash()[:12]}]", result))
+    if cache is not None:
+        source = "cache hit" if cache.hits else "computed and cached"
+        print(f"result: {source} ({cache.path(scenario)})")
+    return 0
+
+
+def cmd_export_scenario(args: argparse.Namespace) -> int:
+    """Print (or save) the scenario JSON the simulate flags describe."""
+    scenario = _simulate_scenario(args)
+    if args.out is not None:
+        scenario.save(args.out)
+        print(f"wrote {args.out} [{scenario.content_hash()[:12]}]")
+    else:
+        print(scenario.to_json(indent=2))
     return 0
 
 
@@ -122,75 +180,69 @@ def cmd_traces(args: argparse.Namespace) -> int:
 
 def cmd_faults(args: argparse.Namespace) -> int:
     """Run a fault-injection campaign and print the degradation report."""
-    from .faults import (
-        ActuatorLagFault,
-        CloggedCavityFault,
-        DeadSensorFault,
-        FaultScenario,
-        FaultSet,
-        PumpDegradationFault,
-        run_fault_campaign,
-    )
+    from .faults import FaultScenario, run_fault_campaign
+    from .scenario import FaultSpec, FlowFaultSpec, SensorFaultSpec
+    from .scenario.runner import build_stack
 
-    policy = _policy_by_name(args.policy)
-    if policy.cooling.value != "liquid":
-        raise SystemExit("fault campaigns target the liquid-cooled policies")
-    threads = 32 * (args.tiers // 2)
-    suite = paper_workload_suite(threads=threads, duration=args.duration)
-    if args.workload not in suite:
-        raise SystemExit(
-            f"unknown workload {args.workload!r}; choose from {sorted(suite)}"
+    try:
+        base = Scenario(
+            stack=StackSpec(tiers=args.tiers, cooling="liquid"),
+            workload=WorkloadSpec(
+                name=args.workload, duration=args.duration
+            ),
+            policy=PolicySpec(name=args.policy),
+            solver=SolverSpec(nx=args.nx, ny=args.ny),
+            control=ControlSpec(),
         )
-    stack = build_3d_mpsoc(args.tiers, policy.cooling)
-    dead_ref = next(
+    except ScenarioError as error:
+        raise SystemExit(str(error)) from error
+    stack = build_stack(base.stack)
+    dead_layer, dead_block = next(
         (layer.name, block.name)
         for layer, block in stack.iter_blocks()
         if block.kind == "core"
     )
     cavity = stack.cavities[0].name
     start = args.fault_start
-    pump = PumpDegradationFault(
-        remaining_fraction=1.0 - args.pump_loss, start=start
+    dead = SensorFaultSpec(
+        kind="dead", layer=dead_layer, block=dead_block, start=start
+    )
+    pump = FlowFaultSpec(
+        kind="pump-degradation",
+        remaining_fraction=1.0 - args.pump_loss,
+        start=start,
     )
     scenarios = [
+        FaultScenario("dead-sensor", FaultSpec(sensors=(dead,))),
         FaultScenario(
-            "dead-sensor",
-            FaultSet(sensor_faults={dead_ref: DeadSensorFault(start=start)}),
-        ),
-        FaultScenario(
-            f"pump-{args.pump_loss:.0%}-loss", FaultSet(flow_faults=[pump])
+            f"pump-{args.pump_loss:.0%}-loss", FaultSpec(flows=(pump,))
         ),
         FaultScenario(
             "clogged-cavity",
-            FaultSet(
-                flow_faults=[
-                    CloggedCavityFault(
-                        cavity=cavity, remaining_fraction=0.5, start=start
-                    )
-                ]
+            FaultSpec(
+                flows=(
+                    FlowFaultSpec(
+                        kind="clogged-cavity",
+                        cavity=cavity,
+                        remaining_fraction=0.5,
+                        start=start,
+                    ),
+                )
             ),
         ),
-        FaultScenario(
-            "dvfs-lag", FaultSet(actuator_lag=ActuatorLagFault(periods=5))
-        ),
+        FaultScenario("dvfs-lag", FaultSpec(actuator_lag_periods=5)),
         FaultScenario(
             "dead-sensor+pump-loss",
-            FaultSet(
-                sensor_faults={dead_ref: DeadSensorFault(start=start)},
-                flow_faults=[pump],
-            ),
+            FaultSpec(sensors=(dead,), flows=(pump,)),
         ),
     ]
     report = run_fault_campaign(
-        stack,
-        policy,
-        suite[args.workload],
-        scenarios,
+        base,
+        scenarios=scenarios,
         processes=args.processes,
         timeout_s=args.timeout,
         checkpoint_path=Path(args.checkpoint) if args.checkpoint else None,
-        nx=args.nx,
-        ny=args.ny,
+        cache_dir=args.cache_dir,
     )
     print(report.table())
     for failure in report.failures:
@@ -300,12 +352,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    run = sub.add_parser(
+        "run", help="run a declarative scenario spec (JSON file)"
+    )
+    run.add_argument("spec", help="path to a Scenario JSON file")
+    run.add_argument(
+        "--cache",
+        action="store_true",
+        help="serve/store the result via the on-disk cache "
+        "(~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="explicit result-cache directory (implies --cache)",
+    )
+    run.set_defaults(func=cmd_run)
+
     simulate = sub.add_parser("simulate", help="run one closed-loop simulation")
     simulate.add_argument("--tiers", type=int, default=2, choices=(2, 4))
     simulate.add_argument("--policy", default="LC_FUZZY", choices=POLICY_NAMES)
     simulate.add_argument("--workload", default="database")
     simulate.add_argument("--duration", type=int, default=60)
     simulate.set_defaults(func=cmd_simulate)
+
+    export = sub.add_parser(
+        "export-scenario",
+        help="print the scenario JSON the simulate flags describe",
+    )
+    export.add_argument("--tiers", type=int, default=2, choices=(2, 4))
+    export.add_argument("--policy", default="LC_FUZZY", choices=POLICY_NAMES)
+    export.add_argument("--workload", default="database")
+    export.add_argument("--duration", type=int, default=60)
+    export.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+    export.set_defaults(func=cmd_export_scenario)
 
     fig8 = sub.add_parser("fig8", help="print the two-phase hot-spot series")
     fig8.add_argument("--segments", type=int, default=100)
@@ -396,6 +478,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint",
         default=None,
         help="checkpoint file for resumable campaigns",
+    )
+    faults.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache for the scenario-backed campaign jobs",
     )
     faults.set_defaults(func=cmd_faults)
     return parser

@@ -191,6 +191,21 @@ class SystemSimulator:
         self._block_reduction = BlockReduction(self.model.grid, self._all_masks)
         self._block_order = self.model.block_order
 
+    @classmethod
+    def from_scenario(cls, scenario) -> "SystemSimulator":
+        """The fully-wired simulator a declarative
+        :class:`~repro.scenario.Scenario` describes.
+
+        Equivalent to building stack, policy, trace, model and faults
+        by hand with the legacy constructors — the scenario layer's
+        builders use the same defaults, so the resulting run is
+        bitwise identical.
+        """
+        # Imported lazily: the scenario layer builds on this module.
+        from ..scenario.runner import build_simulator
+
+        return build_simulator(scenario)
+
     # ------------------------------------------------------------------
 
     def _pump_power(self, flow_ml_min: Optional[float]) -> float:

@@ -8,13 +8,21 @@ scenario that crashes or diverges yields a structured
 campaign.  Each surviving scenario is reported as deltas against the
 baseline: peak temperature, time-over-threshold (the paper's hot-spot
 metric as seconds) and system energy.
+
+The base experiment may be given either as live ``(stack, policy,
+trace)`` objects (the legacy form) or as one declarative
+:class:`~repro.scenario.Scenario`; in the declarative form each
+campaign entry is the base scenario overlaid with that entry's
+:class:`~repro.scenario.FaultSpec`, so the whole campaign is a pure
+function of JSON-serialisable specs and can hit the on-disk result
+cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from ..analysis.report import Table
 from ..analysis.sweep import (
@@ -25,6 +33,14 @@ from ..analysis.sweep import (
 from ..core.policies import Policy
 from ..core.simulator import SimulationResult
 from ..geometry.stack import StackDesign
+from ..scenario.runner import (
+    build_faults,
+    build_policy,
+    build_stack,
+    build_trace,
+    simulator_kwargs,
+)
+from ..scenario.spec import FaultSpec, Scenario
 from ..workload.traces import WorkloadTrace
 from .models import FaultSet
 
@@ -33,14 +49,25 @@ _BASELINE_KEY = "__baseline__"
 
 @dataclass(frozen=True)
 class FaultScenario:
-    """One named fault configuration to campaign over."""
+    """One named fault configuration to campaign over.
+
+    ``faults`` is either a live :class:`FaultSet` (legacy) or a
+    declarative :class:`~repro.scenario.FaultSpec` overlay.
+    """
 
     name: str
-    faults: FaultSet
+    faults: Union[FaultSet, FaultSpec]
 
     def __post_init__(self) -> None:
         if self.name == _BASELINE_KEY:
             raise ValueError(f"{_BASELINE_KEY!r} is reserved")
+
+
+def _describe_faults(faults: Union[FaultSet, FaultSpec]) -> str:
+    if isinstance(faults, FaultSpec):
+        built = build_faults(faults)
+        return built.describe() if built is not None else "none"
+    return faults.describe()
 
 
 def _time_over_threshold_s(result: SimulationResult) -> float:
@@ -126,22 +153,112 @@ class FaultCampaignReport:
         return table
 
 
-def run_fault_campaign(
-    stack: StackDesign,
-    policy: Policy,
-    trace: WorkloadTrace,
+def _campaign_jobs(
+    base: Union[StackDesign, Scenario],
+    policy: Optional[Policy],
+    trace: Optional[WorkloadTrace],
     scenarios: Sequence[FaultScenario],
+    sim_kwargs: dict,
+) -> List[SimulationJob]:
+    """Baseline + one job per fault scenario, legacy or declarative."""
+    if isinstance(base, Scenario):
+        if policy is not None or trace is not None or sim_kwargs:
+            raise ValueError(
+                "a Scenario base fully describes the experiment; do "
+                "not also pass policy/trace objects or simulator "
+                "kwargs — put the configuration into the Scenario"
+            )
+        jobs = [
+            SimulationJob.from_scenario(
+                replace(base, faults=None, label=_BASELINE_KEY),
+                key=_BASELINE_KEY,
+            )
+        ]
+        for scenario in scenarios:
+            if isinstance(scenario.faults, FaultSpec):
+                jobs.append(
+                    SimulationJob.from_scenario(
+                        replace(
+                            base,
+                            faults=scenario.faults,
+                            label=scenario.name,
+                        ),
+                        key=scenario.name,
+                    )
+                )
+            else:
+                # Live FaultSet overlays are stateful and cannot be
+                # hashed into a scenario; bridge them through a legacy
+                # object job built from the same spec.
+                stack_obj = build_stack(base.stack)
+                jobs.append(
+                    SimulationJob(
+                        stack=stack_obj,
+                        policy=build_policy(base.policy),
+                        trace=build_trace(base.workload, base.stack),
+                        key=scenario.name,
+                        kwargs={
+                            **simulator_kwargs(base),
+                            "faults": scenario.faults,
+                        },
+                    )
+                )
+        return jobs
+    if policy is None or trace is None:
+        raise ValueError(
+            "a legacy campaign needs stack, policy and trace; pass a "
+            "Scenario as the first argument for the declarative form"
+        )
+    jobs = [
+        SimulationJob(
+            stack=base,
+            policy=policy,
+            trace=trace,
+            key=_BASELINE_KEY,
+            kwargs=dict(sim_kwargs),
+        )
+    ]
+    for scenario in scenarios:
+        faults = scenario.faults
+        if isinstance(faults, FaultSpec):
+            faults = build_faults(faults)
+        jobs.append(
+            SimulationJob(
+                stack=base,
+                policy=policy,
+                trace=trace,
+                key=scenario.name,
+                kwargs={**sim_kwargs, "faults": faults},
+            )
+        )
+    return jobs
+
+
+def run_fault_campaign(
+    stack: Union[StackDesign, Scenario],
+    policy: Optional[Policy] = None,
+    trace: Optional[WorkloadTrace] = None,
+    scenarios: Sequence[FaultScenario] = (),
     *,
     processes: Optional[int] = None,
     timeout_s: Optional[float] = None,
     retries: int = 1,
     backoff_s: float = 0.0,
     checkpoint_path: Optional[Path] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
     **sim_kwargs: object,
 ) -> FaultCampaignReport:
     """Run baseline + scenarios and report degradation deltas.
 
-    Extra keyword arguments are forwarded to
+    ``stack`` may instead be a declarative
+    :class:`~repro.scenario.Scenario`: the campaign then becomes the
+    base scenario overlaid per entry with its
+    :class:`~repro.scenario.FaultSpec` (``policy``/``trace``/kwargs
+    must stay unset — the scenario holds the whole configuration), and
+    ``cache_dir`` lets repeated baselines be served from the on-disk
+    result cache.
+
+    In the legacy form extra keyword arguments are forwarded to
     :class:`~repro.core.simulator.SystemSimulator` (grid resolution,
     control period, ...).  The fan-out is resilient: failed scenarios
     appear in the report with their :class:`JobFailure` while the rest
@@ -151,25 +268,7 @@ def run_fault_campaign(
     names = [scenario.name for scenario in scenarios]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate scenario names in {names}")
-    jobs = [
-        SimulationJob(
-            stack=stack,
-            policy=policy,
-            trace=trace,
-            key=_BASELINE_KEY,
-            kwargs=dict(sim_kwargs),
-        )
-    ]
-    for scenario in scenarios:
-        jobs.append(
-            SimulationJob(
-                stack=stack,
-                policy=policy,
-                trace=trace,
-                key=scenario.name,
-                kwargs={**sim_kwargs, "faults": scenario.faults},
-            )
-        )
+    jobs = _campaign_jobs(stack, policy, trace, scenarios, sim_kwargs)
     outcome = run_simulations_resilient(
         jobs,
         processes,
@@ -177,6 +276,7 @@ def run_fault_campaign(
         retries=retries,
         backoff_s=backoff_s,
         checkpoint_path=checkpoint_path,
+        cache_dir=cache_dir,
     )
     results = outcome.result_map()
     baseline = results.get(_BASELINE_KEY)
@@ -199,7 +299,7 @@ def run_fault_campaign(
             outcomes.append(
                 ScenarioOutcome(
                     name=scenario.name,
-                    faults=scenario.faults.describe(),
+                    faults=_describe_faults(scenario.faults),
                     result=result,
                     peak_delta_c=result.peak_temperature_c
                     - baseline.peak_temperature_c,
@@ -213,13 +313,13 @@ def run_fault_campaign(
             outcomes.append(
                 ScenarioOutcome(
                     name=scenario.name,
-                    faults=scenario.faults.describe(),
+                    faults=_describe_faults(scenario.faults),
                     failure=failures[scenario.name],
                 )
             )
     return FaultCampaignReport(
-        policy=policy.name,
-        workload=trace.name,
+        policy=baseline.policy if policy is None else policy.name,
+        workload=baseline.workload if trace is None else trace.name,
         baseline=baseline,
         outcomes=outcomes,
     )
