@@ -3,7 +3,12 @@
 Sweeps the per-level grid resolution from 50x50 to 300x300 and solves
 the same 4-tier steady problem with both backends, each in its own
 subprocess so peak RSS (``ru_maxrss``) reflects exactly one
-factorisation.  The output justifies ``DIRECT_NODE_LIMIT`` in
+factorisation.  Each child routes its memory peaks (RSS plus a
+``tracemalloc`` Python-allocation gauge) through the
+:mod:`repro.obs.metrics` registry and reports the full snapshot, so
+the memory curves come from the same telemetry surface as every other
+metric rollup.  Both backends run under tracemalloc, so its (modest)
+allocation overhead cancels out of the crossover comparison.  The output justifies ``DIRECT_NODE_LIMIT`` in
 :mod:`repro.thermal.krylov`: below the crossover the SuperLU
 factorisation wins on wall time, above it ILU+BiCGSTAB is both faster
 and dramatically lighter on memory (direct LU fill-in at 300x300 per
@@ -38,25 +43,41 @@ TIMEOUT_S = 900.0
 and counts as beaten at that size."""
 
 CHILD = """
-import json, resource, sys, time
+import json, resource, sys, time, tracemalloc
 from repro.geometry import build_3d_mpsoc
+from repro.obs.metrics import get_registry
 from repro.thermal import CompactThermalModel
 
 size, method = int(sys.argv[1]), sys.argv[2]
 stack = build_3d_mpsoc(4)
+registry = get_registry()
+tracemalloc.start()
 start = time.perf_counter()
 model = CompactThermalModel(stack, nx=size, ny=size, solver=method)
 powers = {ref: 2.0 for ref in model.block_masks()}
 field = model.steady_state(powers)
 wall = time.perf_counter() - start
+traced_peak = tracemalloc.get_traced_memory()[1]
+tracemalloc.stop()
+# Both memory figures flow through the metrics registry so the curves
+# come from the same telemetry surface as every other rollup.  The
+# tracemalloc gauge covers Python/numpy allocations only: SuperLU's
+# internal C mallocs (the LU fill-in that motivates this benchmark)
+# are invisible to it, which is why ru_maxrss stays alongside.
+registry.gauge("solver.peak_rss_mb").set(
+    resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+)
+registry.gauge("solver.tracemalloc_peak_mb").set(traced_peak / 2**20)
+snapshot = registry.snapshot()
 print(json.dumps({
     "status": "ok",
     "nodes": int(model.grid.size),
     "wall_s": wall,
-    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    / 1024.0,
+    "peak_rss_mb": snapshot["solver.peak_rss_mb"]["value"],
+    "tracemalloc_peak_mb": snapshot["solver.tracemalloc_peak_mb"]["value"],
     "peak_temperature_k": float(field.max()),
     "stats": model.steady_stats.as_dict(),
+    "metrics": snapshot,
 }))
 """
 

@@ -80,6 +80,9 @@ from ..core.simulator import (
     SystemSimulator,
 )
 from ..geometry.stack import StackDesign
+from ..obs import capture_telemetry, is_obs_payload
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..scenario.cache import ResultCache
 from ..scenario.runner import Runner, build_model, build_simulator
 from ..scenario.spec import Scenario
@@ -485,11 +488,37 @@ def _coerce_jobs(jobs: Sequence[JobLike]) -> List[SimulationJob]:
     ]
 
 
+def _annotate_job_exception(exc: BaseException, start: float) -> None:
+    """Stamp wall time (and keep any span stamp) onto a dying job's error.
+
+    ``BaseException.__dict__`` travels with the pickle, so these
+    attributes survive the hop back from a pool worker and feed the
+    :class:`JobFailure` timing fields.
+    """
+    if getattr(exc, "_obs_elapsed_s", None) is None:
+        try:
+            exc._obs_elapsed_s = _time.perf_counter() - start
+        except (AttributeError, TypeError):
+            pass
+
+
 def _run_simulation_job(
-    job: SimulationJob, cache_dir: Optional[str] = None
-) -> SimulationResult:
+    job: SimulationJob,
+    cache_dir: Optional[str] = None,
+    capture: bool = False,
+) -> object:
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    return job.run(cache=cache)
+    start = _time.perf_counter()
+    try:
+        if capture:
+            payload: Dict[str, object] = {}
+            with capture_telemetry(payload):
+                result = job.run(cache=cache)
+            return result, payload
+        return job.run(cache=cache)
+    except BaseException as exc:
+        _annotate_job_exception(exc, start)
+        raise
 
 
 def run_simulations(
@@ -509,12 +538,56 @@ def run_simulations(
     Returns ``(job.key, result)`` pairs in job order.
     """
     jobs = _coerce_jobs(jobs)
+    tracer = get_tracer()
+    capture = _should_capture(tracer, processes)
     runner = partial(
         _run_simulation_job,
         cache_dir=None if cache_dir is None else str(cache_dir),
+        capture=capture,
     )
-    results = fan_out(runner, jobs, processes)
-    return [(job.key, result) for job, result in zip(jobs, results)]
+    with tracer.span(
+        "sweep.run_simulations", jobs=len(jobs), processes=processes or 1
+    ):
+        results = fan_out(runner, jobs, processes)
+        return [
+            (job.key, _merge_worker_value(tracer, job.key, result))
+            for job, result in zip(jobs, results)
+        ]
+
+
+def _should_capture(tracer, processes: Optional[int]) -> bool:
+    """Worker-side capture is only worth it for a real pool fan-out.
+
+    Serial runs emit straight into the parent's sinks; pool workers
+    have no sinks, so their spans/metric deltas are captured into the
+    returned payload and merged here — but only when someone is
+    actually recording.
+    """
+    return tracer.has_sinks and processes is not None and processes > 1
+
+
+def _merge_worker_value(tracer, key: object, value: object) -> object:
+    """Unwrap one worker return, folding any telemetry payload in.
+
+    Each captured job becomes one ``sweep.job`` span in the parent
+    trace with the worker's spans re-sequenced beneath it; the worker's
+    metric delta merges into the parent registry so rollups count
+    pool and serial runs identically.
+    """
+    if (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and is_obs_payload(value[1])
+    ):
+        result, payload = value
+        with tracer.span("sweep.job", key=str(key)) as job_span:
+            tracer.ingest(
+                payload.get("spans", ()),
+                depth_offset=job_span.depth + 1,
+            )
+        get_registry().merge(payload.get("metrics", {}))
+        return result
+    return value
 
 
 # ---------------------------------------------------------------------------
@@ -624,7 +697,25 @@ def _resolve_shared_simulator(ref: SharedJobRef) -> SystemSimulator:
 
 
 def _run_shared_job(
-    ref: SharedJobRef, cache_dir: Optional[str] = None
+    ref: SharedJobRef,
+    cache_dir: Optional[str] = None,
+    capture: bool = False,
+) -> object:
+    start = _time.perf_counter()
+    try:
+        if capture:
+            telemetry: Dict[str, object] = {}
+            with capture_telemetry(telemetry):
+                result = _run_shared_job_inner(ref, cache_dir)
+            return result, telemetry
+        return _run_shared_job_inner(ref, cache_dir)
+    except BaseException as exc:
+        _annotate_job_exception(exc, start)
+        raise
+
+
+def _run_shared_job_inner(
+    ref: SharedJobRef, cache_dir: Optional[str]
 ) -> SimulationResult:
     if ref.scenario is not None and cache_dir is not None:
         payload = _shared_payload
@@ -773,54 +864,67 @@ def run_simulations_shared(
     Returns ``(job.key, result)`` pairs in job order.
     """
     jobs = _coerce_jobs(jobs)
+    tracer = get_tracer()
+    capture = _should_capture(tracer, processes)
     run_job = partial(
         _run_shared_job,
         cache_dir=None if cache_dir is None else str(cache_dir),
+        capture=capture,
     )
     payload, refs = _build_shared_payload(jobs)
-    if processes is None or processes <= 1:
-        _install_shared_payload(payload)
-        try:
-            results = [run_job(ref) for ref in refs]
-        finally:
-            _clear_shared_payload()
-        return [(job.key, result) for job, result in zip(jobs, results)]
-
-    context = multiprocessing.get_context(start_method)
-    if context.get_start_method() == "fork":
-        _install_shared_payload(payload)
-        try:
-            _prewarm_shared_models(payload, refs)
-            with ProcessPoolExecutor(
-                max_workers=processes, mp_context=context
-            ) as pool:
-                results = list(pool.map(run_job, refs))
-        finally:
-            _clear_shared_payload()
-    else:
-        from multiprocessing import shared_memory
-
-        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        segment = shared_memory.SharedMemory(
-            create=True, size=len(blob) + 8
-        )
-        try:
-            struct.pack_into("<Q", segment.buf, 0, len(blob))
-            segment.buf[8 : 8 + len(blob)] = blob
-            with ProcessPoolExecutor(
-                max_workers=processes,
-                mp_context=context,
-                initializer=_install_payload_from_shm,
-                initargs=(segment.name,),
-            ) as pool:
-                results = list(pool.map(run_job, refs))
-        finally:
-            segment.close()
+    with tracer.span(
+        "sweep.run_simulations_shared",
+        jobs=len(jobs),
+        processes=processes or 1,
+    ):
+        if processes is None or processes <= 1:
+            _install_shared_payload(payload)
             try:
-                segment.unlink()
-            except FileNotFoundError:
-                pass
-    return [(job.key, result) for job, result in zip(jobs, results)]
+                results = [run_job(ref) for ref in refs]
+            finally:
+                _clear_shared_payload()
+            return [
+                (job.key, result) for job, result in zip(jobs, results)
+            ]
+
+        context = multiprocessing.get_context(start_method)
+        if context.get_start_method() == "fork":
+            _install_shared_payload(payload)
+            try:
+                _prewarm_shared_models(payload, refs)
+                with ProcessPoolExecutor(
+                    max_workers=processes, mp_context=context
+                ) as pool:
+                    results = list(pool.map(run_job, refs))
+            finally:
+                _clear_shared_payload()
+        else:
+            from multiprocessing import shared_memory
+
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            segment = shared_memory.SharedMemory(
+                create=True, size=len(blob) + 8
+            )
+            try:
+                struct.pack_into("<Q", segment.buf, 0, len(blob))
+                segment.buf[8 : 8 + len(blob)] = blob
+                with ProcessPoolExecutor(
+                    max_workers=processes,
+                    mp_context=context,
+                    initializer=_install_payload_from_shm,
+                    initargs=(segment.name,),
+                ) as pool:
+                    results = list(pool.map(run_job, refs))
+            finally:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+        return [
+            (job.key, _merge_worker_value(tracer, job.key, result))
+            for job, result in zip(jobs, results)
+        ]
 
 
 # ---------------------------------------------------------------------------
@@ -847,6 +951,17 @@ class JobFailure:
         the worker so it survives pickling.
     attempts:
         Attempts consumed before giving up.
+    elapsed_s:
+        Wall time the final attempt ran before failing, when it could
+        be measured — in the worker for exceptions (the measurement
+        rides back on the pickled exception), in the parent for
+        timeouts and crashes.  ``None`` when nothing measured it.
+    retry_index:
+        Zero-based index of the failing attempt (``attempts - 1``).
+    last_span:
+        Name of the innermost tracer span open when the job died
+        (empty when the failure happened outside any span, or the
+        worker crashed before reporting).
     """
 
     index: int
@@ -856,6 +971,9 @@ class JobFailure:
     message: str
     traceback: str = ""
     attempts: int = 1
+    elapsed_s: Optional[float] = None
+    retry_index: int = 0
+    last_span: str = ""
 
 
 @dataclass
@@ -905,29 +1023,42 @@ def _drain_pool(
     indices: Sequence[int],
     processes: int,
     timeout_s: Optional[float],
-) -> Tuple[Dict[int, R], Dict[int, BaseException], set, bool, set]:
+) -> Tuple[
+    Dict[int, R],
+    Dict[int, BaseException],
+    set,
+    bool,
+    set,
+    Dict[int, float],
+]:
     """Run one process-pool lifetime over the given job indices.
 
-    Returns ``(successes, errors, timed_out, crashed, unfinished)``.
-    ``unfinished`` jobs were aborted through no fault of their own
-    (pool crash or a sibling's timeout tearing the pool down) and must
-    be re-run without an attempt penalty.
+    Returns ``(successes, errors, timed_out, crashed, unfinished,
+    elapsed)``.  ``unfinished`` jobs were aborted through no fault of
+    their own (pool crash or a sibling's timeout tearing the pool down)
+    and must be re-run without an attempt penalty.  ``elapsed`` maps
+    every index that left the pool (success, error, crash or timeout)
+    to the seconds between submission and that outcome — an upper bound
+    on run time that failure records fall back to when the worker could
+    not measure its own.
     """
     successes: Dict[int, R] = {}
     errors: Dict[int, BaseException] = {}
     timed_out: set = set()
     crashed = False
     unfinished = set(indices)
+    elapsed: Dict[int, float] = {}
     pool = ProcessPoolExecutor(max_workers=processes)
     must_kill = False
     try:
+        submitted = _time.monotonic()
         outstanding: Dict[Future, int] = {
             pool.submit(fn, work[i]): i for i in indices
         }
         deadline = (
             None
             if timeout_s is None
-            else {f: _time.monotonic() + timeout_s for f in outstanding}
+            else {f: submitted + timeout_s for f in outstanding}
         )
         while outstanding:
             done, _ = wait(
@@ -937,6 +1068,7 @@ def _drain_pool(
             )
             for future in done:
                 index = outstanding.pop(future)
+                elapsed[index] = _time.monotonic() - submitted
                 try:
                     successes[index] = future.result()
                     unfinished.discard(index)
@@ -953,6 +1085,7 @@ def _drain_pool(
                 if overdue:
                     for future in overdue:
                         index = outstanding.pop(future)
+                        elapsed[index] = now - submitted
                         timed_out.add(index)
                         unfinished.discard(index)
                     # A hung worker never frees its slot: tear the pool
@@ -968,7 +1101,7 @@ def _drain_pool(
                 except Exception:
                     pass
         pool.shutdown(wait=False, cancel_futures=True)
-    return successes, errors, timed_out, crashed, unfinished
+    return successes, errors, timed_out, crashed, unfinished, elapsed
 
 
 def _render_traceback(exc: BaseException) -> str:
@@ -1067,7 +1200,14 @@ def resilient_fan_out(
         error_type: str,
         message: str,
         tb: str = "",
+        exc: Optional[BaseException] = None,
+        elapsed: Optional[float] = None,
     ) -> None:
+        elapsed_s = (
+            getattr(exc, "_obs_elapsed_s", None) if exc is not None else None
+        )
+        if elapsed_s is None:
+            elapsed_s = elapsed
         failures[index] = JobFailure(
             index=index,
             key=key_list[index],
@@ -1076,6 +1216,13 @@ def resilient_fan_out(
             message=message,
             traceback=tb,
             attempts=attempts[index],
+            elapsed_s=elapsed_s,
+            retry_index=max(0, attempts[index] - 1),
+            last_span=(
+                getattr(exc, "_obs_last_span", "") or ""
+                if exc is not None
+                else ""
+            ),
         )
 
     def backoff(attempt: int) -> None:
@@ -1088,6 +1235,7 @@ def resilient_fan_out(
         for index in pending:
             while True:
                 attempts[index] += 1
+                attempt_start = _time.perf_counter()
                 try:
                     note_success(index, fn(work[index]))
                     break
@@ -1099,6 +1247,8 @@ def resilient_fan_out(
                             type(exc).__name__,
                             str(exc),
                             _render_traceback(exc),
+                            exc=exc,
+                            elapsed=_time.perf_counter() - attempt_start,
                         )
                         break
                     backoff(attempts[index])
@@ -1110,7 +1260,14 @@ def resilient_fan_out(
             batch_attempt = max(attempts[i] for i in batch)
             for index in batch:
                 attempts[index] += 1
-            successes, errors, timed_out, crashed, unfinished = _drain_pool(
+            (
+                successes,
+                errors,
+                timed_out,
+                crashed,
+                unfinished,
+                elapsed,
+            ) = _drain_pool(
                 fn, work, batch, 1 if isolate else processes, timeout_s
             )
             for index, value in successes.items():
@@ -1124,6 +1281,8 @@ def resilient_fan_out(
                         type(exc).__name__,
                         str(exc),
                         _render_traceback(exc),
+                        exc=exc,
+                        elapsed=elapsed.get(index),
                     )
                 else:
                     retry_needed = True
@@ -1134,6 +1293,7 @@ def resilient_fan_out(
                         "timeout",
                         "TimeoutError",
                         f"job exceeded the {timeout_s} s deadline",
+                        elapsed=elapsed.get(index, timeout_s),
                     )
                 else:
                     retry_needed = True
@@ -1149,6 +1309,7 @@ def resilient_fan_out(
                             "BrokenProcessPool",
                             "the worker process died while running "
                             "this job",
+                            elapsed=elapsed.get(index),
                         )
                         # Culprit isolated; batch mode can resume.
                         crashes = 0
@@ -1203,17 +1364,32 @@ def run_simulations_resilient(
     :func:`run_simulations`.
     """
     jobs = _coerce_jobs(jobs)
-    return resilient_fan_out(
-        partial(
-            _run_simulation_job,
-            cache_dir=None if cache_dir is None else str(cache_dir),
-        ),
-        jobs,
-        processes,
-        keys=[job.key for job in jobs],
-        timeout_s=timeout_s,
-        retries=retries,
-        backoff_s=backoff_s,
-        checkpoint_path=checkpoint_path,
-        checkpoint_every=checkpoint_every,
-    )
+    tracer = get_tracer()
+    capture = _should_capture(tracer, processes)
+    with tracer.span(
+        "sweep.run_simulations_resilient",
+        jobs=len(jobs),
+        processes=processes or 1,
+    ):
+        outcome = resilient_fan_out(
+            partial(
+                _run_simulation_job,
+                cache_dir=None if cache_dir is None else str(cache_dir),
+                capture=capture,
+            ),
+            jobs,
+            processes,
+            keys=[job.key for job in jobs],
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+        # Unwrap unconditionally: resumed checkpoints may hold capture
+        # tuples from an earlier traced run even when capture is off.
+        outcome.results = [
+            (key, _merge_worker_value(tracer, key, value))
+            for key, value in outcome.results
+        ]
+        return outcome

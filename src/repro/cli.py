@@ -3,7 +3,8 @@
 A thin front-end over the library for users who want results without
 writing Python::
 
-    python -m repro run examples/specs/two_tier_fuzzy.json
+    python -m repro run examples/specs/two_tier_fuzzy.json --trace t.jsonl
+    python -m repro report trace t.jsonl
     python -m repro simulate --tiers 2 --policy LC_FUZZY --workload web
     python -m repro export-scenario --policy LC_LB --out spec.json
     python -m repro fig8
@@ -31,6 +32,7 @@ from typing import List, Optional
 
 from .analysis import PAPER_CLAIMS, Table
 from .core.simulator import SimulationResult
+from .obs import JsonlSink, session
 from .scenario import (
     ControlSpec,
     PolicySpec,
@@ -102,12 +104,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     cache = None
     if args.cache or args.cache_dir is not None:
         cache = ResultCache(args.cache_dir)
-    result = Runner(scenario, cache=cache).run()
+    runner = Runner(scenario, cache=cache)
+    with session(JsonlSink(args.trace) if args.trace else None):
+        result = runner.run()
     title = scenario.label or path.stem
     print(_result_table(f"{title} [{scenario.content_hash()[:12]}]", result))
     if cache is not None:
         source = "cache hit" if cache.hits else "computed and cached"
         print(f"result: {source} ({cache.path(scenario)})")
+        print(f"manifest: {cache.manifest_path(scenario)}")
+    if args.trace:
+        print(
+            f"trace: {args.trace} "
+            f"(inspect with `repro report trace {args.trace}`)"
+        )
     return 0
 
 
@@ -253,6 +263,17 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if report.complete else 1
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a recorded telemetry artifact (JSONL trace) as text."""
+    from .obs.report import render_trace
+
+    path = Path(args.path)
+    if not path.exists():
+        raise SystemExit(f"no such trace file: {path}")
+    print(render_trace(path, top_k=args.top))
+    return 0
+
+
 def cmd_bench_thermal(args: argparse.Namespace) -> int:
     """Run the thermal perf microbenchmarks and write BENCH_thermal.json."""
     from .analysis.perf import (
@@ -267,12 +288,15 @@ def cmd_bench_thermal(args: argparse.Namespace) -> int:
         raise SystemExit("--repeats must be at least 1")
     if args.duration <= 0.0:
         raise SystemExit("--duration must be positive")
-    results = bench_thermal(
-        simulate_seconds=args.duration,
-        repeats=args.repeats,
-        large_grid=not args.quick,
-    )
-    observability = solver_observability()
+    with session(JsonlSink(args.trace) if args.trace else None):
+        results = bench_thermal(
+            simulate_seconds=args.duration,
+            repeats=args.repeats,
+            large_grid=not args.quick,
+        )
+        observability = solver_observability()
+    if args.trace:
+        print(f"wrote bench trace to {args.trace}")
     baseline_path = Path(args.baseline) if args.baseline else BASELINE_PATH
     report = write_bench_report(
         results,
@@ -367,7 +391,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="explicit result-cache directory (implies --cache)",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a JSONL telemetry trace (spans, metrics, manifest) "
+        "of the run",
+    )
     run.set_defaults(func=cmd_run)
+
+    report = sub.add_parser(
+        "report", help="render a recorded telemetry artifact"
+    )
+    report.add_argument(
+        "what", choices=("trace",), help="artifact kind to render"
+    )
+    report.add_argument("path", help="path to a JSONL trace file")
+    report.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many longest spans to list (default 10)",
+    )
+    report.set_defaults(func=cmd_report)
 
     simulate = sub.add_parser("simulate", help="run one closed-loop simulation")
     simulate.add_argument("--tiers", type=int, default=2, choices=(2, 4))
@@ -435,6 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.8,
         help="minimum acceptable speedup vs baseline (default 0.8 = "
         "a >20%% regression fails)",
+    )
+    bench.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a JSONL telemetry trace of the benchmark run",
     )
     bench.set_defaults(func=cmd_bench_thermal)
 

@@ -24,6 +24,8 @@ import numpy as np
 from .. import constants
 from ..geometry.stack import CoolingMode, StackDesign
 from ..hydraulics.pump import PumpModel, TABLE_I_PUMP
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..power.model import PowerModel
 from ..sched.loadbalance import LoadBalancer
 from ..sched.metrics import PerformanceTracker
@@ -227,6 +229,37 @@ class SystemSimulator:
 
     def run(self) -> SimulationResult:
         """Execute the full trace and return the aggregated result."""
+        tracer = get_tracer()
+        registry = get_registry()
+        step_counter = registry.counter("sim.steps")
+        throttle_counter = registry.counter("sim.dvfs_throttled_core_steps")
+        temp_hist = registry.histogram("sim.max_temperature_c")
+        flow_hist = registry.histogram("sim.flow_ml_min")
+        power_hist = registry.histogram("sim.chip_power_w")
+        with tracer.span(
+            "simulator.run",
+            policy=self.policy.name,
+            workload=self.trace.name,
+            duration=self.trace.duration,
+        ):
+            return self._run_instrumented(
+                tracer,
+                step_counter,
+                throttle_counter,
+                temp_hist,
+                flow_hist,
+                power_hist,
+            )
+
+    def _run_instrumented(
+        self,
+        tracer,
+        step_counter,
+        throttle_counter,
+        temp_hist,
+        flow_hist,
+        power_hist,
+    ) -> SimulationResult:
         self.policy.reset()
         stepper = self._initial_state()
         energy = EnergyAccount()
@@ -252,6 +285,7 @@ class SystemSimulator:
                 self.trace.interval(interval) * self._thread_share
             )
             for _ in range(steps_per_interval):
+              with tracer.span("simulator.step") as step_span:
                 readings = self.sensors.read(stepper.state, time)
                 if self.faults is not None and self.faults.sensor_faults:
                     # Hot-spot statistics track the physical die, not
@@ -260,7 +294,14 @@ class SystemSimulator:
                     physical = self.sensors.true_values(stepper.state)
                 else:
                     physical = readings
-                decision = self.policy.decide(time, readings, utils)
+                with tracer.span("policy.decide") as policy_span:
+                    decision = self.policy.decide(time, readings, utils)
+                    if tracer.has_sinks:
+                        policy_span.set(
+                            policy=self.policy.name,
+                            flow_ml_min=decision.flow_ml_min,
+                            dvfs_settings=len(decision.vf_settings),
+                        )
                 if decision.flow_ml_min is not None:
                     commanded = float(decision.flow_ml_min)
                     if not np.isfinite(commanded) or commanded <= 0.0:
@@ -282,6 +323,7 @@ class SystemSimulator:
                     self.policy.observe_flow(flow, achieved)
                     flow_sum += flow
                     flow_samples += 1
+                    flow_hist.observe(flow)
                 else:
                     flow = None
 
@@ -319,11 +361,26 @@ class SystemSimulator:
                 time += dt
                 energy.add(chip_w, pump_w, dt)
                 hotspots.update(physical, dt)
+                max_temp_c = kelvin_to_celsius(max(physical.values()))
+                step_counter.inc()
+                temp_hist.observe(max_temp_c)
+                power_hist.observe(chip_w)
+                throttled = sum(
+                    1 for level in vf_settings.values() if level
+                )
+                if throttled:
+                    throttle_counter.inc(throttled)
+                if tracer.has_sinks:
+                    step_span.set(
+                        t=round(time, 6),
+                        max_temperature_c=round(max_temp_c, 3),
+                        flow_ml_min=flow,
+                        chip_power_w=round(chip_w, 3),
+                        dvfs_throttled=throttled,
+                    )
                 if self.record_series:
                     series["time"].append(time)
-                    series["max_temperature_c"].append(
-                        kelvin_to_celsius(max(physical.values()))
-                    )
+                    series["max_temperature_c"].append(max_temp_c)
                     series["flow_ml_min"].append(flow if flow is not None else 0.0)
                     series["chip_power_w"].append(chip_w)
 

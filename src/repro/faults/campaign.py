@@ -33,6 +33,7 @@ from ..analysis.sweep import (
 from ..core.policies import Policy
 from ..core.simulator import SimulationResult
 from ..geometry.stack import StackDesign
+from ..obs.trace import get_tracer
 from ..scenario.runner import (
     build_faults,
     build_policy,
@@ -269,15 +270,18 @@ def run_fault_campaign(
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate scenario names in {names}")
     jobs = _campaign_jobs(stack, policy, trace, scenarios, sim_kwargs)
-    outcome = run_simulations_resilient(
-        jobs,
-        processes,
-        timeout_s=timeout_s,
-        retries=retries,
-        backoff_s=backoff_s,
-        checkpoint_path=checkpoint_path,
-        cache_dir=cache_dir,
-    )
+    with get_tracer().span(
+        "faults.campaign", scenarios=len(scenarios), jobs=len(jobs)
+    ):
+        outcome = run_simulations_resilient(
+            jobs,
+            processes,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            checkpoint_path=checkpoint_path,
+            cache_dir=cache_dir,
+        )
     results = outcome.result_map()
     baseline = results.get(_BASELINE_KEY)
     if baseline is None:

@@ -1,0 +1,244 @@
+"""Counters, gauges and histograms behind one tiny registry.
+
+The registry is the numeric half of the telemetry layer (spans live in
+:mod:`repro.obs.trace`).  Three design constraints shape it:
+
+* **Hot-path cost.**  Solver caches increment counters on every
+  factorisation lookup — hundreds of times per simulated second — so an
+  increment must be one attribute add.  Callers hold the
+  :class:`Counter` object itself (obtained once at construction time)
+  instead of re-resolving a name per event.
+* **Fork/spawn mergeability.**  Sweep workers run in child processes;
+  their registries must serialise into plain dicts
+  (:meth:`MetricsRegistry.snapshot`) and fold back into the parent
+  (:meth:`MetricsRegistry.merge`).  Because fork children *inherit* the
+  parent's counter values, workers report **delta snapshots**
+  (:meth:`MetricsRegistry.delta_since`) so inherited pre-counts
+  subtract out and fork and spawn workers merge identically.
+* **No registry swapping.**  There is one process-global registry
+  (:func:`get_registry`); scoped measurement is done by snapshotting
+  and differencing, never by replacing the registry object — instrument
+  code caches counter references, and a swap would silently detach
+  them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+Snapshot = Dict[str, dict]
+"""Plain-dict registry state: ``{metric name: {"type": ..., ...}}``."""
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    ``inc`` is deliberately a bare attribute add — this runs inside the
+    solver factor-cache lookups.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Streaming count/sum/min/max summary of observed values.
+
+    No buckets: the report surface needs mean and extremes, and a
+    bucketless summary keeps ``observe`` at a handful of float ops on
+    the per-control-step path.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:g})"
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges and histograms.
+
+    Creation is get-or-create and thread-guarded; the returned metric
+    objects are lock-free (single CPython ops on the hot path).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create accessors --------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(name, Counter(name))
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(name, Gauge(name))
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(name, Histogram(name))
+        return metric
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Plain-dict copy of every metric (JSON- and pickle-safe)."""
+        state: Snapshot = {}
+        for name, counter in self._counters.items():
+            state[name] = {"type": "counter", "value": counter.value}
+        for name, gauge in self._gauges.items():
+            state[name] = {"type": "gauge", "value": gauge.value}
+        for name, histogram in self._histograms.items():
+            state[name] = {
+                "type": "histogram",
+                "count": histogram.count,
+                "total": histogram.total,
+                "min": histogram.min,
+                "max": histogram.max,
+            }
+        return state
+
+    def delta_since(self, start: Snapshot) -> Snapshot:
+        """Current state minus a ``start`` snapshot.
+
+        Counters and histogram count/total subtract; min/max and gauges
+        are taken from the *new* activity only.  Metrics untouched since
+        ``start`` are omitted, so a delta describes exactly the work of
+        the measured window — the contract that makes fork-inherited
+        counter values merge correctly.
+        """
+        delta: Snapshot = {}
+        for name, entry in self.snapshot().items():
+            base = start.get(name)
+            if entry["type"] == "counter":
+                value = entry["value"] - (base["value"] if base else 0)
+                if value:
+                    delta[name] = {"type": "counter", "value": value}
+            elif entry["type"] == "gauge":
+                if base is None or entry["value"] != base["value"]:
+                    delta[name] = entry
+            else:
+                count = entry["count"] - (base["count"] if base else 0)
+                if count:
+                    delta[name] = {
+                        "type": "histogram",
+                        "count": count,
+                        "total": entry["total"]
+                        - (base["total"] if base else 0.0),
+                        # Window-exact minima/maxima would need value
+                        # retention; the lifetime extremes are kept
+                        # instead (documented in DESIGN.md section 11).
+                        "min": entry["min"],
+                        "max": entry["max"],
+                    }
+        return delta
+
+    def merge(self, snapshot: Snapshot) -> None:
+        """Fold a (delta) snapshot from another process into this one."""
+        for name, entry in snapshot.items():
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(name)
+                histogram.count += entry["count"]
+                histogram.total += entry["total"]
+                if entry["min"] < histogram.min:
+                    histogram.min = entry["min"]
+                if entry["max"] > histogram.max:
+                    histogram.max = entry["max"]
+
+    def clear(self) -> None:
+        """Reset every metric to zero (tests only; references survive)."""
+        for metric in self._counters.values():
+            metric.reset()
+        for metric in self._gauges.values():
+            metric.reset()
+        for metric in self._histograms.values():
+            metric.reset()
+
+
+_REGISTRY: Optional[MetricsRegistry] = None
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (created on first use, never swapped)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        with _REGISTRY_LOCK:
+            if _REGISTRY is None:
+                _REGISTRY = MetricsRegistry()
+    return _REGISTRY

@@ -1,0 +1,167 @@
+"""Render a JSONL trace: span tree, top-k durations, metric table.
+
+The span tree is *aggregated by path*: a 60 s closed-loop run emits
+600 ``simulator.step`` spans, so the tree groups spans under their
+parent-name path and reports count / total / mean / max per group —
+bounded output regardless of run length.  Tree reconstruction relies on
+the tracer's invariant that sorting records by ``seq`` recovers open
+order while ``depth`` gives the nesting (see :mod:`repro.obs.trace`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .metrics import MetricsRegistry
+from .sinks import read_jsonl
+
+PathKey = Tuple[str, ...]
+
+
+class PathStats:
+    """Aggregate of every span sharing one tree path."""
+
+    __slots__ = ("path", "count", "total", "max")
+
+    def __init__(self, path: PathKey) -> None:
+        self.path = path
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def span_tree(records: Sequence[dict]) -> Dict[PathKey, PathStats]:
+    """Aggregate span records into path-keyed statistics.
+
+    Events (zero-duration records) are counted but contribute no time.
+    Insertion order of the returned dict follows first appearance in
+    open order, so iterating renders a stable tree.
+    """
+    spans = [
+        r
+        for r in records
+        if r.get("type") in ("span", "event") and "seq" in r
+    ]
+    spans.sort(key=lambda r: r["seq"])
+    stats: Dict[PathKey, PathStats] = {}
+    stack: List[Tuple[int, str]] = []  # (depth, name) of open ancestry
+    for record in spans:
+        depth = int(record.get("depth", 0))
+        while stack and stack[-1][0] >= depth:
+            stack.pop()
+        path = tuple(name for _, name in stack) + (str(record["name"]),)
+        if record.get("type") == "span":
+            stack.append((depth, str(record["name"])))
+        entry = stats.get(path)
+        if entry is None:
+            entry = stats[path] = PathStats(path)
+        entry.count += 1
+        duration = float(record.get("dur", 0.0))
+        entry.total += duration
+        if duration > entry.max:
+            entry.max = duration
+    return stats
+
+
+def top_durations(
+    records: Sequence[dict], k: int = 10
+) -> List[dict]:
+    """The ``k`` individually slowest spans."""
+    spans = [r for r in records if r.get("type") == "span"]
+    spans.sort(key=lambda r: float(r.get("dur", 0.0)), reverse=True)
+    return spans[:k]
+
+
+def merged_metrics(records: Sequence[dict]) -> dict:
+    """Fold every ``metrics`` record of a trace into one snapshot."""
+    registry = MetricsRegistry()
+    for record in records:
+        if record.get("type") == "metrics":
+            registry.merge(record.get("metrics", {}))
+    return registry.snapshot()
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:8.3f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:8.3f} ms"
+    return f"{value * 1e6:8.1f} us"
+
+
+def render_trace(
+    path: str, *, top_k: int = 10, max_rows: Optional[int] = 200
+) -> str:
+    """Human-readable report of one JSONL trace file."""
+    records = read_jsonl(path)
+    lines: List[str] = [f"trace: {path} ({len(records)} records)"]
+
+    manifests = [r for r in records if r.get("type") == "manifest"]
+    for manifest in manifests:
+        lines.append(
+            "manifest: "
+            f"{(manifest.get('label') or manifest.get('content_hash', '?')[:12])!r} "
+            f"hash={str(manifest.get('content_hash', ''))[:12]} "
+            f"backend={manifest.get('solver_backend')} "
+            f"wall={manifest.get('wall_s', 0.0):.3f}s "
+            f"cpu={manifest.get('cpu_s', 0.0):.3f}s "
+            f"cached={manifest.get('cached')}"
+        )
+
+    stats = span_tree(records)
+    if stats:
+        lines.append("")
+        lines.append(
+            f"{'span tree':<52s} {'count':>7s} {'total':>11s} "
+            f"{'mean':>11s} {'max':>11s}"
+        )
+        rows = list(stats.values())
+        shown = rows if max_rows is None else rows[:max_rows]
+        for entry in shown:
+            indent = "  " * (len(entry.path) - 1)
+            label = indent + entry.path[-1]
+            lines.append(
+                f"{label:<52s} {entry.count:>7d} "
+                f"{_format_seconds(entry.total)} "
+                f"{_format_seconds(entry.mean)} "
+                f"{_format_seconds(entry.max)}"
+            )
+        if len(rows) > len(shown):
+            lines.append(f"  ... {len(rows) - len(shown)} more paths")
+
+    slowest = top_durations(records, k=top_k)
+    if slowest:
+        lines.append("")
+        lines.append(f"top {len(slowest)} span durations:")
+        for record in slowest:
+            attrs = record.get("attrs") or {}
+            extras = " ".join(f"{k}={v}" for k, v in list(attrs.items())[:4])
+            lines.append(
+                f"  {_format_seconds(float(record.get('dur', 0.0)))}  "
+                f"{record.get('name')} (pid {record.get('pid')})"
+                + (f"  {extras}" if extras else "")
+            )
+
+    metrics = merged_metrics(records)
+    if metrics:
+        lines.append("")
+        lines.append(f"{'metric':<44s} {'value':>24s}")
+        for name in sorted(metrics):
+            entry = metrics[name]
+            if entry["type"] == "histogram":
+                mean = entry["total"] / entry["count"] if entry["count"] else 0.0
+                value = (
+                    f"n={entry['count']} mean={mean:.4g} "
+                    f"max={entry['max']:.4g}"
+                )
+            else:
+                value = f"{entry['value']:g}"
+            lines.append(f"{name:<44s} {value:>24s}")
+
+    if len(lines) == 1:
+        lines.append("(no telemetry records)")
+    return "\n".join(lines)

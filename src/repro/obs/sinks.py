@@ -1,0 +1,95 @@
+"""Telemetry sinks: where span/metric/manifest records go.
+
+A sink receives plain-dict records (see :mod:`repro.obs.trace` for the
+span schema) through ``write`` and flushes/releases resources on
+``close``.  The tracer holds *no* sink by default — record dicts are
+then never even built, which is what keeps the default overhead of the
+instrumented hot paths inside the <2 % budget (asserted by
+``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, TextIO, Union
+
+
+class Sink:
+    """Interface: override ``write``; ``close`` is optional."""
+
+    def write(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class NullSink(Sink):
+    """Swallows everything; only useful to measure sink-dispatch cost."""
+
+    def write(self, record: dict) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Collects records in a list — the test and worker-capture sink."""
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def spans(self) -> List[dict]:
+        """Only the span records, in emission (close) order."""
+        return [r for r in self.records if r.get("type") == "span"]
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per line to a file.
+
+    Lines are buffered by the underlying text stream and flushed on
+    ``close`` (and by the interpreter at exit), so per-record cost is a
+    ``json.dumps`` plus a buffered write.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[TextIO] = open(self.path, "w")
+
+    def write(self, record: dict) -> None:
+        if self._handle is None:
+            raise ValueError(f"JsonlSink({self.path}) is closed")
+        self._handle.write(json.dumps(record, default=_json_default))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _json_default(value: object) -> object:
+    """Serialise numpy scalars and other stragglers as plain floats."""
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSONL trace file back into records (bad lines skipped)."""
+    records: List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records

@@ -59,6 +59,15 @@ class ResultCache:
         """On-disk location of the scenario's cached result."""
         return self.root / f"{self.key(scenario)}.pkl"
 
+    def manifest_path(self, scenario: Scenario) -> Path:
+        """On-disk location of the scenario's run manifest.
+
+        Manifests live next to the pickled result under the same key so
+        a cached entry can always be traced back to the solver backend,
+        code version and metric rollup of the run that produced it.
+        """
+        return self.root / f"{self.key(scenario)}.manifest.json"
+
     def get(self, scenario: Scenario) -> Optional[SimulationResult]:
         """The cached result, or ``None`` on a miss/corrupt entry."""
         path = self.path(scenario)
@@ -101,6 +110,13 @@ class ResultCache:
             try:
                 entry.unlink()
                 removed += 1
+            except OSError:
+                pass
+        # Manifests ride along with their result entries but do not
+        # count towards the removed-entry total.
+        for manifest in self.root.glob("*.manifest.json"):
+            try:
+                manifest.unlink()
             except OSError:
                 pass
         return removed

@@ -13,8 +13,10 @@ is deterministic and uses the same defaults as the hand-wired paths, so
 
 from __future__ import annotations
 
+import time as _time
 from typing import Callable, Dict, Optional
 
+from .. import __version__
 from ..core.policies import (
     AirLoadBalancing,
     AirTDVFSLoadBalancing,
@@ -26,6 +28,9 @@ from ..core.simulator import SimulationResult, SystemSimulator
 from ..geometry.channels import MicroChannelGeometry
 from ..geometry.niagara import DIE_HEIGHT, DIE_WIDTH
 from ..geometry.stack import CoolingMode, StackDesign, build_3d_mpsoc
+from ..obs.manifest import build_manifest, write_manifest
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..thermal.krylov import KrylovOptions
 from ..thermal.model import CompactThermalModel
 from ..workload.generators import (
@@ -267,6 +272,11 @@ class Runner:
         Optional :class:`~repro.scenario.cache.ResultCache`.  When set,
         :meth:`run` first looks the scenario's content hash up on disk
         and only simulates on a miss, storing the fresh result after.
+
+    Every :meth:`run` builds a run manifest (content hash, package
+    version, solver backend, wall/CPU time, metric rollup) exposed as
+    :attr:`last_manifest`, emitted to any attached trace sinks, and —
+    when a cache is set — stored next to the cached result.
     """
 
     def __init__(
@@ -280,6 +290,7 @@ class Runner:
         self.scenario = scenario
         self._model = model
         self.cache = cache
+        self.last_manifest: Optional[dict] = None
 
     def build_simulator(self) -> SystemSimulator:
         """The fully-wired simulator this runner would execute."""
@@ -287,13 +298,45 @@ class Runner:
 
     def run(self) -> SimulationResult:
         """Run (or fetch from cache) and return the result."""
+        tracer = get_tracer()
+        registry = get_registry()
+        metrics_start = registry.snapshot()
+        wall_start = _time.perf_counter()
+        cpu_start = _time.process_time()
+        with tracer.span(
+            "scenario.run",
+            content_hash=self.scenario.content_hash(),
+            label=self.scenario.label,
+        ) as span:
+            cached = False
+            backend = self.scenario.solver.backend
+            if self.cache is not None:
+                result = self.cache.get(self.scenario)
+                cached = result is not None
+            else:
+                result = None
+            if result is None:
+                simulator = self.build_simulator()
+                result = simulator.run()
+                backend = simulator.model.steady_backend()
+                if self.cache is not None:
+                    self.cache.put(self.scenario, result)
+            if tracer.has_sinks:
+                span.set(cached=cached, backend=backend)
+        manifest = build_manifest(
+            self.scenario,
+            version=__version__,
+            solver_backend=backend,
+            wall_s=_time.perf_counter() - wall_start,
+            cpu_s=_time.process_time() - cpu_start,
+            metrics=registry.delta_since(metrics_start),
+            cached=cached,
+        )
+        self.last_manifest = manifest
+        if tracer.has_sinks:
+            tracer.emit(manifest)
         if self.cache is not None:
-            cached = self.cache.get(self.scenario)
-            if cached is not None:
-                return cached
-        result = self.build_simulator().run()
-        if self.cache is not None:
-            self.cache.put(self.scenario, result)
+            write_manifest(manifest, self.cache.manifest_path(self.scenario))
         return result
 
 

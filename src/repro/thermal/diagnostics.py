@@ -33,6 +33,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.metrics import Counter, get_registry
+
 
 @dataclass(frozen=True)
 class SolverDiagnostics:
@@ -126,7 +128,6 @@ class SolverGuard:
             raise ValueError("residual_tolerance must be positive")
 
 
-@dataclass
 class SolverStats:
     """Running counters over the solves of one model or stepper.
 
@@ -136,24 +137,65 @@ class SolverStats:
     behaved: how often each path ran, how many Krylov iterations were
     spent, and how often the iterative path had to hand a solve back to
     the direct factorisation.
+
+    Backed by :class:`repro.obs.metrics.Counter` instances: the four
+    per-instance counters keep the historical per-model/per-stepper
+    attribute semantics (``stats.direct_solves`` etc. read through to
+    them), while every ``record`` also folds into the process-global
+    metrics registry under ``solver.*`` so a whole run's solver
+    behaviour rolls up into one place regardless of how many models and
+    steppers it created.
     """
 
-    direct_solves: int = 0
-    iterative_solves: int = 0
-    krylov_iterations: int = 0
-    fallbacks_to_direct: int = 0
+    _GLOBAL_NAMES = (
+        "solver.direct_solves",
+        "solver.iterative_solves",
+        "solver.krylov_iterations",
+        "solver.fallbacks_to_direct",
+    )
+
+    def __init__(self) -> None:
+        self._direct = Counter("direct_solves")
+        self._iterative = Counter("iterative_solves")
+        self._krylov = Counter("krylov_iterations")
+        self._fallbacks = Counter("fallbacks_to_direct")
+        registry = get_registry()
+        self._g_direct, self._g_iterative, self._g_krylov, self._g_fallbacks = (
+            registry.counter(name) for name in self._GLOBAL_NAMES
+        )
+
+    @property
+    def direct_solves(self) -> int:
+        return self._direct.value
+
+    @property
+    def iterative_solves(self) -> int:
+        return self._iterative.value
+
+    @property
+    def krylov_iterations(self) -> int:
+        return self._krylov.value
+
+    @property
+    def fallbacks_to_direct(self) -> int:
+        return self._fallbacks.value
 
     def record(self, diagnostics: "SolverDiagnostics") -> None:
         """Fold one solve's diagnostics into the counters."""
         if diagnostics.iterations is not None:
-            self.krylov_iterations += diagnostics.iterations
+            self._krylov.inc(diagnostics.iterations)
+            self._g_krylov.inc(diagnostics.iterations)
         if diagnostics.fallback_to_direct:
-            self.fallbacks_to_direct += 1
-            self.direct_solves += 1
+            self._fallbacks.inc()
+            self._g_fallbacks.inc()
+            self._direct.inc()
+            self._g_direct.inc()
         elif diagnostics.method == "direct":
-            self.direct_solves += 1
+            self._direct.inc()
+            self._g_direct.inc()
         else:
-            self.iterative_solves += 1
+            self._iterative.inc()
+            self._g_iterative.inc()
 
     def as_dict(self) -> dict:
         """Plain-dict view for JSON reports."""
@@ -163,6 +205,10 @@ class SolverStats:
             "krylov_iterations": self.krylov_iterations,
             "fallbacks_to_direct": self.fallbacks_to_direct,
         }
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"SolverStats({pairs})"
 
 
 class ThermalSolveError(RuntimeError):

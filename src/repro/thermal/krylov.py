@@ -34,6 +34,7 @@ import numpy as np
 from scipy.sparse import csc_matrix
 from scipy.sparse.linalg import LinearOperator, bicgstab, spilu
 
+from ..obs.metrics import get_registry
 from .diagnostics import FactorizationError, IterativeConvergenceError
 
 DIRECT_NODE_LIMIT = 75_000
@@ -100,9 +101,26 @@ def choose_backend(
             f"unknown solver {requested!r}; choose from {SOLVER_CHOICES}"
         )
     if requested != "auto":
+        _count_selection(requested)
         return requested
     limit = direct_node_limit() if node_limit is None else node_limit
-    return "iterative" if n_nodes > limit else "direct"
+    resolved = "iterative" if n_nodes > limit else "direct"
+    _count_selection(resolved)
+    return resolved
+
+
+_SELECTION_COUNTERS: dict = {}
+
+
+def _count_selection(resolved: str) -> None:
+    """Count backend resolutions in the global metrics registry."""
+    counter = _SELECTION_COUNTERS.get(resolved)
+    if counter is None:
+        counter = get_registry().counter(
+            f"solver.backend_selected.{resolved}"
+        )
+        _SELECTION_COUNTERS[resolved] = counter
+    counter.inc()
 
 
 @dataclass(frozen=True)

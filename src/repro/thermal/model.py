@@ -55,6 +55,8 @@ from scipy.sparse.linalg import splu
 from .. import constants
 from ..geometry.stack import Cavity, CoolingMode, Layer, StackDesign, TwoPhaseCavity
 from ..heat_transfer.convection import cavity_effective_htc
+from ..obs.metrics import Counter, get_registry
+from ..obs.trace import get_tracer
 from ..units import celsius_to_kelvin, ml_per_min_to_m3_per_s
 from .assembly import ConductanceBuilder
 from .diagnostics import (
@@ -192,14 +194,28 @@ class CompactThermalModel:
         # and stale entries can never be served.
         self._steady_factors: "OrderedDict[object, object]" = OrderedDict()
         self._max_steady_factors = int(max_steady_factors)
-        self._steady_hits = 0
-        self._steady_misses = 0
+        # Per-model cache counters (reset by clear_steady_cache), each
+        # mirrored into the process-global metrics registry so whole-run
+        # rollups see every model's cache behaviour in one place.
+        self._steady_hits = Counter("steady_cache.hits")
+        self._steady_misses = Counter("steady_cache.misses")
+        registry = get_registry()
+        self._g_steady_hits = registry.counter("thermal.steady_cache.hits")
+        self._g_steady_misses = registry.counter("thermal.steady_cache.misses")
         # Iterative-path state, keyed like the LU cache: one
         # ILU-preconditioned operator per flow state, plus the last
         # solution at that state as the warm-start guess.
         self._steady_krylov: "OrderedDict[object, KrylovSolver]" = OrderedDict()
         self._steady_warm: Dict[object, np.ndarray] = {}
-        self._assemble()
+        with get_tracer().span(
+            "thermal.assembly",
+            nx=self.grid.nx,
+            ny=self.grid.ny,
+            nodes=self.grid.size,
+            cooling=stack.cooling_mode.value,
+        ):
+            self._assemble()
+        registry.counter("thermal.models_assembled").inc()
 
     # ------------------------------------------------------------------
     # assembly
@@ -665,9 +681,11 @@ class CompactThermalModel:
         factor = self._steady_factors.get(key)
         if factor is not None:
             self._steady_factors.move_to_end(key)
-            self._steady_hits += 1
+            self._steady_hits.inc()
+            self._g_steady_hits.inc()
             return factor
-        self._steady_misses += 1
+        self._steady_misses.inc()
+        self._g_steady_misses.inc()
         try:
             factor = splu(
                 self.system_matrix(flow_ml_min).tocsc(), **SPLU_OPTIONS
@@ -705,8 +723,8 @@ class CompactThermalModel:
     def steady_cache_info(self) -> CacheInfo:
         """Hit/miss statistics of the steady-factor cache."""
         return CacheInfo(
-            hits=self._steady_hits,
-            misses=self._steady_misses,
+            hits=self._steady_hits.value,
+            misses=self._steady_misses.value,
             currsize=len(self._steady_factors),
             maxsize=self._max_steady_factors,
         )
@@ -720,8 +738,8 @@ class CompactThermalModel:
         self._steady_factors.clear()
         self._steady_krylov.clear()
         self._steady_warm.clear()
-        self._steady_hits = 0
-        self._steady_misses = 0
+        self._steady_hits.reset()
+        self._steady_misses.reset()
 
     def steady_backend(self) -> str:
         """The resolved steady-solve backend for this model's grid.
@@ -745,9 +763,11 @@ class CompactThermalModel:
         solver = self._steady_krylov.get(key)
         if solver is not None:
             self._steady_krylov.move_to_end(key)
-            self._steady_hits += 1
+            self._steady_hits.inc()
+            self._g_steady_hits.inc()
             return solver
-        self._steady_misses += 1
+        self._steady_misses.inc()
+        self._g_steady_misses.inc()
         solver = KrylovSolver(
             self.system_matrix(flow_ml_min), self.krylov_options
         )
@@ -807,33 +827,41 @@ class CompactThermalModel:
         ``last_steady_diagnostics``; running counters in
         ``steady_stats``.
         """
-        if self.steady_backend() == "iterative":
-            q = self.power_vector(block_powers) + self.boundary_rhs(
-                flow_ml_min
-            )
-            values, iterations = self._steady_iterative(q, flow_ml_min)
-            if values is not None:
-                residual = None
-                if self.guard.residual_tolerance is not None:
-                    residual = relative_residual(
-                        self.system_matrix(flow_ml_min), values, q
-                    )
-                diagnostics = SolverDiagnostics(
-                    kind="steady",
-                    residual_norm=residual,
-                    finite=True,
-                    method="bicgstab",
-                    iterations=iterations,
+        tracer = get_tracer()
+        backend = self.steady_backend()
+        with tracer.span(
+            "thermal.steady_solve", backend=backend, nodes=self.grid.size
+        ):
+            if backend == "iterative":
+                q = self.power_vector(block_powers) + self.boundary_rhs(
+                    flow_ml_min
                 )
-                self.last_steady_diagnostics = diagnostics
-                self.steady_stats.record(diagnostics)
-                return TemperatureField(self.grid, values)
-            return self._steady_direct(
-                q, flow_ml_min, fallback=True, iterations=iterations
-            )
-        factor = self.steady_factor(flow_ml_min)
-        q = self.power_vector(block_powers) + self.boundary_rhs(flow_ml_min)
-        return self._steady_direct(q, flow_ml_min, factor=factor)
+                values, iterations = self._steady_iterative(q, flow_ml_min)
+                if values is not None:
+                    residual = None
+                    if self.guard.residual_tolerance is not None:
+                        residual = relative_residual(
+                            self.system_matrix(flow_ml_min), values, q
+                        )
+                    diagnostics = SolverDiagnostics(
+                        kind="steady",
+                        residual_norm=residual,
+                        finite=True,
+                        method="bicgstab",
+                        iterations=iterations,
+                    )
+                    self.last_steady_diagnostics = diagnostics
+                    self.steady_stats.record(diagnostics)
+                    return TemperatureField(self.grid, values)
+                tracer.event(
+                    "krylov.fallback", kind="steady", iterations=iterations
+                )
+                return self._steady_direct(
+                    q, flow_ml_min, fallback=True, iterations=iterations
+                )
+            factor = self.steady_factor(flow_ml_min)
+            q = self.power_vector(block_powers) + self.boundary_rhs(flow_ml_min)
+            return self._steady_direct(q, flow_ml_min, factor=factor)
 
     def _steady_direct(
         self,

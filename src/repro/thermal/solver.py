@@ -42,6 +42,8 @@ from .diagnostics import (
     validate_finite_array,
     validate_positive_scalar,
 )
+from ..obs.metrics import Counter, get_registry
+from ..obs.trace import get_tracer
 from .field import TemperatureField
 from .krylov import KrylovOptions, KrylovSolver, choose_backend
 from .model import (
@@ -139,8 +141,14 @@ class TransientStepper:
         # Iterative-path twin: one ILU-preconditioned operator plus its
         # boundary rhs per (flow signature, dt).
         self._krylov: "OrderedDict[FactorKey, KrylovEntry]" = OrderedDict()
-        self._hits = 0
-        self._misses = 0
+        # Per-stepper cache counters mirrored into the global registry
+        # (same pattern as the model's steady-factor cache).
+        self._hits = Counter("transient_cache.hits")
+        self._misses = Counter("transient_cache.misses")
+        registry = get_registry()
+        self._g_hits = registry.counter("thermal.transient_cache.hits")
+        self._g_misses = registry.counter("thermal.transient_cache.misses")
+        self._c_steps = registry.counter("thermal.transient_steps")
         self._c_over_dt = model.capacitance / self.dt
 
     def _c_over(self, dt: float) -> np.ndarray:
@@ -154,9 +162,11 @@ class TransientStepper:
         entry = self._factors.get(key)
         if entry is not None:
             self._factors.move_to_end(key)
-            self._hits += 1
+            self._hits.inc()
+            self._g_hits.inc()
             return entry
-        self._misses += 1
+        self._misses.inc()
+        self._g_misses.inc()
         matrix = self.model.system_matrix() + diags(self._c_over(dt))
         try:
             factor = splu(matrix.tocsc(), **SPLU_OPTIONS)
@@ -193,9 +203,11 @@ class TransientStepper:
         entry = self._krylov.get(key)
         if entry is not None:
             self._krylov.move_to_end(key)
-            self._hits += 1
+            self._hits.inc()
+            self._g_hits.inc()
             return entry
-        self._misses += 1
+        self._misses.inc()
+        self._g_misses.inc()
         matrix = self.model.system_matrix() + diags(self._c_over(dt))
         solver = KrylovSolver(matrix, self.krylov_options)
         entry = (solver, self.model.boundary_rhs())
@@ -230,8 +242,8 @@ class TransientStepper:
     def cache_info(self) -> CacheInfo:
         """``lru_cache``-style statistics of the factor cache."""
         return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
+            hits=self._hits.value,
+            misses=self._misses.value,
             currsize=len(self._factors),
             maxsize=self._max_cached,
         )
@@ -307,6 +319,28 @@ class TransientStepper:
 
     def step_with_power_vector(self, power: np.ndarray) -> TemperatureField:
         """Advance one guarded time step with a pre-built power vector."""
+        tracer = get_tracer()
+        with tracer.span("thermal.transient_step") as span:
+            state = self._guarded_step(power)
+            self._c_steps.inc()
+            if tracer.has_sinks:
+                diagnostics = self.last_diagnostics
+                if diagnostics is not None:
+                    span.set(
+                        method=diagnostics.method,
+                        retries=diagnostics.retries,
+                        t=self.time,
+                    )
+                    if diagnostics.fallback_to_direct:
+                        tracer.event(
+                            "krylov.fallback",
+                            kind="transient",
+                            iterations=diagnostics.iterations,
+                        )
+            return state
+
+    def _guarded_step(self, power: np.ndarray) -> TemperatureField:
+        """The guarded solve behind :meth:`step_with_power_vector`."""
         if self.guard.check_finite:
             validate_finite_array(power, "nodal power vector")
         values, ok, residual, method, iterations, fell_back = self._attempt(
