@@ -1,0 +1,310 @@
+"""Certified ROM fast path vs the exact backends (standalone benchmark).
+
+Measures, on the paper's 4-tier liquid-cooled stack at the 23x20 grid
+(``--quick``: 2-tier at 12x10 for CI smoke):
+
+* **steady**: certified reduced block-temperature queries (three dense
+  GEMVs) against the warm direct-LU solve, with the max true error and
+  the certified bound measured over a grid of in-trust flows and power
+  patterns;
+* **transient**: certified reduced backward-Euler steps against the
+  warm cached-LU stepper, plus the end-to-end
+  :class:`~repro.thermal.solver.TransientStepper` rom path (which pays
+  an ``n x r`` reconstruction per step so the simulator stays
+  unmodified);
+* **fallback**: a forced out-of-trust query (flow below the trained
+  range) must fall back to the exact backend bitwise-identically and
+  increment the ``rom.fallback`` counter.
+
+``--gate`` asserts the certified-error contract (always) and the
+speed-up floors (full mode): >=100x steady, >=20x transient-step at
+<=0.5 K certified error.  ``--output`` updates the ``rom`` section of
+``BENCH_thermal.json``.
+
+Run:
+    PYTHONPATH=src python benchmarks/bench_rom.py [--quick] [--gate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry import CoolingMode, build_3d_mpsoc
+from repro.obs.metrics import get_registry
+from repro.thermal import CompactThermalModel, TransientStepper
+from repro.thermal.rom import RomOptions
+
+STEADY_SPEEDUP_FLOOR = 100.0
+TRANSIENT_SPEEDUP_FLOOR = 20.0
+TOLERANCE_K = 0.5
+
+
+def _config(quick: bool):
+    if quick:
+        return dict(
+            tiers=2,
+            nx=12,
+            ny=10,
+            options=RomOptions(
+                flow_points=5,
+                max_modes=128,
+                validation_queries=4,
+                transient_calibration_steps=10,
+                transient_snapshots=10,
+            ),
+            steady_reps=2000,
+            direct_reps=20,
+            transient_steps=50,
+            accuracy_flows=(12.0, 20.0, 28.0),
+        )
+    return dict(
+        tiers=4,
+        nx=23,
+        ny=20,
+        options=RomOptions(),
+        steady_reps=5000,
+        direct_reps=50,
+        transient_steps=200,
+        accuracy_flows=(12.0, 16.5, 20.0, 24.0, 28.0, 31.0),
+    )
+
+
+def _powers(stack, scale=1.0):
+    powers = {}
+    for layer, block in stack.iter_blocks():
+        if block.kind == "core":
+            powers[(layer.name, block.name)] = 5.0 * scale
+        elif block.kind == "cache":
+            powers[(layer.name, block.name)] = 1.5 * scale
+    return powers
+
+
+def _time_loop(fn, reps):
+    fn()  # warm
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - start) / reps
+
+
+def run(quick: bool, gate: bool) -> dict:
+    config = _config(quick)
+    stack = build_3d_mpsoc(config["tiers"], CoolingMode.LIQUID)
+    options = config["options"]
+    rom_model = CompactThermalModel(
+        stack, nx=config["nx"], ny=config["ny"], solver="rom", rom=options
+    )
+    exact = CompactThermalModel(
+        stack, nx=config["nx"], ny=config["ny"], solver="direct"
+    )
+    powers = _powers(stack)
+    registry = get_registry()
+
+    build_start = time.perf_counter()
+    rom = rom_model.ensure_rom()
+    build_s = time.perf_counter() - build_start
+    basis = rom.basis
+
+    flow = 20.0
+    rom_model.set_flow(flow)
+    exact.set_flow(flow)
+    packed = rom_model.pack_powers(powers)
+    rate = rom_model.rom_flow(None)[1]
+
+    # -- steady latency: certified reduced query vs warm direct LU ------
+    steady_rom_s = _time_loop(
+        lambda: rom.steady_block_temps(packed, flow, capacity_rate=rate),
+        config["steady_reps"],
+    )
+    steady_direct_s = _time_loop(
+        lambda: exact.steady_state(powers), config["direct_reps"]
+    )
+
+    # -- steady accuracy over in-trust flows and power patterns ---------
+    rng = np.random.default_rng(7)
+    steady_err = steady_bound = 0.0
+    for query_flow in config["accuracy_flows"]:
+        for _ in range(3):
+            scale = float(rng.uniform(0.4, 1.2))
+            probe = {k: v * scale for k, v in powers.items()}
+            probe_packed = rom_model.pack_powers(probe)
+            rom_model.set_flow(query_flow)
+            exact.set_flow(query_flow)
+            values, bound = rom.steady_values(
+                probe_packed, query_flow,
+                capacity_rate=rom_model.rom_flow(None)[1],
+            )
+            reference = exact.steady_state(probe)
+            error = float(np.max(np.abs(values - reference.values)))
+            assert error <= bound, (
+                f"certified steady bound violated: err={error:.3e} "
+                f"bound={bound:.3e}"
+            )
+            steady_err = max(steady_err, error)
+            steady_bound = max(steady_bound, bound)
+
+    # -- transient latency: reduced step vs warm cached-LU step ---------
+    rom_model.set_flow(flow)
+    exact.set_flow(flow)
+    init = exact.steady_state(_powers(stack, scale=0.95))
+    reduced = rom.stepper(0.1, init.values)
+    step_rom_s = _time_loop(
+        lambda: reduced.step_packed(packed, flow, capacity_rate=rate),
+        config["transient_steps"],
+    )
+    exact_stepper = TransientStepper(exact, 0.1, init)
+    exact_packed = exact.pack_powers(powers)
+    step_direct_s = _time_loop(
+        lambda: exact_stepper.step_packed(exact_packed),
+        config["transient_steps"],
+    )
+    # End-to-end stepper path (adds the n x r reconstruction per step
+    # so SystemSimulator runs unmodified).
+    rom_stepper = TransientStepper(rom_model, 0.1, init)
+    step_stepper_s = _time_loop(
+        lambda: rom_stepper.step_packed(packed), config["transient_steps"]
+    )
+
+    # -- transient accuracy against an exact trajectory -----------------
+    reduced = rom.stepper(0.1, init.values)
+    twin = TransientStepper(exact, 0.1, init)
+    transient_err = transient_bound = 0.0
+    for _ in range(30):
+        bound = reduced.step_packed(packed, flow, capacity_rate=rate)
+        twin.step_packed(exact_packed)
+        error = float(np.max(np.abs(reduced.values() - twin.state.values)))
+        assert error <= bound, (
+            f"certified transient bound violated: err={error:.3e} "
+            f"bound={bound:.3e}"
+        )
+        transient_err = max(transient_err, error)
+        transient_bound = max(transient_bound, bound)
+
+    # -- forced out-of-trust fallback -----------------------------------
+    out_of_trust = basis.flow_lo / 2.0
+    rom_model.set_flow(out_of_trust)
+    exact.set_flow(out_of_trust)
+    fallbacks_before = registry.counter("rom.fallback").value
+    fallback_field = rom_model.steady_state(powers)
+    reference = exact.steady_state(powers)
+    fallback_bitwise = bool(
+        np.array_equal(fallback_field.values, reference.values)
+    )
+    fallback_counted = (
+        registry.counter("rom.fallback").value == fallbacks_before + 1
+    )
+    fallback_method = rom_model.last_steady_diagnostics.method
+
+    results = {
+        "mode": "quick" if quick else "full",
+        "grid": f"{config['tiers']}-tier {config['nx']}x{config['ny']}",
+        "nodes": int(rom_model.grid.size),
+        "modes": int(basis.modes),
+        "build_s": round(build_s, 3),
+        "steady": {
+            "rom_us": round(steady_rom_s * 1e6, 2),
+            "direct_us": round(steady_direct_s * 1e6, 2),
+            "speedup": round(steady_direct_s / steady_rom_s, 1),
+            "max_error_k": round(steady_err, 6),
+            "max_bound_k": round(steady_bound, 6),
+        },
+        "transient": {
+            "rom_step_us": round(step_rom_s * 1e6, 2),
+            "stepper_step_us": round(step_stepper_s * 1e6, 2),
+            "direct_step_us": round(step_direct_s * 1e6, 2),
+            "speedup": round(step_direct_s / step_rom_s, 1),
+            "stepper_speedup": round(step_direct_s / step_stepper_s, 1),
+            "max_error_k": round(transient_err, 6),
+            "max_bound_k": round(transient_bound, 6),
+        },
+        "fallback": {
+            "bitwise": fallback_bitwise,
+            "counted": fallback_counted,
+            "method": fallback_method,
+        },
+        "tolerance_k": TOLERANCE_K,
+    }
+
+    if gate:
+        failures = []
+        if steady_bound > TOLERANCE_K:
+            failures.append(
+                f"steady bound {steady_bound:.3f} K exceeds the "
+                f"{TOLERANCE_K} K certification contract"
+            )
+        if transient_bound > TOLERANCE_K:
+            failures.append(
+                f"transient bound {transient_bound:.3f} K exceeds the "
+                f"{TOLERANCE_K} K certification contract"
+            )
+        if not fallback_bitwise:
+            failures.append("out-of-trust fallback is not bitwise-exact")
+        if not fallback_counted:
+            failures.append("rom.fallback counter did not increment")
+        if not quick:
+            speedup = steady_direct_s / steady_rom_s
+            if speedup < STEADY_SPEEDUP_FLOOR:
+                failures.append(
+                    f"steady speedup {speedup:.0f}x below the "
+                    f"{STEADY_SPEEDUP_FLOOR:.0f}x floor"
+                )
+            t_speedup = step_direct_s / step_rom_s
+            if t_speedup < TRANSIENT_SPEEDUP_FLOOR:
+                failures.append(
+                    f"transient speedup {t_speedup:.0f}x below the "
+                    f"{TRANSIENT_SPEEDUP_FLOOR:.0f}x floor"
+                )
+        results["gate"] = {"passed": not failures, "failures": failures}
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILURE: {failure}", file=sys.stderr)
+
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="2-tier smoke configuration (CI): certification + fallback "
+        "contracts only, no speed-up floors",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when a contract (or, in full mode, a "
+        "speed-up floor) fails",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="update the 'rom' section of this BENCH_thermal.json",
+    )
+    args = parser.parse_args()
+
+    results = run(quick=args.quick, gate=args.gate)
+    print(json.dumps(results, indent=2))
+
+    if args.output is not None:
+        payload = {}
+        if args.output.exists():
+            payload = json.loads(args.output.read_text())
+        payload["rom"] = results
+        args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"updated {args.output}")
+
+    if args.gate and not results.get("gate", {}).get("passed", True):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

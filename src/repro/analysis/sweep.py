@@ -666,7 +666,9 @@ def _install_payload_from_shm(name: str) -> None:
     _install_shared_payload(payload)
 
 
-def _resolve_shared_simulator(ref: SharedJobRef) -> SystemSimulator:
+def _resolve_shared_simulator(
+    ref: SharedJobRef, cache_dir: Optional[str] = None
+) -> SystemSimulator:
     """Build one job's simulator from the shared payload + model cache."""
     payload = _shared_payload
     if payload is None:
@@ -681,8 +683,16 @@ def _resolve_shared_simulator(ref: SharedJobRef) -> SystemSimulator:
         # stay valid because they are keyed by flow signature.
         model.set_flow(constants.FLOW_RATE_MAX_ML_MIN)
     if ref.scenario is not None:
+        rom_store = None
+        if model is None and cache_dir is not None:
+            # A spawn worker building its own "rom" model can at least
+            # load the serialized basis instead of re-running the
+            # offline build (fork workers inherit it via COW pages).
+            from ..thermal.rom import RomStore
+
+            rom_store = RomStore(cache_dir)
         simulator = build_simulator(
-            payload.scenarios[ref.scenario], model=model
+            payload.scenarios[ref.scenario], model=model, rom_store=rom_store
         )
     else:
         simulator = SystemSimulator(
@@ -729,10 +739,10 @@ def _run_shared_job_inner(
         cached = cache.get(scenario)
         if cached is not None:
             return cached
-        result = _resolve_shared_simulator(ref).run()
+        result = _resolve_shared_simulator(ref, cache_dir).run()
         cache.put(scenario, result)
         return result
-    return _resolve_shared_simulator(ref).run()
+    return _resolve_shared_simulator(ref, cache_dir).run()
 
 
 def _build_shared_payload(
@@ -797,19 +807,32 @@ def _build_shared_payload(
 
 
 def _prewarm_shared_models(
-    payload: SharedSweepPayload, refs: Sequence[SharedJobRef]
+    payload: SharedSweepPayload,
+    refs: Sequence[SharedJobRef],
+    cache_dir: Optional[str] = None,
 ) -> None:
     """Assemble one model per distinct (stack, grid) before forking.
 
     Fork workers then inherit the assembled conductance/advection
     matrices, injection operators and the warm steady factor through
-    copy-on-write pages instead of re-assembling per worker.
+    copy-on-write pages instead of re-assembling per worker.  For
+    ``"rom"`` scenarios the reduced basis is built (or loaded from the
+    cache directory) here too, so every worker shares one set of
+    projected operators zero-copy instead of paying the offline build
+    per process.
     """
+    rom_store = None
+    if cache_dir is not None:
+        from ..thermal.rom import RomStore
+
+        rom_store = RomStore(cache_dir)
     for ref in refs:
         if ref.model_key in _shared_models:
             continue
         if ref.scenario is not None:
-            model = build_model(payload.scenarios[ref.scenario])
+            model = build_model(
+                payload.scenarios[ref.scenario], rom_store=rom_store
+            )
         else:
             kwargs = payload.kwargs[ref.kwargs]
             model = CompactThermalModel(
@@ -818,7 +841,9 @@ def _prewarm_shared_models(
                 ny=int(kwargs.get("ny", DEFAULT_NY)),
             )
         model.injection_operator()
-        if model.steady_backend() == "direct":
+        if model.steady_backend() == "rom":
+            model.ensure_rom()
+        elif model.steady_backend() == "direct":
             model.steady_factor(None)
         _shared_models[ref.model_key] = model
 
@@ -891,7 +916,11 @@ def run_simulations_shared(
         if context.get_start_method() == "fork":
             _install_shared_payload(payload)
             try:
-                _prewarm_shared_models(payload, refs)
+                _prewarm_shared_models(
+                    payload,
+                    refs,
+                    None if cache_dir is None else str(cache_dir),
+                )
                 with ProcessPoolExecutor(
                     max_workers=processes, mp_context=context
                 ) as pool:

@@ -28,6 +28,7 @@ from .spec import (
     FaultSpec,
     FlowFaultSpec,
     PolicySpec,
+    RomSpec,
     Scenario,
     ScenarioError,
     SensorFaultSpec,
@@ -45,6 +46,7 @@ __all__ = [
     "FlowFaultSpec",
     "PolicySpec",
     "ResultCache",
+    "RomSpec",
     "Runner",
     "Scenario",
     "ScenarioError",

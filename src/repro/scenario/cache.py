@@ -50,6 +50,22 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_root()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self._rom_store = None
+
+    @property
+    def rom_store(self):
+        """Sibling :class:`~repro.thermal.rom.RomStore` under this root.
+
+        Serialized ROM bases live next to the result pickles so one
+        ``REPRO_CACHE_DIR`` override (or explicit root) relocates both,
+        and ``clear()`` wipes both.
+        """
+        if self._rom_store is None:
+            from ..thermal.rom import RomStore
+
+            self._rom_store = RomStore(self.root)
+        return self._rom_store
 
     def key(self, scenario: Scenario) -> str:
         """Cache key: content hash + the code version that computed it."""
@@ -69,14 +85,31 @@ class ResultCache:
         return self.root / f"{self.key(scenario)}.manifest.json"
 
     def get(self, scenario: Scenario) -> Optional[SimulationResult]:
-        """The cached result, or ``None`` on a miss/corrupt entry."""
+        """The cached result, or ``None`` on a miss/corrupt entry.
+
+        The single ``read_bytes`` snapshot is the atomic-read guard:
+        writers only ever ``os.replace`` complete files into place, so
+        a read sees either an old complete entry or a new complete
+        entry, never a torn mix.  Everything else a hostile blob can
+        throw during unpickling (truncation, foreign classes, bit rot
+        — unpickling corrupt data can raise nearly anything) is
+        demoted to a counted miss: a damaged cache degrades to
+        recomputation, never to a crash.
+        """
         path = self.path(scenario)
         try:
-            payload = pickle.loads(path.read_bytes())
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = pickle.loads(blob)
+        except Exception:
+            self.corrupt += 1
             self.misses += 1
             return None
         if not isinstance(payload, SimulationResult):
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -124,5 +157,5 @@ class ResultCache:
     def __repr__(self) -> str:
         return (
             f"ResultCache({str(self.root)!r}, hits={self.hits}, "
-            f"misses={self.misses})"
+            f"misses={self.misses}, corrupt={self.corrupt})"
         )

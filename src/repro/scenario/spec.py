@@ -39,7 +39,7 @@ COOLING_CHOICES = ("air", "liquid")
 WORKLOAD_SOURCES = ("suite", "generator")
 SUITE_WORKLOADS = ("web", "database", "multimedia", "max-utilisation")
 GENERATOR_WORKLOADS = SUITE_WORKLOADS + ("idle",)
-SOLVER_BACKENDS = ("auto", "direct", "iterative")
+SOLVER_BACKENDS = ("auto", "direct", "iterative", "rom")
 SENSOR_FAULT_KINDS = ("dead", "stuck", "noisy")
 FLOW_FAULT_KINDS = ("pump-degradation", "clogged-cavity")
 
@@ -348,12 +348,78 @@ class PolicySpec:
 
 
 @dataclass(frozen=True)
+class RomSpec:
+    """Reduced-order fast-path configuration (``solver.backend="rom"``).
+
+    Mirrors the offline-build knobs of
+    :class:`repro.thermal.rom.RomOptions`; every field feeds the basis
+    construction and therefore the scenario's ``model_hash`` — two
+    scenarios with different ROM budgets never share a serialized
+    basis.
+    """
+
+    modes: int = 128
+    energy_tol: float = 1e-12
+    flow_points: int = 7
+    transient_snapshots: int = 10
+    sketch: int = 16
+    safety: float = 8.0
+    tolerance_k: float = 0.5
+    validation: int = 12
+
+    def __post_init__(self) -> None:
+        if self.modes < 1:
+            raise ScenarioError(f"modes: must be >= 1, got {self.modes!r}")
+        _check_positive(self.energy_tol, "energy_tol")
+        if self.flow_points < 1:
+            raise ScenarioError(
+                f"flow_points: must be >= 1, got {self.flow_points!r}"
+            )
+        if self.transient_snapshots < 1:
+            raise ScenarioError(
+                f"transient_snapshots: must be >= 1, "
+                f"got {self.transient_snapshots!r}"
+            )
+        if self.sketch < 1:
+            raise ScenarioError(f"sketch: must be >= 1, got {self.sketch!r}")
+        if self.safety < 1.0:
+            raise ScenarioError(
+                f"safety: must be >= 1, got {self.safety!r}"
+            )
+        _check_positive(self.tolerance_k, "tolerance_k")
+        if self.validation < 1:
+            raise ScenarioError(
+                f"validation: must be >= 1, got {self.validation!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "solver.rom") -> "RomSpec":
+        data = _require_mapping(data, path)
+        _reject_unknown(data, cls, path)
+        kwargs: Dict[str, Any] = {
+            name: _typed(data, name, (int,), path, default=getattr(cls, name))
+            for name in (
+                "modes", "flow_points", "transient_snapshots", "sketch",
+                "validation",
+            )
+        }
+        for name in ("energy_tol", "safety", "tolerance_k"):
+            kwargs[name] = _typed(
+                data, name, (float,), path, default=getattr(cls, name)
+            )
+        return _build(cls, kwargs, path)
+
+
+@dataclass(frozen=True)
 class SolverSpec:
     """Thermal solver backend, grid resolution and tolerances.
 
     Mirrors :class:`repro.thermal.model.CompactThermalModel` /
     :class:`repro.thermal.krylov.KrylovOptions` defaults; ``backend``
-    moves the PR-3 direct/iterative selection into the spec.
+    moves the PR-3 direct/iterative selection into the spec.  Backend
+    ``"rom"`` enables the certified reduced-order fast path; its
+    offline-build budget lives in the nested :class:`RomSpec` (optional
+    — the defaults match the paper's 4-tier benchmark).
     """
 
     backend: str = "auto"
@@ -364,9 +430,15 @@ class SolverSpec:
     maxiter: int = 2000
     drop_tol: float = 1e-3
     fill_factor: float = 4.0
+    rom: Optional[RomSpec] = None
 
     def __post_init__(self) -> None:
         _check_choice(self.backend, SOLVER_BACKENDS, "backend")
+        if self.rom is not None and self.backend != "rom":
+            raise ScenarioError(
+                f"rom: ROM options require backend='rom', "
+                f"got backend={self.backend!r}"
+            )
         if self.nx < 2 or self.ny < 2:
             raise ScenarioError(
                 f"nx/ny: grid resolution must be >= 2, "
@@ -404,6 +476,12 @@ class SolverSpec:
             kwargs[name] = _typed(
                 data, name, (float,), path, default=getattr(cls, name)
             )
+        rom_data = data.get("rom")
+        kwargs["rom"] = (
+            None
+            if rom_data is None
+            else RomSpec.from_dict(rom_data, f"{path}.rom")
+        )
         return _build(cls, kwargs, path)
 
 
@@ -610,6 +688,20 @@ def _to_plain(value: Any) -> Any:
     return value
 
 
+def _solver_plain(solver: "SolverSpec") -> Dict[str, Any]:
+    """``_to_plain`` for the solver, omitting an unset ``rom`` block.
+
+    Dropping the ``None`` placeholder keeps the serialized payload —
+    and therefore ``content_hash`` / ``model_hash`` — byte-identical
+    to specs written before the ROM backend existed, so on-disk result
+    caches survive the upgrade.
+    """
+    data = _to_plain(solver)
+    if data.get("rom") is None:
+        data.pop("rom", None)
+    return data
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One fully-specified closed-loop experiment.
@@ -667,7 +759,7 @@ class Scenario:
             "stack": _to_plain(self.stack),
             "workload": _to_plain(self.workload),
             "policy": _to_plain(self.policy),
-            "solver": _to_plain(self.solver),
+            "solver": _solver_plain(self.solver),
             "control": _to_plain(self.control),
             "faults": _to_plain(self.faults)
             if self.faults is not None
@@ -784,7 +876,7 @@ class Scenario:
             {
                 "schema_version": SCHEMA_VERSION,
                 "stack": _to_plain(self.stack),
-                "solver": _to_plain(self.solver),
+                "solver": _solver_plain(self.solver),
             },
             sort_keys=True,
             separators=(",", ":"),

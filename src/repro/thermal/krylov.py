@@ -50,8 +50,16 @@ solves, where direct stays ahead until fill-in memory dominates.
 Override with the ``REPRO_DIRECT_NODE_LIMIT`` environment variable.
 """
 
-SOLVER_CHOICES = ("auto", "direct", "iterative")
-"""Accepted solver-backend selections."""
+SOLVER_CHOICES = ("auto", "direct", "iterative", "rom")
+"""Accepted solver-backend selections.
+
+``"rom"`` selects the certified reduced-order fast path (see
+:mod:`repro.thermal.rom`): queries inside the snapshot trust region are
+served in microseconds from the projected system, everything else falls
+through to the exact backend that ``"auto"`` would have chosen — i.e.
+the full fallback chain is rom -> iterative -> direct above the node
+limit and rom -> direct below it.
+"""
 
 
 def direct_node_limit() -> int:
@@ -84,12 +92,16 @@ def choose_backend(
     n_nodes: int,
     node_limit: Optional[int] = None,
 ) -> str:
-    """Resolve a solver request to ``"direct"`` or ``"iterative"``.
+    """Resolve a solver request to a concrete backend tier.
 
     Parameters
     ----------
     requested:
-        ``"auto"``, ``"direct"`` or ``"iterative"``.
+        ``"auto"``, ``"direct"``, ``"iterative"`` or ``"rom"``.
+        Explicit requests pass through (``"rom"`` is a tier of its
+        own — its *exact fallback* backend is resolved separately via
+        :func:`exact_fallback_backend`); ``"auto"`` picks by problem
+        size.
     n_nodes:
         Problem size (grid nodes).
     node_limit:
@@ -107,6 +119,19 @@ def choose_backend(
     resolved = "iterative" if n_nodes > limit else "direct"
     _count_selection(resolved)
     return resolved
+
+
+def exact_fallback_backend(
+    n_nodes: int, node_limit: Optional[int] = None
+) -> str:
+    """The exact backend a rejected ROM query falls back to.
+
+    The ROM's fallback chain reuses the ``"auto"`` size rule: rom ->
+    iterative -> direct above the node limit, rom -> direct below it.
+    Counted as a regular selection so the `solver.backend_selected.*`
+    counters reflect what actually ran.
+    """
+    return choose_backend("auto", n_nodes, node_limit)
 
 
 _SELECTION_COUNTERS: dict = {}

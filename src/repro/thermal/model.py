@@ -45,6 +45,7 @@ equivalence tests assert both paths agree bit for bit.  Phase order
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict, namedtuple
 from typing import Dict, List, Optional, Tuple
 
@@ -79,7 +80,29 @@ from .krylov import (
     KrylovOptions,
     KrylovSolver,
     choose_backend,
+    exact_fallback_backend,
 )
+
+LU_CACHE_SIZE_ENV = "REPRO_LU_CACHE_SIZE"
+"""Environment override of the steady/transient LU cache capacities.
+
+One positive integer applied to both the model's steady-factor cache
+(default 8 entries) and each transient stepper's factor cache (default
+16 entries).  Explicit constructor arguments always win over the
+environment.  Invalid or non-positive values are ignored.
+"""
+
+
+def lu_cache_size(default: int) -> int:
+    """Resolve an LU cache capacity, honouring ``REPRO_LU_CACHE_SIZE``."""
+    raw = os.environ.get(LU_CACHE_SIZE_ENV)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
 
 DEFAULT_AMBIENT_K = celsius_to_kelvin(46.0)
 """Default air ambient [K].
@@ -143,15 +166,31 @@ class CompactThermalModel:
         Coolant inlet temperature [K] (liquid mode).
     max_steady_factors:
         Upper bound on cached steady-solve LU factorisations (LRU).
+        ``None`` (the default) resolves to 8, overridable through the
+        ``REPRO_LU_CACHE_SIZE`` environment variable.
     solver:
         Steady-solve backend: ``"direct"`` (sparse LU), ``"iterative"``
         (ILU-preconditioned BiCGSTAB with warm starts and a guarded
-        direct fallback) or ``"auto"`` (direct below
-        :data:`repro.thermal.krylov.DIRECT_NODE_LIMIT` nodes,
+        direct fallback), ``"rom"`` (the certified reduced-order fast
+        path of :mod:`repro.thermal.rom`, falling back to the exact
+        auto-resolved backend whenever the certified error bound or the
+        snapshot trust region rejects a query) or ``"auto"`` (direct
+        below :data:`repro.thermal.krylov.DIRECT_NODE_LIMIT` nodes,
         iterative above — large grids stay out of LU fill-in memory).
     krylov:
         Tuning of the iterative path; defaults to
         :class:`~repro.thermal.krylov.KrylovOptions`.
+    rom:
+        Build plan of the reduced-order fast path (only read when
+        ``solver="rom"``); defaults to
+        :class:`~repro.thermal.rom.RomOptions`.
+    rom_store:
+        Optional store with ``get(key)``/``put(key, basis)`` (e.g.
+        :class:`~repro.thermal.rom.store.RomStore`) so the offline
+        basis build is paid once per stack.
+    rom_key:
+        Store key of this model's basis (scenario runs pass their
+        ``model_hash``); without it the store is not consulted.
     """
 
     def __init__(
@@ -161,11 +200,16 @@ class CompactThermalModel:
         ny: int = 20,
         ambient: float = DEFAULT_AMBIENT_K,
         inlet_temperature: float = DEFAULT_INLET_K,
-        max_steady_factors: int = 8,
+        max_steady_factors: Optional[int] = None,
         guard: Optional[SolverGuard] = None,
         solver: str = "auto",
         krylov: Optional[KrylovOptions] = None,
+        rom: Optional[object] = None,
+        rom_store: Optional[object] = None,
+        rom_key: Optional[str] = None,
     ) -> None:
+        if max_steady_factors is None:
+            max_steady_factors = lu_cache_size(8)
         if max_steady_factors < 1:
             raise ValueError("cache must hold at least one factorisation")
         self.guard = guard if guard is not None else SolverGuard()
@@ -202,6 +246,23 @@ class CompactThermalModel:
         registry = get_registry()
         self._g_steady_hits = registry.counter("thermal.steady_cache.hits")
         self._g_steady_misses = registry.counter("thermal.steady_cache.misses")
+        # Cache capacity/occupancy surfaced as gauges (last writer wins
+        # across models — a per-process observability rollup, not a
+        # per-model ledger; per-model numbers come from
+        # :meth:`steady_cache_info`).
+        self._g_steady_maxsize = registry.gauge("thermal.steady_cache.maxsize")
+        self._g_steady_currsize = registry.gauge(
+            "thermal.steady_cache.currsize"
+        )
+        self._g_steady_maxsize.set(self._max_steady_factors)
+        self._g_steady_currsize.set(0)
+        # Reduced-order fast-path state (solver="rom"), built lazily on
+        # the first query or loaded from the store.
+        self._rom_options = rom
+        self._rom_store = rom_store
+        self._rom_key = rom_key
+        self._rom: Optional[object] = None
+        self._c_rom_fallback = registry.counter("rom.fallback")
         # Iterative-path state, keyed like the LU cache: one
         # ILU-preconditioned operator per flow state, plus the last
         # solution at that state as the warm-start guess.
@@ -698,6 +759,7 @@ class CompactThermalModel:
         self._steady_factors[key] = factor
         if len(self._steady_factors) > self._max_steady_factors:
             self._steady_factors.popitem(last=False)
+        self._g_steady_currsize.set(len(self._steady_factors))
         return factor
 
     def _steady_key(self, flow_ml_min: Optional[float]) -> object:
@@ -718,6 +780,7 @@ class CompactThermalModel:
         dropped_lu = self._steady_factors.pop(key, None) is not None
         dropped_ilu = self._steady_krylov.pop(key, None) is not None
         self._steady_warm.pop(key, None)
+        self._g_steady_currsize.set(len(self._steady_factors))
         return dropped_lu or dropped_ilu
 
     def steady_cache_info(self) -> CacheInfo:
@@ -740,6 +803,7 @@ class CompactThermalModel:
         self._steady_warm.clear()
         self._steady_hits.reset()
         self._steady_misses.reset()
+        self._g_steady_currsize.set(0)
 
     def steady_backend(self) -> str:
         """The resolved steady-solve backend for this model's grid.
@@ -832,6 +896,17 @@ class CompactThermalModel:
         with tracer.span(
             "thermal.steady_solve", backend=backend, nodes=self.grid.size
         ):
+            if backend == "rom":
+                field = self._steady_rom(block_powers, flow_ml_min)
+                if field is not None:
+                    return field
+                # Certified bound or trust region rejected the query:
+                # fall through to the exact backend the "auto" rule
+                # picks (rom -> iterative -> direct above the node
+                # limit, rom -> direct below it).  The exact path is
+                # byte-for-byte the non-rom code below, so fallback
+                # results are bitwise identical to a plain exact model.
+                backend = exact_fallback_backend(self.grid.size)
             if backend == "iterative":
                 q = self.power_vector(block_powers) + self.boundary_rhs(
                     flow_ml_min
@@ -862,6 +937,88 @@ class CompactThermalModel:
             factor = self.steady_factor(flow_ml_min)
             q = self.power_vector(block_powers) + self.boundary_rhs(flow_ml_min)
             return self._steady_direct(q, flow_ml_min, factor=factor)
+
+    # ------------------------------------------------------------------
+    # reduced-order fast path (solver="rom")
+    # ------------------------------------------------------------------
+
+    def ensure_rom(self):
+        """The (lazily built or store-loaded) reduced query engine.
+
+        The offline build costs seconds of exact solves per stack; with
+        a ``rom_store`` and ``rom_key`` it is paid once and the
+        serialized basis is reused by every later model of the same
+        ``model_hash``.
+        """
+        if self._rom is not None:
+            return self._rom
+        from .rom import ReducedThermalModel, RomOptions, build_rom_basis
+
+        basis = None
+        if self._rom_store is not None and self._rom_key:
+            basis = self._rom_store.get(self._rom_key)
+            if basis is not None and not basis.matches(self):
+                basis = None
+        if basis is None:
+            options = self._rom_options
+            if options is None:
+                options = RomOptions()
+            basis = build_rom_basis(self, options)
+            if self._rom_store is not None and self._rom_key:
+                self._rom_store.put(self._rom_key, basis)
+        self._rom = ReducedThermalModel(basis)
+        return self._rom
+
+    def rom_flow(
+        self, flow_ml_min: Optional[float]
+    ) -> Tuple[Optional[float], float]:
+        """Resolve a steady/transient flow request for the ROM.
+
+        Returns ``(flow, capacity_rate)``; ``flow`` is ``None`` when
+        the per-cavity flows are unequal (out of the ROM trust region)
+        while the model still has single-phase cavities.
+        """
+        if not self._flows:
+            return None, 0.0
+        flow = (
+            flow_ml_min if flow_ml_min is not None else self._uniform_flow()
+        )
+        if flow is None:
+            return None, 0.0
+        return flow, self._capacity_rate_per_row(flow)
+
+    def _steady_rom(
+        self,
+        block_powers: Dict[BlockRef, float],
+        flow_ml_min: Optional[float],
+    ) -> Optional[TemperatureField]:
+        """One certified reduced steady solve, or ``None`` to fall back."""
+        from .rom import RomRejection
+
+        tracer = get_tracer()
+        rom = self.ensure_rom()
+        packed = self.pack_powers(block_powers)
+        flow, rate = self.rom_flow(flow_ml_min)
+        try:
+            with tracer.span("rom.solve", kind="steady"):
+                if self._flows and flow is None:
+                    rom.check_flow(None)  # raises RomRejection, counted
+                values, bound = rom.steady_values(
+                    packed, flow, capacity_rate=rate if self._flows else None
+                )
+        except RomRejection as rejection:
+            self._c_rom_fallback.inc()
+            tracer.event(
+                "rom.fallback", kind="steady", reason=rejection.reason
+            )
+            return None
+        self.last_steady_diagnostics = SolverDiagnostics(
+            kind="steady",
+            residual_norm=bound,
+            finite=True,
+            method="rom",
+        )
+        return TemperatureField(self.grid, values)
 
     def _steady_direct(
         self,

@@ -1,0 +1,47 @@
+"""Certified reduced-order fast path for the compact thermal model.
+
+The design-space studies of Section II-C and the runtime policy loops
+need thousands-to-millions of thermal evaluations; even the cached-LU
+direct path costs ~1 ms per steady solve or transient step at the
+paper's grid.  This package projects the RC system
+
+``C dT/dt = -(A_base + c(f) A_adv) T + P + b(f)``
+
+onto a POD basis built from snapshots of the *exact* solver (Galerkin
+projection), so a query becomes a handful of dense GEMVs in ``r ~ 100``
+dimensions — microseconds instead of milliseconds.  Every query is
+*certified*: a sketched a-posteriori residual, scaled by an effectivity
+constant calibrated against held-out exact solves, yields a per-query
+error bound, and any query whose bound exceeds the tolerance (or whose
+inputs leave the snapshot trust region) transparently falls back to the
+exact backend.
+
+Layout
+------
+:mod:`basis`
+    Snapshot plan, POD truncation, reduced operators, sketch matrices
+    and effectivity calibration — everything needed offline, packaged
+    into a picklable :class:`~repro.thermal.rom.basis.RomBasis`.
+:mod:`reduced`
+    The online query engine: folded per-flow steady operators,
+    reduced backward-Euler stepping, per-query certification and the
+    :class:`~repro.thermal.rom.reduced.RomRejection` fallback signal.
+:mod:`store`
+    Atomic on-disk persistence of serialized bases, keyed by the
+    scenario ``model_hash`` plus the ROM format version.
+"""
+
+from .basis import ROM_FORMAT_VERSION, RomBasis, RomOptions, build_rom_basis
+from .reduced import ReducedStepper, ReducedThermalModel, RomRejection
+from .store import RomStore
+
+__all__ = [
+    "ROM_FORMAT_VERSION",
+    "RomBasis",
+    "RomOptions",
+    "build_rom_basis",
+    "ReducedThermalModel",
+    "ReducedStepper",
+    "RomRejection",
+    "RomStore",
+]

@@ -1,0 +1,542 @@
+"""Offline construction of the certified thermal ROM basis.
+
+The snapshot plan exploits the structure of the compact model.  At each
+of ``flow_points`` trained flow rates the steady response to *any*
+block-power vector lies in the span of the boundary-only solve plus the
+per-block unit-power responses (the system is linear in ``P``), so
+those ``1 + n_blocks`` columns make steady queries at trained flows
+exact up to POD truncation.  Short backward-Euler step-response
+trajectories add the transient directions the implicit stepper visits.
+POD (an SVD of the snapshot matrix) then orders the union by captured
+energy and the basis is truncated at ``energy_tol``.
+
+Certification is residual-based but avoids any :math:`O(n)` work per
+query: a fixed random orthonormal test matrix ``Phi`` (``sketch_size``
+columns) is applied to every residual *factor* offline, so the online
+residual norm estimate is a small GEMV.  An effectivity constant
+``kappa`` mapping the sketched residual to the observed max-norm error
+is calibrated against held-out exact solves at *untrained* flow points,
+and every online bound carries a ``safety`` margin on top of it.  The
+transient bound accumulates through the step recursion with the decay
+factor ``rho = ||(C/dt + A)^{-1} C/dt||_2`` estimated by power
+iteration — well below one for these stacks, so per-step contributions
+are geometrically forgotten rather than summed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+import numpy as np
+from scipy.sparse import diags
+from scipy.sparse.linalg import splu
+
+from ... import constants
+from ...obs.metrics import get_registry
+from ...obs.trace import get_tracer
+
+ROM_FORMAT_VERSION = 2
+"""Serialized-basis format version.
+
+Bumped whenever :class:`RomBasis` changes shape; the on-disk store keys
+entries by ``model_hash`` *and* this version, so a format change can
+never deserialize a stale artifact.
+"""
+
+
+@dataclass(frozen=True)
+class RomOptions:
+    """Offline build plan and certification knobs of the thermal ROM.
+
+    Attributes
+    ----------
+    max_modes:
+        Hard cap on the POD basis size ``r`` (the energy cut usually
+        binds first).
+    energy_tol:
+        POD truncation threshold: retain modes until the discarded
+        singular-value energy fraction drops below this.
+    flow_points:
+        Trained flow rates (linearly spaced over the pump range).
+        Steady responses at these flows are in-span by construction;
+        between them the basis interpolates and the residual bound
+        grows smoothly.
+    flow_min_ml_min, flow_max_ml_min:
+        Trained flow range; defaults to the paper's pump envelope
+        (:data:`repro.constants.FLOW_RATE_MIN_ML_MIN` ..
+        :data:`repro.constants.FLOW_RATE_MAX_ML_MIN`).  Queries outside
+        it are out of the trust region and fall back.
+    transient_snapshots:
+        Step-response states collected per trained flow.
+    snapshot_dt:
+        Step length of the snapshot trajectories and of the calibrated
+        transient certification; the reduced stepper only serves steps
+        at this dt (others fall back).  Defaults to the paper's 100 ms
+        sensor period.
+    power_scale_w:
+        Per-block power scale of the snapshot/calibration draws [W].
+        Linearity makes the calibrated effectivity scale-invariant, so
+        this only needs the right order of magnitude.
+    sketch_size:
+        Columns of the random residual test matrix ``Phi``.
+    safety:
+        Multiplier on the calibrated effectivity constant; absorbs both
+        sketch concentration and calibration sampling error.
+    tolerance_k:
+        Certified error tolerance ``rom_tol`` [K]; queries whose bound
+        exceeds it fall back to the exact backend.
+    flow_grid:
+        Quantization levels of the transient per-flow operator cache.
+        The solve uses the nearest grid operator plus one reduced-space
+        refinement at the true flow coefficient; certification always
+        evaluates the residual at the *true* coefficient, so
+        quantization error is covered by the bound, not assumed away.
+    validation_queries:
+        Held-out exact steady solves used to calibrate the effectivity
+        constant (each at an untrained random flow).
+    transient_calibration_steps:
+        Exact transient steps used to calibrate the per-step transient
+        effectivity.
+    seed:
+        Seed of every random draw in the build (snapshot powers, the
+        sketch matrix, calibration queries) — builds are deterministic.
+    """
+
+    max_modes: int = 128
+    energy_tol: float = 1e-12
+    flow_points: int = 7
+    flow_min_ml_min: Optional[float] = None
+    flow_max_ml_min: Optional[float] = None
+    transient_snapshots: int = 10
+    snapshot_dt: float = constants.SENSOR_PERIOD
+    power_scale_w: float = 3.0
+    sketch_size: int = 16
+    safety: float = 8.0
+    tolerance_k: float = 0.5
+    flow_grid: int = 65
+    validation_queries: int = 12
+    transient_calibration_steps: int = 20
+    seed: int = 20260807
+
+    def __post_init__(self) -> None:
+        if self.max_modes < 1:
+            raise ValueError("max_modes must be at least 1")
+        if not 0.0 < self.energy_tol < 1.0:
+            raise ValueError("energy_tol must be in (0, 1)")
+        if self.flow_points < 1:
+            raise ValueError("flow_points must be at least 1")
+        if self.transient_snapshots < 0:
+            raise ValueError("transient_snapshots must be >= 0")
+        if self.snapshot_dt <= 0.0:
+            raise ValueError("snapshot_dt must be positive")
+        if self.sketch_size < 1:
+            raise ValueError("sketch_size must be at least 1")
+        if self.safety < 1.0:
+            raise ValueError("safety must be >= 1")
+        if self.tolerance_k <= 0.0:
+            raise ValueError("tolerance_k must be positive")
+        if self.flow_grid < 1:
+            raise ValueError("flow_grid must be at least 1")
+        if self.validation_queries < 1:
+            raise ValueError("validation_queries must be at least 1")
+        if self.transient_calibration_steps < 1:
+            raise ValueError("transient_calibration_steps must be >= 1")
+
+
+@dataclass
+class RomBasis:
+    """Everything the online query engine needs, picklable as one blob.
+
+    All arrays are dense ``float64``; the dominant member is ``V``
+    (``n x r``, a few MB at the paper's grid).  The reduced operators
+    follow the model's affine flow decomposition, e.g.
+    ``A_hat(c) = ab_r + c * aa_r``.
+    """
+
+    format_version: int
+    options: RomOptions
+    # -- fingerprint of the model the basis was built from ------------
+    n_nodes: int
+    n_blocks: int
+    inlet_temperature: float
+    ambient: float
+    has_flow: bool
+    flow_lo: float
+    flow_hi: float
+    c_lo: float
+    c_hi: float
+    # -- projection and reduced operators ------------------------------
+    V: np.ndarray  # n x r
+    ab_r: np.ndarray  # r x r   V^T A_base V
+    aa_r: np.ndarray  # r x r   V^T A_adv V
+    c_r: np.ndarray  # r x r   V^T diag(C) V
+    w_r: np.ndarray  # r x nb  V^T Inj
+    vb_base: np.ndarray  # r     V^T b_base
+    vb_adv: np.ndarray  # r     V^T b_adv
+    block_reduce: np.ndarray  # nb x r  block-mean of V y
+    # -- sketched residual factors --------------------------------------
+    phi: np.ndarray  # n x k   orthonormal test matrix
+    pu0: np.ndarray  # k x r   Phi^T diag(C) V
+    pu1: np.ndarray  # k x r   Phi^T A_base V
+    pu2: np.ndarray  # k x r   Phi^T A_adv V
+    p_inj: np.ndarray  # k x nb  Phi^T Inj
+    pb_base: np.ndarray  # k
+    pb_adv: np.ndarray  # k
+    pv: np.ndarray  # k x r   Phi^T V (projection-error sketch)
+    sketch_scale: float  # sqrt(n / k): sketch norm -> 2-norm estimate
+    # -- certification constants ---------------------------------------
+    kappa_steady: float
+    kappa_transient: float
+    kappa_sync: float
+    rho: float
+    build_seconds: float = 0.0
+    trained_flows: List[float] = field(default_factory=list)
+
+    @property
+    def modes(self) -> int:
+        return int(self.V.shape[1])
+
+    def matches(self, model) -> bool:
+        """Whether this basis fingerprints the given model's system."""
+        return (
+            self.format_version == ROM_FORMAT_VERSION
+            and self.n_nodes == model.grid.size
+            and self.n_blocks == len(model.block_order)
+            and self.inlet_temperature == model.inlet_temperature
+            and self.ambient == model.ambient
+        )
+
+    def capacity_rate(self, flow_ml_min: float) -> float:
+        """``c(f)`` by interpolation of the trained endpoints.
+
+        ``c`` is exactly linear in the flow rate (``rho cp Q / ny``),
+        so interpolating the trained endpoints reproduces the model's
+        coefficient to rounding error.  Integrated callers pass the
+        model's own value instead; this covers standalone use.
+        """
+        if not self.has_flow:
+            return 0.0
+        if self.flow_hi == self.flow_lo:
+            return self.c_lo
+        t = (flow_ml_min - self.flow_lo) / (self.flow_hi - self.flow_lo)
+        return self.c_lo + t * (self.c_hi - self.c_lo)
+
+
+def _pod(snapshots: np.ndarray, options: RomOptions) -> np.ndarray:
+    """POD truncation of the snapshot matrix to the energy cut."""
+    u, sv, _ = np.linalg.svd(snapshots, full_matrices=False)
+    energy = np.cumsum(sv**2)
+    total = energy[-1]
+    if total <= 0.0:
+        return np.ascontiguousarray(u[:, :1])
+    tail = 1.0 - energy / total
+    below = np.nonzero(tail < options.energy_tol)[0]
+    r = int(below[0]) + 1 if below.size else len(sv)
+    r = max(1, min(r, options.max_modes, u.shape[1]))
+    return np.ascontiguousarray(u[:, :r])
+
+
+def build_rom_basis(model, options: Optional[RomOptions] = None) -> RomBasis:
+    """Build (offline) the certified ROM basis of one assembled model.
+
+    Runs entirely against the exact operators — snapshot solves,
+    calibration solves and the decay-factor power iteration all use
+    fresh SuperLU factorizations, never the model's steady cache, so
+    the model's flow state and caches are untouched.
+    """
+    import time as _time
+
+    from ..model import SPLU_OPTIONS
+
+    options = options if options is not None else RomOptions()
+    tracer = get_tracer()
+    registry = get_registry()
+    start = _time.perf_counter()
+    with tracer.span(
+        "rom.build", nodes=model.grid.size, modes_cap=options.max_modes
+    ) as span:
+        rng = np.random.default_rng(options.seed)
+        n = model.grid.size
+        injection = model.injection_operator()
+        nb = injection.shape[1]
+        inj_dense = np.asarray(injection.todense())
+        capacitance = model.capacitance
+        dt = options.snapshot_dt
+        t_in = model.inlet_temperature
+
+        has_flow = bool(model.cavity_flows)
+        if has_flow:
+            flow_lo = (
+                constants.FLOW_RATE_MIN_ML_MIN
+                if options.flow_min_ml_min is None
+                else options.flow_min_ml_min
+            )
+            flow_hi = (
+                constants.FLOW_RATE_MAX_ML_MIN
+                if options.flow_max_ml_min is None
+                else options.flow_max_ml_min
+            )
+            if not flow_hi >= flow_lo > 0.0:
+                raise ValueError(
+                    f"invalid trained flow range [{flow_lo}, {flow_hi}]"
+                )
+            points = max(2, options.flow_points) if flow_hi > flow_lo else 1
+            flows: List[Optional[float]] = list(
+                np.linspace(flow_lo, flow_hi, points)
+            )
+        else:
+            # Air-cooled / two-phase stacks have no flow dependence:
+            # one snapshot family at c = 0 covers the whole input space.
+            flow_lo = flow_hi = 0.0
+            flows = [None]
+
+        # -- snapshots --------------------------------------------------
+        snapshots: List[np.ndarray] = []
+        factors = []
+        for flow in flows:
+            matrix = model.system_matrix(flow)
+            factor = splu(matrix.tocsc(), **SPLU_OPTIONS)
+            factors.append(factor)
+            boundary = model.boundary_rhs(flow)
+            rest = factor.solve(boundary)
+            snapshots.append(rest)
+            snapshots.extend(factor.solve(inj_dense).T)
+            if options.transient_snapshots:
+                stepper_factor = splu(
+                    (matrix + diags(capacitance / dt)).tocsc(), **SPLU_OPTIONS
+                )
+                state = rest.copy()
+                powers = inj_dense @ (
+                    options.power_scale_w * rng.uniform(0.2, 1.0, nb)
+                )
+                for _ in range(options.transient_snapshots):
+                    state = stepper_factor.solve(
+                        (capacitance / dt) * state + powers + boundary
+                    )
+                    snapshots.append(state.copy())
+
+        basis_v = _pod(np.array(snapshots).T, options)
+        r = basis_v.shape[1]
+
+        # -- reduced operators and sketched residual factors ------------
+        a_base = model._a_base
+        a_adv = model._a_adv
+        ab_r = basis_v.T @ (a_base @ basis_v)
+        aa_r = basis_v.T @ (a_adv @ basis_v)
+        c_r = basis_v.T @ (capacitance[:, None] * basis_v)
+        w_r = basis_v.T @ inj_dense
+        vb_base = basis_v.T @ model._b_base
+        vb_adv = basis_v.T @ model._b_adv
+
+        k = min(options.sketch_size, n)
+        phi, _ = np.linalg.qr(rng.standard_normal((n, k)))
+        phi = np.ascontiguousarray(phi)
+        sketch_scale = float(np.sqrt(n / k))
+        pu0 = (phi.T * capacitance) @ basis_v
+        pu1 = phi.T @ (a_base @ basis_v)
+        pu2 = phi.T @ (a_adv @ basis_v)
+        p_inj = phi.T @ inj_dense
+        pb_base = phi.T @ model._b_base
+        pb_adv = phi.T @ model._b_adv
+        pv = phi.T @ basis_v
+
+        block_reduce = _block_mean_operator(model) @ basis_v
+
+        c_lo = (
+            model._capacity_rate_per_row(flow_lo) if has_flow else 0.0
+        )
+        c_hi = (
+            model._capacity_rate_per_row(flow_hi) if has_flow else 0.0
+        )
+
+        # -- decay factor rho of the transient bound recursion ----------
+        rho = 0.0
+        for flow in (flows[0], flows[-1]):
+            matrix = model.system_matrix(flow)
+            factor_m = splu(
+                (matrix + diags(capacitance / dt)).tocsc(), **SPLU_OPTIONS
+            )
+            vec = np.full(n, 1.0 / np.sqrt(n))
+            norm = 0.0
+            for _ in range(30):
+                vec = factor_m.solve((capacitance / dt) * vec)
+                norm = float(np.linalg.norm(vec))
+                if norm == 0.0:
+                    break
+                vec /= norm
+            rho = max(rho, norm)
+        # 5 % margin over the power-iteration estimate, capped below 1
+        # so the accumulated bound always converges.
+        rho = min(rho * 1.05, 0.95)
+
+        # -- effectivity calibration (steady + sync) --------------------
+        # kappa_sync maps the sketched l2 projection residual to the
+        # inf-norm projection error.  The l2 norm spreads over sqrt(n)
+        # nodes, so the honest ratio is well below 1 on large grids;
+        # without it the stepper's sync bound grows with grid size and
+        # the transient ROM can never engage on the paper's 4-tier
+        # stack.  The exact solves of the steady calibration double as
+        # held-out states for it.
+        kappa_steady = 1.0
+        kappa_sync = 0.0
+        for _ in range(options.validation_queries):
+            if has_flow and flow_hi > flow_lo:
+                flow = float(rng.uniform(flow_lo, flow_hi))
+            else:
+                flow = flows[0]
+            c = (
+                model._capacity_rate_per_row(flow)
+                if has_flow
+                else 0.0
+            )
+            packed = options.power_scale_w * rng.uniform(0.0, 1.0, nb)
+            g_r = ab_r + c * aa_r
+            q_r = w_r @ packed + vb_base + c * t_in * vb_adv
+            y = np.linalg.solve(g_r, q_r)
+            est = (
+                float(
+                    np.linalg.norm(
+                        p_inj @ packed
+                        + pb_base
+                        + c * t_in * pb_adv
+                        - (pu1 @ y + c * (pu2 @ y))
+                    )
+                )
+                * sketch_scale
+            )
+            matrix = model.system_matrix(flow)
+            exact = splu(matrix.tocsc(), **SPLU_OPTIONS).solve(
+                inj_dense @ packed + model.boundary_rhs(flow)
+            )
+            err = float(np.max(np.abs(basis_v @ y - exact)))
+            if est > 0.0:
+                kappa_steady = max(kappa_steady, err / est)
+            y_proj = basis_v.T @ exact
+            est_sync = (
+                float(np.linalg.norm(phi.T @ exact - pv @ y_proj))
+                * sketch_scale
+            )
+            err_sync = float(
+                np.max(np.abs(exact - basis_v @ y_proj))
+            )
+            if est_sync > 0.0:
+                kappa_sync = max(kappa_sync, err_sync / est_sync)
+        if kappa_sync <= 0.0:
+            kappa_sync = 1.0
+
+        # -- effectivity calibration (transient, per-step) ---------------
+        # Floored at 1, not at kappa_steady: the steady worst case maps
+        # a residual through G^-1, the step recursion through the far
+        # better conditioned (C/dt + A)^-1, so inheriting the steady
+        # amplification triples the per-step bound for nothing.
+        kappa_transient = 1.0
+        flow = (
+            float(0.5 * (flow_lo + flow_hi)) if has_flow else flows[0]
+        )
+        c = model._capacity_rate_per_row(flow) if has_flow else 0.0
+        matrix = model.system_matrix(flow)
+        factor_m = splu(
+            (matrix + diags(capacitance / dt)).tocsc(), **SPLU_OPTIONS
+        )
+        boundary = model.boundary_rhs(flow)
+        exact_state = splu(matrix.tocsc(), **SPLU_OPTIONS).solve(boundary)
+        y = basis_v.T @ exact_state
+        m_inv = np.linalg.inv(c_r / dt + ab_r + c * aa_r)
+        prev_err = float(np.max(np.abs(basis_v @ y - exact_state)))
+        for _ in range(options.transient_calibration_steps):
+            packed = options.power_scale_w * rng.uniform(0.0, 1.0, nb)
+            q_r = w_r @ packed + vb_base + c * t_in * vb_adv
+            y_new = m_inv @ ((c_r / dt) @ y + q_r)
+            est = (
+                float(
+                    np.linalg.norm(
+                        (pu0 / dt) @ (y - y_new)
+                        - (pu1 @ y_new + c * (pu2 @ y_new))
+                        + p_inj @ packed
+                        + pb_base
+                        + c * t_in * pb_adv
+                    )
+                )
+                * sketch_scale
+            )
+            exact_state = factor_m.solve(
+                (capacitance / dt) * exact_state
+                + inj_dense @ packed
+                + boundary
+            )
+            err = float(np.max(np.abs(basis_v @ y_new - exact_state)))
+            contribution = max(err - rho * prev_err, 0.0)
+            if est > 0.0:
+                kappa_transient = max(kappa_transient, contribution / est)
+            prev_err = err
+            y = y_new
+
+        build_seconds = _time.perf_counter() - start
+        basis = RomBasis(
+            format_version=ROM_FORMAT_VERSION,
+            options=options,
+            n_nodes=n,
+            n_blocks=nb,
+            inlet_temperature=t_in,
+            ambient=model.ambient,
+            has_flow=has_flow,
+            flow_lo=float(flow_lo),
+            flow_hi=float(flow_hi),
+            c_lo=float(c_lo),
+            c_hi=float(c_hi),
+            V=basis_v,
+            ab_r=ab_r,
+            aa_r=aa_r,
+            c_r=c_r,
+            w_r=w_r,
+            vb_base=vb_base,
+            vb_adv=vb_adv,
+            block_reduce=block_reduce,
+            phi=phi,
+            pu0=pu0,
+            pu1=pu1,
+            pu2=pu2,
+            p_inj=p_inj,
+            pb_base=pb_base,
+            pb_adv=pb_adv,
+            pv=pv,
+            sketch_scale=sketch_scale,
+            kappa_steady=float(kappa_steady),
+            kappa_transient=float(kappa_transient),
+            kappa_sync=float(kappa_sync),
+            rho=float(rho),
+            build_seconds=build_seconds,
+            trained_flows=[f for f in flows if f is not None],
+        )
+        registry.counter("rom.builds").inc()
+        registry.gauge("rom.modes").set(r)
+        if tracer.has_sinks:
+            span.set(
+                modes=r,
+                kappa_steady=basis.kappa_steady,
+                kappa_transient=basis.kappa_transient,
+                kappa_sync=basis.kappa_sync,
+                rho=basis.rho,
+                seconds=build_seconds,
+            )
+        return basis
+
+
+def _block_mean_operator(model) -> np.ndarray:
+    """Dense ``nb x n`` block-mean reduction matrix of the model."""
+    masks = model.block_masks()
+    n = model.grid.size
+    order = model.block_order
+    reduce = np.zeros((len(order), n))
+    for row, ref in enumerate(order):
+        level = model.grid.level_of(ref[0])
+        cells = model.grid.flat_indices(level, masks[ref])
+        reduce[row, cells] = 1.0 / cells.size
+    return reduce
+
+
+def with_spec_overrides(options: RomOptions, **overrides) -> RomOptions:
+    """A copy of ``options`` with non-None overrides applied."""
+    applied = {k: v for k, v in overrides.items() if v is not None}
+    return replace(options, **applied) if applied else options

@@ -1,0 +1,78 @@
+"""Atomic on-disk persistence of serialized ROM bases.
+
+Bases are expensive to build (seconds of exact solves per stack) and
+cheap to load (one pickle of a few MB), so they are cached next to the
+scenario result cache, keyed by the scenario's ``model_hash`` — which
+covers the stack *and* solver spec, including the ``RomSpec`` — plus
+the ROM format version and the package version.  Writes are atomic
+(temp file + rename) and reads are guarded: any unreadable, truncated
+or foreign payload is treated as a miss and rebuilt, mirroring
+:class:`repro.scenario.cache.ResultCache`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from ... import __version__
+from ...obs.metrics import get_registry
+from .basis import ROM_FORMAT_VERSION, RomBasis
+
+
+class RomStore:
+    """Filesystem store of :class:`RomBasis` blobs under one root."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        registry = get_registry()
+        self._c_hits = registry.counter("rom.store.hits")
+        self._c_misses = registry.counter("rom.store.misses")
+
+    def path(self, model_hash: str) -> Path:
+        """On-disk location of one model's serialized basis."""
+        return self.root / (
+            f"rom-{model_hash}-fmt{ROM_FORMAT_VERSION}-v{__version__}.pkl"
+        )
+
+    def get(self, model_hash: str) -> Optional[RomBasis]:
+        """The stored basis, or ``None`` on a miss or corrupt entry."""
+        path = self.path(model_hash)
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            self._c_misses.inc()
+            return None
+        except Exception:
+            # Truncated/corrupt blob (e.g. a killed writer predating the
+            # atomic-write path, or a partial copy): miss, rebuild.
+            self._c_misses.inc()
+            return None
+        if (
+            not isinstance(payload, RomBasis)
+            or payload.format_version != ROM_FORMAT_VERSION
+        ):
+            self._c_misses.inc()
+            return None
+        self._c_hits.inc()
+        return payload
+
+    def put(self, model_hash: str, basis: RomBasis) -> Path:
+        """Store a basis atomically; returns its path."""
+        path = self.path(model_hash)
+        self.root.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                pickle.dump(basis, tmp, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path

@@ -1,0 +1,127 @@
+"""Backend tiering pinned at the limits, env overrides, fallback chain."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import CoolingMode, build_3d_mpsoc
+from repro.thermal import CompactThermalModel
+from repro.thermal.krylov import (
+    DIRECT_NODE_LIMIT,
+    SOLVER_CHOICES,
+    choose_backend,
+    direct_node_limit,
+    exact_fallback_backend,
+)
+from repro.thermal.rom import RomOptions
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv("REPRO_DIRECT_NODE_LIMIT", raising=False)
+
+
+@pytest.mark.parametrize(
+    "n_nodes,expected",
+    [
+        (1, "direct"),
+        (DIRECT_NODE_LIMIT - 1, "direct"),
+        (DIRECT_NODE_LIMIT, "direct"),
+        (DIRECT_NODE_LIMIT + 1, "iterative"),
+        (10 * DIRECT_NODE_LIMIT, "iterative"),
+    ],
+)
+def test_auto_tier_pinned_at_the_node_limit(n_nodes, expected):
+    assert choose_backend("auto", n_nodes) == expected
+
+
+@pytest.mark.parametrize("backend", ["direct", "iterative", "rom"])
+@pytest.mark.parametrize("n_nodes", [1, DIRECT_NODE_LIMIT, 10**9])
+def test_explicit_requests_pass_through(backend, n_nodes):
+    assert backend in SOLVER_CHOICES
+    assert choose_backend(backend, n_nodes) == backend
+
+
+@pytest.mark.parametrize(
+    "override,n_nodes,expected",
+    [
+        ("100", 100, "direct"),
+        ("100", 101, "iterative"),
+        ("0", 1, "iterative"),
+        ("0", 0, "direct"),
+        ("-5", 1, "iterative"),  # negative clamps to 0
+        ("junk", DIRECT_NODE_LIMIT, "direct"),  # malformed -> default
+        ("junk", DIRECT_NODE_LIMIT + 1, "iterative"),
+    ],
+)
+def test_env_override_pins_the_auto_tier(
+    monkeypatch, override, n_nodes, expected
+):
+    monkeypatch.setenv("REPRO_DIRECT_NODE_LIMIT", override)
+    assert choose_backend("auto", n_nodes) == expected
+
+
+def test_direct_node_limit_reads_env(monkeypatch):
+    assert direct_node_limit() == DIRECT_NODE_LIMIT
+    monkeypatch.setenv("REPRO_DIRECT_NODE_LIMIT", "42")
+    assert direct_node_limit() == 42
+    monkeypatch.setenv("REPRO_DIRECT_NODE_LIMIT", "not-a-number")
+    assert direct_node_limit() == DIRECT_NODE_LIMIT
+
+
+@pytest.mark.parametrize(
+    "n_nodes,expected",
+    [
+        (DIRECT_NODE_LIMIT, "direct"),
+        (DIRECT_NODE_LIMIT + 1, "iterative"),
+    ],
+)
+def test_rom_exact_fallback_follows_the_auto_rule(n_nodes, expected):
+    assert exact_fallback_backend(n_nodes) == expected
+
+
+def test_rom_exact_fallback_honours_env(monkeypatch):
+    monkeypatch.setenv("REPRO_DIRECT_NODE_LIMIT", "10")
+    assert exact_fallback_backend(11) == "iterative"
+    assert exact_fallback_backend(10) == "direct"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown solver"):
+        choose_backend("quantum", 100)
+
+
+def test_rom_chain_falls_back_to_iterative_then_direct(monkeypatch):
+    """rom -> iterative -> direct: an out-of-trust rom query on a grid
+    above the (env-lowered) node limit runs the Krylov path, whose own
+    direct fallback remains behind it."""
+    stack = build_3d_mpsoc(2, CoolingMode.LIQUID)
+    opts = RomOptions(
+        flow_points=3,
+        max_modes=24,
+        validation_queries=2,
+        transient_calibration_steps=4,
+        transient_snapshots=3,
+    )
+    model = CompactThermalModel(stack, nx=12, ny=10, solver="rom", rom=opts)
+    reference = CompactThermalModel(stack, nx=12, ny=10, solver="iterative")
+    powers = {
+        ref: 2.0 for ref in model.block_order
+    }
+    model.set_flow(5.0)  # below the trained range -> rom rejects
+    reference.set_flow(5.0)
+    monkeypatch.setenv("REPRO_DIRECT_NODE_LIMIT", "1")
+    field = model.steady_state(powers)
+    assert model.last_steady_diagnostics.method == "bicgstab"
+    expected = reference.steady_state(powers)
+    assert np.array_equal(field.values, expected.values)
+
+    # With the limit back at the default the same rejected query lands
+    # on the direct LU instead.
+    monkeypatch.delenv("REPRO_DIRECT_NODE_LIMIT")
+    direct = CompactThermalModel(stack, nx=12, ny=10, solver="direct")
+    direct.set_flow(5.0)
+    field = model.steady_state(powers)
+    assert model.last_steady_diagnostics.method == "direct"
+    assert np.array_equal(
+        field.values, direct.steady_state(powers).values
+    )

@@ -203,3 +203,68 @@ def test_pack_powers_validates_and_accumulates():
         model.pack_powers({ref: -2.0})
     with pytest.raises(ValueError):
         model.power_vector_packed(np.zeros(len(model.block_order) + 1))
+
+
+# ---------------------------------------------------------------------------
+# configurable LU cache sizes (REPRO_LU_CACHE_SIZE)
+# ---------------------------------------------------------------------------
+
+
+def test_lu_cache_size_env_overrides_defaults(monkeypatch):
+    from repro.obs.metrics import get_registry
+    from repro.thermal.model import LU_CACHE_SIZE_ENV, lu_cache_size
+
+    monkeypatch.delenv(LU_CACHE_SIZE_ENV, raising=False)
+    assert lu_cache_size(8) == 8
+    monkeypatch.setenv(LU_CACHE_SIZE_ENV, "3")
+    assert lu_cache_size(8) == 3 and lu_cache_size(16) == 3
+
+    model = _model()
+    assert model.steady_cache_info().maxsize == 3
+    stepper = TransientStepper(model, 0.1, model.uniform_field(300.0))
+    assert stepper.cache_info().maxsize == 3
+    registry = get_registry()
+    assert registry.gauge("thermal.steady_cache.maxsize").value == 3
+    assert registry.gauge("thermal.transient_cache.maxsize").value == 3
+
+
+def test_lu_cache_size_explicit_argument_wins(monkeypatch):
+    from repro.thermal.model import LU_CACHE_SIZE_ENV
+
+    monkeypatch.setenv(LU_CACHE_SIZE_ENV, "3")
+    model = _model(max_steady_factors=5)
+    assert model.steady_cache_info().maxsize == 5
+    stepper = TransientStepper(
+        model, 0.1, model.uniform_field(300.0), max_cached_factors=7
+    )
+    assert stepper.cache_info().maxsize == 7
+
+
+@pytest.mark.parametrize("raw", ["0", "-2", "junk", ""])
+def test_lu_cache_size_rejects_bad_env(monkeypatch, raw):
+    from repro.thermal.model import LU_CACHE_SIZE_ENV, lu_cache_size
+
+    monkeypatch.setenv(LU_CACHE_SIZE_ENV, raw)
+    assert lu_cache_size(8) == 8
+
+
+def test_cache_occupancy_gauges_track_inserts_and_evictions():
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    model = _model(max_steady_factors=1)
+    powers = _powers(model)
+    model.steady_state(powers)
+    assert registry.gauge("thermal.steady_cache.currsize").value == 1
+    model.set_flow(model.flow_ml_min / 2.0)
+    model.steady_state(powers)
+    # One-slot cache: eviction keeps occupancy at the bound.
+    assert registry.gauge("thermal.steady_cache.currsize").value == 1
+    model.clear_steady_cache()
+    assert registry.gauge("thermal.steady_cache.currsize").value == 0
+
+    stepper = TransientStepper(
+        model, 0.1, model.uniform_field(300.0), max_cached_factors=2
+    )
+    stepper.step(powers)
+    assert registry.gauge("thermal.transient_cache.currsize").value == 1

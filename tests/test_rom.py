@@ -1,0 +1,348 @@
+"""Certified reduced-order fast path: accuracy, fallback, persistence."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.geometry import CoolingMode, build_3d_mpsoc
+from repro.obs.metrics import get_registry
+from repro.scenario import (
+    ControlSpec,
+    PolicySpec,
+    ResultCache,
+    Runner,
+    RomSpec,
+    Scenario,
+    ScenarioError,
+    SolverSpec,
+    StackSpec,
+    WorkloadSpec,
+)
+from repro.thermal import CompactThermalModel, TransientStepper
+from repro.thermal.rom import (
+    ROM_FORMAT_VERSION,
+    RomOptions,
+    RomRejection,
+    RomStore,
+    build_rom_basis,
+)
+
+NX, NY = 12, 10
+IN_TRUST_FLOW = 20.0
+OUT_OF_TRUST_FLOW = 5.0
+# A reduced offline budget keeps the build well under a second on the
+# coarse test grid while leaving the certification machinery intact.
+OPTS = RomOptions(
+    flow_points=5,
+    max_modes=128,
+    validation_queries=4,
+    transient_calibration_steps=10,
+    transient_snapshots=10,
+)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return build_3d_mpsoc(2, CoolingMode.LIQUID)
+
+
+@pytest.fixture(scope="module")
+def rom_model(stack):
+    model = CompactThermalModel(stack, nx=NX, ny=NY, solver="rom", rom=OPTS)
+    return model
+
+
+@pytest.fixture(scope="module")
+def exact_model(stack):
+    return CompactThermalModel(stack, nx=NX, ny=NY, solver="direct")
+
+
+def _powers(stack, scale=1.0):
+    powers = {}
+    for layer, block in stack.iter_blocks():
+        if block.kind == "core":
+            powers[(layer.name, block.name)] = 5.0 * scale
+        elif block.kind == "cache":
+            powers[(layer.name, block.name)] = 1.5 * scale
+    return powers
+
+
+def _counter(name):
+    return get_registry().counter(name).value
+
+
+def test_steady_rom_is_certified_and_accurate(rom_model, exact_model, stack):
+    rom_model.set_flow(IN_TRUST_FLOW)
+    exact_model.set_flow(IN_TRUST_FLOW)
+    powers = _powers(stack)
+    field = rom_model.steady_state(powers)
+    reference = exact_model.steady_state(powers)
+    diagnostics = rom_model.last_steady_diagnostics
+    assert diagnostics.method == "rom"
+    bound = diagnostics.residual_norm
+    error = float(np.max(np.abs(field.values - reference.values)))
+    assert error <= bound <= OPTS.tolerance_k
+
+
+def test_steady_block_temps_fast_path(rom_model, exact_model, stack):
+    rom_model.set_flow(IN_TRUST_FLOW)
+    exact_model.set_flow(IN_TRUST_FLOW)
+    powers = _powers(stack)
+    rom = rom_model.ensure_rom()
+    packed = rom_model.pack_powers(powers)
+    flow, rate = rom_model.rom_flow(None)
+    block_temps, bound = rom.steady_block_temps(
+        packed, flow, capacity_rate=rate
+    )
+    reference = exact_model.steady_state(powers)
+    means = reference.block_temperatures(
+        exact_model.block_masks(), reduce="mean"
+    )
+    exact_means = np.array([means[ref] for ref in rom_model.block_order])
+    assert np.max(np.abs(block_temps - exact_means)) <= bound
+
+
+def test_out_of_trust_flow_falls_back_bitwise(rom_model, exact_model, stack):
+    powers = _powers(stack)
+    rom_model.set_flow(OUT_OF_TRUST_FLOW)
+    exact_model.set_flow(OUT_OF_TRUST_FLOW)
+    fallbacks = _counter("rom.fallback")
+    rejected = _counter("rom.trust_rejected")
+    field = rom_model.steady_state(powers)
+    reference = exact_model.steady_state(powers)
+    assert rom_model.last_steady_diagnostics.method == "direct"
+    assert np.array_equal(field.values, reference.values)
+    assert _counter("rom.fallback") == fallbacks + 1
+    assert _counter("rom.trust_rejected") == rejected + 1
+
+
+def test_nonuniform_cavity_flows_fall_back():
+    # Per-cavity imbalance needs at least two cavities: use 4 tiers.
+    stack4 = build_3d_mpsoc(4, CoolingMode.LIQUID)
+    model = CompactThermalModel(stack4, nx=NX, ny=NY, solver="rom", rom=OPTS)
+    exact = CompactThermalModel(stack4, nx=NX, ny=NY, solver="direct")
+    powers = _powers(stack4)
+    model.set_flow(IN_TRUST_FLOW)
+    exact.set_flow(IN_TRUST_FLOW)
+    cavity = next(iter(model.cavity_flows))
+    model.set_cavity_flow(cavity, IN_TRUST_FLOW + 4.0)
+    exact.set_cavity_flow(cavity, IN_TRUST_FLOW + 4.0)
+    fallbacks = _counter("rom.fallback")
+    field = model.steady_state(powers)
+    reference = exact.steady_state(powers)
+    assert model.last_steady_diagnostics.method == "direct"
+    assert np.array_equal(field.values, reference.values)
+    assert _counter("rom.fallback") == fallbacks + 1
+
+
+def test_transient_rom_steps_are_certified(rom_model, exact_model, stack):
+    powers = _powers(stack)
+    rom_model.set_flow(IN_TRUST_FLOW)
+    exact_model.set_flow(IN_TRUST_FLOW)
+    init = exact_model.steady_state(_powers(stack, scale=0.8))
+    rom_stepper = TransientStepper(rom_model, 0.1, init)
+    exact_stepper = TransientStepper(exact_model, 0.1, init)
+    rom_steps = _counter("rom.transient_steps")
+    for _ in range(10):
+        rom_stepper.step(powers)
+        exact_stepper.step(powers)
+    diagnostics = rom_stepper.last_diagnostics
+    assert diagnostics.method == "rom"
+    assert _counter("rom.transient_steps") >= rom_steps + 10
+    error = float(
+        np.max(np.abs(rom_stepper.state.values - exact_stepper.state.values))
+    )
+    assert error <= diagnostics.residual_norm <= OPTS.tolerance_k
+
+
+def test_transient_fallback_is_bitwise_and_recovers(
+    rom_model, exact_model, stack
+):
+    powers = _powers(stack)
+    rom_model.set_flow(IN_TRUST_FLOW)
+    exact_model.set_flow(IN_TRUST_FLOW)
+    init = exact_model.steady_state(_powers(stack, scale=0.8))
+    stepper = TransientStepper(rom_model, 0.1, init)
+    for _ in range(5):
+        stepper.step(powers)
+    assert stepper.last_diagnostics.method == "rom"
+
+    # Leave the trust region: the rejected step must equal an exact
+    # step taken from the identical pre-step state.
+    rom_model.set_flow(OUT_OF_TRUST_FLOW)
+    exact_model.set_flow(OUT_OF_TRUST_FLOW)
+    twin = TransientStepper(exact_model, 0.1, stepper.state)
+    fallbacks = _counter("rom.fallback")
+    state = stepper.step(powers)
+    reference = twin.step(powers)
+    assert stepper.last_diagnostics.method == "direct"
+    assert np.array_equal(state.values, reference.values)
+    assert _counter("rom.fallback") == fallbacks + 1
+
+    # Back in trust the stepper re-syncs and re-engages once the exact
+    # steps have damped the unrepresentable excursion content.
+    rom_model.set_flow(IN_TRUST_FLOW)
+    methods = []
+    for _ in range(8):
+        stepper.step(powers)
+        methods.append(stepper.last_diagnostics.method)
+    assert methods[-1] == "rom"
+
+
+def test_transient_dt_mismatch_falls_back(rom_model, exact_model, stack):
+    powers = _powers(stack)
+    rom_model.set_flow(IN_TRUST_FLOW)
+    exact_model.set_flow(IN_TRUST_FLOW)
+    init = exact_model.steady_state(powers)
+    stepper = TransientStepper(rom_model, 0.05, init)
+    fallbacks = _counter("rom.fallback")
+    stepper.step(powers)
+    assert stepper.last_diagnostics.method == "direct"
+    assert _counter("rom.fallback") == fallbacks + 1
+
+
+def test_rejection_reasons_reported(rom_model, stack):
+    rom = rom_model.ensure_rom()
+    with pytest.raises(RomRejection) as excinfo:
+        rom.check_flow(OUT_OF_TRUST_FLOW)
+    assert excinfo.value.reason == "flow-range"
+    with pytest.raises(RomRejection) as excinfo:
+        rom.check_flow(None)
+    assert excinfo.value.reason == "flow-nonuniform"
+    with pytest.raises(RomRejection) as excinfo:
+        rom.stepper(0.25, np.zeros(rom.basis.n_nodes))
+    assert excinfo.value.reason == "dt"
+
+
+def test_air_stack_rom_has_no_flow_axis():
+    stack = build_3d_mpsoc(2, CoolingMode.AIR)
+    model = CompactThermalModel(stack, nx=NX, ny=NY, solver="rom", rom=OPTS)
+    exact = CompactThermalModel(stack, nx=NX, ny=NY, solver="direct")
+    powers = _powers(stack)
+    field = model.steady_state(powers)
+    reference = exact.steady_state(powers)
+    diagnostics = model.last_steady_diagnostics
+    assert diagnostics.method == "rom"
+    assert not model.ensure_rom().basis.has_flow
+    error = float(np.max(np.abs(field.values - reference.values)))
+    assert error <= diagnostics.residual_norm <= OPTS.tolerance_k
+
+
+def test_store_round_trip_and_corruption(tmp_path, rom_model):
+    basis = rom_model.ensure_rom().basis
+    store = RomStore(tmp_path)
+    assert store.get("key") is None
+    path = store.put("key", basis)
+    assert path.exists()
+    loaded = store.get("key")
+    assert loaded is not None
+    assert loaded.format_version == ROM_FORMAT_VERSION
+    assert np.array_equal(loaded.V, basis.V)
+    assert loaded.matches(rom_model)
+
+    # Truncated blob: counted miss, never a crash.
+    path.write_bytes(path.read_bytes()[:64])
+    assert store.get("key") is None
+    # Foreign payload: miss as well.
+    path.write_bytes(pickle.dumps({"not": "a basis"}))
+    assert store.get("key") is None
+
+
+def test_store_loaded_basis_rejects_mismatched_model(rom_model, tmp_path):
+    basis = rom_model.ensure_rom().basis
+    other = CompactThermalModel(
+        build_3d_mpsoc(2, CoolingMode.LIQUID), nx=8, ny=6
+    )
+    assert not basis.matches(other)
+
+
+def test_build_rom_basis_reproducible(exact_model):
+    first = build_rom_basis(
+        exact_model,
+        RomOptions(
+            flow_points=3,
+            max_modes=24,
+            validation_queries=2,
+            transient_calibration_steps=4,
+            transient_snapshots=3,
+        ),
+    )
+    second = build_rom_basis(
+        exact_model,
+        RomOptions(
+            flow_points=3,
+            max_modes=24,
+            validation_queries=2,
+            transient_calibration_steps=4,
+            transient_snapshots=3,
+        ),
+    )
+    assert np.array_equal(first.V, second.V)
+    assert first.kappa_steady == second.kappa_steady
+
+
+def test_rom_options_validation():
+    with pytest.raises(ValueError):
+        RomOptions(max_modes=0)
+    with pytest.raises(ValueError):
+        RomOptions(flow_points=0)
+    with pytest.raises(ValueError):
+        RomOptions(safety=0.5)
+    with pytest.raises(ValueError):
+        RomOptions(tolerance_k=0.0)
+
+
+def test_rom_spec_validation_and_hashes():
+    with pytest.raises(ScenarioError):
+        SolverSpec(backend="direct", rom=RomSpec())
+    with pytest.raises(ScenarioError):
+        RomSpec(modes=0)
+    base = Scenario()
+    assert "rom" not in base.to_dict()["solver"]
+    rom_default = Scenario(solver=SolverSpec(backend="rom"))
+    rom_tuned = Scenario(
+        solver=SolverSpec(backend="rom", rom=RomSpec(modes=64))
+    )
+    hashes = {
+        base.model_hash(),
+        rom_default.model_hash(),
+        rom_tuned.model_hash(),
+    }
+    assert len(hashes) == 3, "the ROM budget must be part of model_hash"
+    assert Scenario.from_json(rom_tuned.to_json()) == rom_tuned
+
+
+def _rom_scenario():
+    policy = PolicySpec(name="LC_FUZZY")
+    return Scenario(
+        stack=StackSpec(tiers=2, cooling=policy.cooling),
+        workload=WorkloadSpec(name="database", duration=2),
+        policy=policy,
+        solver=SolverSpec(
+            backend="rom",
+            nx=NX,
+            ny=NY,
+            rom=RomSpec(modes=128, flow_points=5, validation=4),
+        ),
+        control=ControlSpec(),
+    )
+
+
+def test_runner_persists_and_reuses_the_basis(tmp_path):
+    scenario = _rom_scenario()
+    cache = ResultCache(tmp_path)
+    result = Runner(scenario, cache=cache).run()
+    stored = list(tmp_path.glob("rom-*.pkl"))
+    assert len(stored) == 1
+    assert scenario.model_hash() in stored[0].name
+
+    # Drop only the cached result: the re-run must reload the
+    # serialized basis instead of rebuilding it, and reproduce the run.
+    cache.path(scenario).unlink()
+    hits = _counter("rom.store.hits")
+    again = Runner(scenario, cache=ResultCache(tmp_path)).run()
+    assert _counter("rom.store.hits") == hits + 1
+    assert again.peak_temperature_c == pytest.approx(
+        result.peak_temperature_c
+    )

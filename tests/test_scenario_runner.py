@@ -126,6 +126,28 @@ def test_corrupt_cache_entry_degrades_to_recompute(tmp_path):
     cache.path(scenario).write_bytes(b"not a pickle")
     again = run_scenario(scenario, cache=cache)
     assert _fields(again) == _fields(result)
+    assert cache.corrupt == 1
+
+
+def test_truncated_cache_entry_is_a_counted_miss(tmp_path):
+    scenario = _scenario()
+    cache = ResultCache(tmp_path)
+    result = run_scenario(scenario, cache=cache)
+    path = cache.path(scenario)
+    # A torn write from a pre-atomic-rename era (or bit rot): a valid
+    # pickle prefix that ends mid-stream.
+    path.write_bytes(path.read_bytes()[:100])
+    again = run_scenario(scenario, cache=cache)
+    assert _fields(again) == _fields(result)
+    assert cache.corrupt == 1
+
+    # A well-formed pickle of the wrong type is equally untrusted.
+    import pickle
+
+    path.write_bytes(pickle.dumps(["not", "a", "result"]))
+    third = run_scenario(scenario, cache=cache)
+    assert _fields(third) == _fields(result)
+    assert cache.corrupt == 2
 
 
 def test_run_simulations_cache_dir_skips_solves(tmp_path, monkeypatch):
