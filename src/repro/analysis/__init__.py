@@ -13,6 +13,7 @@ from .sweep import (
     TransientSweep,
     TransientSweepResult,
     fan_out,
+    jittered_delay,
     resilient_fan_out,
     run_simulations,
     run_simulations_resilient,
@@ -41,6 +42,7 @@ __all__ = [
     "TransientSweep",
     "TransientSweepResult",
     "fan_out",
+    "jittered_delay",
     "resilient_fan_out",
     "run_simulations",
     "run_simulations_resilient",

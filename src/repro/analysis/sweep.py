@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import random as _random
 import struct
 import time as _time
 import traceback as _traceback
@@ -1139,6 +1140,45 @@ def _render_traceback(exc: BaseException) -> str:
     )
 
 
+def jittered_delay(
+    backoff_s: float,
+    attempt: int,
+    *,
+    cap_s: float = 30.0,
+    jitter: float = 0.25,
+    rng: Optional[_random.Random] = None,
+) -> float:
+    """Exponential backoff with multiplicative jitter, in seconds.
+
+    ``backoff_s * 2**(attempt-1)`` capped at ``cap_s``, then spread by
+    ``±jitter`` (a fraction of the base delay).  Jitter is what keeps a
+    batch of jobs that failed *together* — a shared resource blipping,
+    a pool crash — from retrying in lockstep and failing together
+    again; both the sweep retries and the service supervisor use this
+    one helper.
+    """
+    if backoff_s <= 0.0:
+        return 0.0
+    base = min(cap_s, backoff_s * (2.0 ** max(0, attempt - 1)))
+    if jitter <= 0.0:
+        return base
+    uniform = (rng if rng is not None else _random).uniform
+    return max(0.0, base + uniform(-jitter * base, jitter * base))
+
+
+def _checkpoint_corrupt(path: Path, reason: str) -> None:
+    """Count and trace a fresh start forced by a damaged checkpoint.
+
+    Same policy :class:`~repro.scenario.cache.ResultCache` applies to
+    corrupt entries: a truncated or unpicklable checkpoint degrades to
+    recomputation, never to a crash — but never silently either.
+    """
+    get_registry().counter("sweep.checkpoint_corrupt").inc()
+    get_tracer().event(
+        "sweep.checkpoint_corrupt", path=str(path), reason=reason
+    )
+
+
 def _load_checkpoint(
     path: Optional[Path], total: int
 ) -> Dict[int, object]:
@@ -1146,7 +1186,16 @@ def _load_checkpoint(
         return {}
     try:
         payload = pickle.loads(Path(path).read_bytes())
-    except Exception:
+    except Exception as exc:
+        # Truncated file (a killed writer predating the atomic rename),
+        # foreign classes, bit rot: unpickling can raise nearly
+        # anything.  Counted, traced, fresh start.
+        _checkpoint_corrupt(Path(path), type(exc).__name__)
+        return {}
+    if not isinstance(payload, dict):
+        _checkpoint_corrupt(
+            Path(path), f"payload is {type(payload).__name__}, not dict"
+        )
         return {}
     if payload.get("total") != total:
         return {}
@@ -1175,6 +1224,7 @@ def resilient_fan_out(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     backoff_s: float = 0.0,
+    backoff_jitter: float = 0.25,
     checkpoint_path: Optional[Path] = None,
     checkpoint_every: int = 8,
 ) -> SweepOutcome:
@@ -1183,8 +1233,10 @@ def resilient_fan_out(
     Guarantees, relative to plain :func:`fan_out`:
 
     * a job that **raises** is retried ``retries`` times with
-      exponential backoff, then recorded as a :class:`JobFailure`
-      while every sibling still completes;
+      exponential backoff spread by ``backoff_jitter`` (a ±fraction of
+      the delay, so simultaneous failures do not retry in lockstep;
+      set it to ``0.0`` for deterministic timing), then recorded as a
+      :class:`JobFailure` while every sibling still completes;
     * a job that **kills its worker** (segfault, OOM, ``os._exit``)
       breaks the pool — the pool is rebuilt, survivors are resubmitted
       penalty-free, and after a second crash jobs run one-at-a-time so
@@ -1194,7 +1246,12 @@ def resilient_fan_out(
       process mode only, a serial run cannot pre-empt the job;
     * with ``checkpoint_path`` the completed results are periodically
       pickled, and a re-run with the same path and job count resumes,
-      re-running only unfinished or previously failed jobs.
+      re-running only unfinished or previously failed jobs.  The
+      checkpoint is also flushed when the sweep is interrupted
+      (``KeyboardInterrupt`` / ``SystemExit``), so a ctrl-C mid-grid
+      leaves a loadable resume point; a corrupt checkpoint file is a
+      counted, traced fresh start (``sweep.checkpoint_corrupt``),
+      never a crash.
 
     Serial runs (``processes in (None, 0, 1)``) honour retries,
     backoff, checkpoints and exception isolation, but cannot survive a
@@ -1255,20 +1312,56 @@ def resilient_fan_out(
         )
 
     def backoff(attempt: int) -> None:
-        if backoff_s > 0.0:
-            _time.sleep(min(30.0, backoff_s * (2.0 ** max(0, attempt - 1))))
+        delay = jittered_delay(backoff_s, attempt, jitter=backoff_jitter)
+        if delay > 0.0:
+            _time.sleep(delay)
 
     pending = [i for i in range(len(work)) if i not in results]
 
-    if processes is None or processes <= 1:
-        for index in pending:
-            while True:
-                attempts[index] += 1
-                attempt_start = _time.perf_counter()
-                try:
-                    note_success(index, fn(work[index]))
-                    break
-                except Exception as exc:
+    try:
+        if processes is None or processes <= 1:
+            for index in pending:
+                while True:
+                    attempts[index] += 1
+                    attempt_start = _time.perf_counter()
+                    try:
+                        note_success(index, fn(work[index]))
+                        break
+                    except Exception as exc:
+                        if attempts[index] >= max_attempts:
+                            note_failure(
+                                index,
+                                "exception",
+                                type(exc).__name__,
+                                str(exc),
+                                _render_traceback(exc),
+                                exc=exc,
+                                elapsed=_time.perf_counter() - attempt_start,
+                            )
+                            break
+                        backoff(attempts[index])
+        else:
+            crashes = 0
+            while pending:
+                isolate = crashes >= 2
+                batch = pending[:1] if isolate else pending
+                batch_attempt = max(attempts[i] for i in batch)
+                for index in batch:
+                    attempts[index] += 1
+                (
+                    successes,
+                    errors,
+                    timed_out,
+                    crashed,
+                    unfinished,
+                    elapsed,
+                ) = _drain_pool(
+                    fn, work, batch, 1 if isolate else processes, timeout_s
+                )
+                for index, value in successes.items():
+                    note_success(index, value)
+                retry_needed = False
+                for index, exc in errors.items():
                     if attempts[index] >= max_attempts:
                         note_failure(
                             index,
@@ -1277,90 +1370,61 @@ def resilient_fan_out(
                             str(exc),
                             _render_traceback(exc),
                             exc=exc,
-                            elapsed=_time.perf_counter() - attempt_start,
+                            elapsed=elapsed.get(index),
                         )
-                        break
-                    backoff(attempts[index])
-    else:
-        crashes = 0
-        while pending:
-            isolate = crashes >= 2
-            batch = pending[:1] if isolate else pending
-            batch_attempt = max(attempts[i] for i in batch)
-            for index in batch:
-                attempts[index] += 1
-            (
-                successes,
-                errors,
-                timed_out,
-                crashed,
-                unfinished,
-                elapsed,
-            ) = _drain_pool(
-                fn, work, batch, 1 if isolate else processes, timeout_s
-            )
-            for index, value in successes.items():
-                note_success(index, value)
-            retry_needed = False
-            for index, exc in errors.items():
-                if attempts[index] >= max_attempts:
-                    note_failure(
-                        index,
-                        "exception",
-                        type(exc).__name__,
-                        str(exc),
-                        _render_traceback(exc),
-                        exc=exc,
-                        elapsed=elapsed.get(index),
-                    )
-                else:
-                    retry_needed = True
-            for index in timed_out:
-                if attempts[index] >= max_attempts:
-                    note_failure(
-                        index,
-                        "timeout",
-                        "TimeoutError",
-                        f"job exceeded the {timeout_s} s deadline",
-                        elapsed=elapsed.get(index, timeout_s),
-                    )
-                else:
-                    retry_needed = True
-            if crashed:
-                crashes += 1
-                if isolate:
-                    # One job per pool: the crash is attributable.
-                    index = batch[0]
+                    else:
+                        retry_needed = True
+                for index in timed_out:
                     if attempts[index] >= max_attempts:
                         note_failure(
                             index,
-                            "worker-crash",
-                            "BrokenProcessPool",
-                            "the worker process died while running "
-                            "this job",
-                            elapsed=elapsed.get(index),
+                            "timeout",
+                            "TimeoutError",
+                            f"job exceeded the {timeout_s} s deadline",
+                            elapsed=elapsed.get(index, timeout_s),
                         )
-                        # Culprit isolated; batch mode can resume.
-                        crashes = 0
-                    unfinished.discard(index)
-            else:
-                # Jobs aborted by a sibling's timeout keep their
-                # attempt; give it back (they did not run to failure).
-                for index in unfinished:
-                    attempts[index] -= 1
-            if crashed and not isolate:
-                # Unattributable crash: nobody is penalised, rerun all.
-                for index in unfinished:
-                    attempts[index] -= 1
-            pending = [
-                i
-                for i in range(len(work))
-                if i not in results and i not in failures
-            ]
-            if retry_needed:
-                backoff(batch_attempt + 1)
+                    else:
+                        retry_needed = True
+                if crashed:
+                    crashes += 1
+                    if isolate:
+                        # One job per pool: the crash is attributable.
+                        index = batch[0]
+                        if attempts[index] >= max_attempts:
+                            note_failure(
+                                index,
+                                "worker-crash",
+                                "BrokenProcessPool",
+                                "the worker process died while running "
+                                "this job",
+                                elapsed=elapsed.get(index),
+                            )
+                            # Culprit isolated; batch mode can resume.
+                            crashes = 0
+                        unfinished.discard(index)
+                else:
+                    # Jobs aborted by a sibling's timeout keep their
+                    # attempt; give it back (they did not run to failure).
+                    for index in unfinished:
+                        attempts[index] -= 1
+                if crashed and not isolate:
+                    # Unattributable crash: nobody is penalised, rerun all.
+                    for index in unfinished:
+                        attempts[index] -= 1
+                pending = [
+                    i
+                    for i in range(len(work))
+                    if i not in results and i not in failures
+                ]
+                if retry_needed:
+                    backoff(batch_attempt + 1)
 
-    _save_checkpoint(checkpoint_path, results, len(work))
+    finally:
+        # Flush on every exit path -- including KeyboardInterrupt and
+        # SystemExit mid-grid -- so an interrupted sweep always leaves a
+        # loadable checkpoint that resumes without re-solving finished
+        # jobs (no-op when checkpointing is off).
+        _save_checkpoint(checkpoint_path, results, len(work))
     return SweepOutcome(
         results=[
             (key_list[i], results[i]) for i in sorted(results)
@@ -1377,6 +1441,7 @@ def run_simulations_resilient(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     backoff_s: float = 0.0,
+    backoff_jitter: float = 0.25,
     checkpoint_path: Optional[Path] = None,
     checkpoint_every: int = 8,
     cache_dir: Optional[Union[str, Path]] = None,
@@ -1412,6 +1477,7 @@ def run_simulations_resilient(
             timeout_s=timeout_s,
             retries=retries,
             backoff_s=backoff_s,
+            backoff_jitter=backoff_jitter,
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
         )

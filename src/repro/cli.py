@@ -121,6 +121,141 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_SERVICE_ROOT = Path.home() / ".cache" / "repro" / "service"
+
+
+def _service_address(args: argparse.Namespace):
+    """The socket the service verbs talk to (--socket wins over --root)."""
+    if getattr(args, "socket", None):
+        return args.socket
+    root = Path(getattr(args, "root", None) or DEFAULT_SERVICE_ROOT)
+    return root / "service.sock"
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the durable scenario-job service in the foreground."""
+    from .service import RetryPolicy, ScenarioJobService
+
+    root = Path(args.root or DEFAULT_SERVICE_ROOT)
+    service = ScenarioJobService(
+        root,
+        address=args.socket,
+        max_workers=args.workers,
+        retry=RetryPolicy(retries=args.retries, backoff_s=args.backoff),
+        timeout_s=args.timeout,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        fsync=not args.no_fsync,
+        drain_timeout_s=args.drain_timeout,
+    )
+    recovery = service.store.recovery
+    print(f"scenario service on {service.address}")
+    print(
+        f"  root {root} | workers {args.workers} | "
+        f"recovered {recovery.jobs} jobs "
+        f"({recovery.requeued} re-enqueued, "
+        f"{recovery.corrupt_tail_segments} corrupt WAL tails repaired)"
+    )
+    with session(JsonlSink(args.trace) if args.trace else None):
+        return service.serve_forever()
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a scenario spec to a running service."""
+    from .service import ProtocolError, ServiceClient
+
+    path = Path(args.spec)
+    if not path.exists():
+        raise SystemExit(f"no such scenario spec: {path}")
+    try:
+        scenario = Scenario.load(path)
+    except ScenarioError as error:
+        raise SystemExit(f"invalid scenario spec {path}: {error}") from error
+    client = ServiceClient(_service_address(args))
+    try:
+        response = client.submit(scenario.to_dict())
+    except (ProtocolError, OSError) as error:
+        raise SystemExit(
+            f"cannot reach the service at {client.address}: {error} "
+            "(start one with `repro serve`)"
+        ) from error
+    job_id = response["job_id"]
+    print(
+        f"{job_id} [{response['disposition']}] "
+        f"state={response['state']} hash={response['content_hash'][:12]}"
+    )
+    if not args.wait:
+        return 0
+    job = client.wait_for(job_id, timeout=args.wait_timeout)
+    print(f"{job_id} -> {job['state']} (attempts {job['attempts']})")
+    if job["state"] != "DONE":
+        detail = client.result(job_id).get("error_detail")
+        if detail:
+            print(f"  {detail}")
+        return 1
+    summary = client.result(job_id).get("result")
+    if summary:
+        table = Table(f"{job_id} result", ["Metric", "Value"])
+        for key, value in summary.items():
+            table.add_row(
+                key,
+                f"{value:.3f}" if isinstance(value, float) else str(value),
+            )
+        print(table)
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """Inspect or control a running service (list/status/result/cancel)."""
+    import json as _json
+
+    from .service import ProtocolError, ServiceClient
+
+    client = ServiceClient(_service_address(args))
+    try:
+        if args.health:
+            print(_json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.status:
+            print(
+                _json.dumps(
+                    client.status(args.status)["job"], indent=2, sort_keys=True
+                )
+            )
+            return 0
+        if args.result:
+            print(
+                _json.dumps(client.result(args.result), indent=2, sort_keys=True)
+            )
+            return 0
+        if args.cancel:
+            job = client.cancel(args.cancel)["job"]
+            print(f"{job['job_id']} -> {job['state']}")
+            return 0
+        response = client.jobs()
+    except (ProtocolError, OSError) as error:
+        raise SystemExit(
+            f"cannot reach the service at {client.address}: {error} "
+            "(start one with `repro serve`)"
+        ) from error
+    table = Table("Jobs", ["id", "state", "attempts", "label", "hash"])
+    for job in response["jobs"]:
+        table.add_row(
+            job["job_id"],
+            job["state"],
+            str(job["attempts"]),
+            str(job["label"] or ""),
+            job["content_hash"][:12],
+        )
+    print(table)
+    counts = ", ".join(
+        f"{state}={count}"
+        for state, count in sorted(response["counts"].items())
+        if count
+    )
+    print(f"totals: {counts or 'no jobs yet'}")
+    return 0
+
+
 def cmd_export_scenario(args: argparse.Namespace) -> int:
     """Print (or save) the scenario JSON the simulate flags describe."""
     scenario = _simulate_scenario(args)
@@ -414,6 +549,111 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many longest spans to list (default 10)",
     )
     report.set_defaults(func=cmd_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the durable scenario-job service (crash-safe queue)",
+    )
+    serve.add_argument(
+        "--root",
+        default=None,
+        help=f"service state directory (default {DEFAULT_SERVICE_ROOT})",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        help="socket override: a path, or host:port for TCP "
+        "(default <root>/service.sock)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default 2)"
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="per-job retries before FAILED/QUARANTINED (default 2)",
+    )
+    serve.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        help="base retry backoff in seconds, exponential + jitter "
+        "(default 0.5)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock deadline [s] (default none)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        help="kill a worker whose heartbeat stalls this long (default 10)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        help="seconds SIGTERM waits for in-flight jobs before "
+        "re-enqueueing them (default 60)",
+    )
+    serve.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip the per-append WAL fsync (faster, weaker durability)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a JSONL telemetry trace of the service",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a scenario spec to a running service"
+    )
+    submit.add_argument("spec", help="path to a Scenario JSON file")
+    submit.add_argument("--root", default=None, help="service state directory")
+    submit.add_argument(
+        "--socket", default=None, help="service socket path or host:port"
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print its result",
+    )
+    submit.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=600.0,
+        help="--wait deadline in seconds (default 600)",
+    )
+    submit.set_defaults(func=cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list/inspect/cancel jobs on a running service"
+    )
+    jobs.add_argument("--root", default=None, help="service state directory")
+    jobs.add_argument(
+        "--socket", default=None, help="service socket path or host:port"
+    )
+    jobs.add_argument(
+        "--status", metavar="JOB_ID", help="print one job's status as JSON"
+    )
+    jobs.add_argument(
+        "--result",
+        metavar="JOB_ID",
+        help="print one job's result summary + manifest as JSON",
+    )
+    jobs.add_argument("--cancel", metavar="JOB_ID", help="cancel one job")
+    jobs.add_argument(
+        "--health", action="store_true", help="print service health as JSON"
+    )
+    jobs.set_defaults(func=cmd_jobs)
 
     simulate = sub.add_parser("simulate", help="run one closed-loop simulation")
     simulate.add_argument("--tiers", type=int, default=2, choices=(2, 4))

@@ -1,0 +1,576 @@
+"""Worker supervision: heartbeats, retries, poison-job quarantine.
+
+The supervisor owns the only part of the service that can die
+unexpectedly — the worker processes actually solving scenarios.  Each
+job runs in its own ``multiprocessing.Process`` (full crash isolation:
+a segfault, OOM kill or ``os._exit`` takes down one job, not the
+pool), reporting through a one-way pipe:
+
+* ``hb`` heartbeats every few hundred milliseconds from a worker-side
+  thread — a worker whose heartbeat goes stale is hung, not slow, and
+  is killed and retried;
+* a final ``done`` / ``error`` message carrying the outcome.
+
+Failure policy, in order of escalation:
+
+* an **exception** in the solve is retried up to the policy's bounded
+  attempts with exponential backoff *plus jitter* (simultaneous
+  failures must not retry in lockstep — the same fix
+  :func:`repro.analysis.sweep.jittered_delay` applies to sweep
+  retries), then marked ``FAILED``;
+* a **worker death** additionally feeds the per-scenario-class
+  :class:`CircuitBreaker`; a spec that kills workers repeatedly is
+  quarantined (``QUARANTINED``) instead of crash-looping the pool, and
+  while a class's breaker is open its other jobs stay queued until the
+  cooldown's half-open probe proves the class healthy again;
+* a **hang** (stale heartbeat or per-job deadline) is killed and
+  treated as a retryable failure.
+
+``drain()`` implements graceful SIGTERM shutdown: stop dispatching,
+let in-flight jobs finish (bounded), re-enqueue whatever could not —
+the WAL already holds every pending job, so "checkpoint the rest" is
+free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.sweep import jittered_delay
+from ..obs import capture_telemetry, is_obs_payload
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+from ..scenario.cache import ResultCache
+from ..scenario.runner import Runner
+from ..scenario.spec import Scenario
+from .jobs import Job, JobState, JobStore
+
+HEARTBEAT_INTERVAL_S = 0.2
+"""Worker-side heartbeat period."""
+
+TEST_DELAY_ENV = "REPRO_SERVICE_TEST_DELAY_S"
+"""Chaos hook: seconds a worker sleeps before solving (see tests/chaos.py)."""
+
+
+def scenario_class(scenario: Scenario) -> str:
+    """Circuit-breaker key: specs that exercise the same machinery.
+
+    Poison jobs usually poison their whole family (a policy/backend
+    combination that segfaults, a tier count that OOMs), so breaker
+    state is tracked per class, not per content hash.
+    """
+    return (
+        f"{scenario.policy.name}/{scenario.solver.backend}/"
+        f"{scenario.stack.tiers}t-{scenario.stack.cooling}"
+    )
+
+
+def _append_run_log(path: str, payload: dict) -> None:
+    """One JSON line per completed solve, O_APPEND-atomic.
+
+    The chaos suite counts these lines to assert "no job run twice to
+    completion" and "resubmission performs zero additional solves".
+    """
+    import json
+
+    line = json.dumps(payload, sort_keys=True) + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def worker_main(
+    conn,
+    job_id: str,
+    scenario_dict: dict,
+    cache_dir: str,
+    run_log: Optional[str] = None,
+) -> None:
+    """Process-worker entry: solve one scenario, report, exit.
+
+    Runs in a child process.  The result lands in the shared
+    :class:`ResultCache` (and its run manifest next to it) *before*
+    the ``done`` message is sent, so a crash after the cache write at
+    worst reruns a job whose rerun is a pure cache hit.
+    """
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def send(message: dict) -> None:
+        with send_lock:
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):
+                pass
+
+    def heartbeat() -> None:
+        while not stop.wait(HEARTBEAT_INTERVAL_S):
+            send({"kind": "hb", "t": time.time()})
+
+    ticker = threading.Thread(target=heartbeat, daemon=True)
+    ticker.start()
+    try:
+        delay = float(os.environ.get(TEST_DELAY_ENV, "0") or "0")
+        if delay > 0:
+            time.sleep(delay)
+        scenario = Scenario.from_dict(scenario_dict)
+        cache = ResultCache(cache_dir)
+        telemetry: Dict[str, object] = {}
+        with capture_telemetry(telemetry):
+            runner = Runner(scenario, cache=cache)
+            runner.run()
+        manifest = runner.last_manifest or {}
+        cached = bool(manifest.get("cached", False))
+        if run_log:
+            _append_run_log(
+                run_log,
+                {
+                    "job_id": job_id,
+                    "content_hash": scenario.content_hash(),
+                    "cached": cached,
+                    "pid": os.getpid(),
+                },
+            )
+        stop.set()
+        send(
+            {
+                "kind": "done",
+                "cached": cached,
+                "wall_s": float(manifest.get("wall_s", 0.0)),
+                "telemetry": telemetry if is_obs_payload(telemetry) else None,
+            }
+        )
+    except BaseException as exc:  # report *everything* before dying
+        stop.set()
+        send(
+            {
+                "kind": "error",
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": "".join(
+                    traceback.format_exception(type(exc), exc, exc.__traceback__)
+                ),
+            }
+        )
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with jittered exponential backoff."""
+
+    retries: int = 2
+    backoff_s: float = 0.5
+    cap_s: float = 30.0
+    jitter: float = 0.25
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Seconds to wait before re-dispatching attempt ``attempt + 1``."""
+        return jittered_delay(
+            self.backoff_s,
+            attempt,
+            cap_s=self.cap_s,
+            jitter=self.jitter,
+            rng=rng,
+        )
+
+
+class CircuitBreaker:
+    """Per-key breaker over consecutive worker deaths.
+
+    ``closed`` → normal dispatch.  ``death_threshold`` consecutive
+    worker deaths for a key open the circuit: dispatch of that key is
+    refused for ``cooldown_s``, after which exactly one half-open probe
+    is admitted — its success closes the circuit, its death reopens it.
+    """
+
+    def __init__(
+        self, *, death_threshold: int = 2, cooldown_s: float = 30.0
+    ) -> None:
+        self.death_threshold = int(death_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._deaths: Dict[str, int] = {}
+        self._opened_at: Dict[str, float] = {}
+        self._probing: Dict[str, bool] = {}
+        self._c_opened = get_registry().counter("service.breaker.opened")
+
+    def state(self, key: str) -> str:
+        if key not in self._opened_at:
+            return "closed"
+        if self._probing.get(key):
+            return "half-open"
+        return "open"
+
+    def allow(self, key: str, now: Optional[float] = None) -> bool:
+        if key not in self._opened_at:
+            return True
+        if self._probing.get(key):
+            return False  # one probe at a time
+        now = time.monotonic() if now is None else now
+        if now - self._opened_at[key] >= self.cooldown_s:
+            self._probing[key] = True
+            return True
+        return False
+
+    def record_death(self, key: str, now: Optional[float] = None) -> None:
+        self._deaths[key] = self._deaths.get(key, 0) + 1
+        now = time.monotonic() if now is None else now
+        if key in self._opened_at or (
+            self._deaths[key] >= self.death_threshold
+        ):
+            if key not in self._opened_at:
+                self._c_opened.inc()
+                get_tracer().event("service.breaker_open", key=key)
+            self._opened_at[key] = now
+            self._probing[key] = False
+
+    def record_success(self, key: str) -> None:
+        self._deaths.pop(key, None)
+        if key in self._opened_at:
+            get_tracer().event("service.breaker_close", key=key)
+        self._opened_at.pop(key, None)
+        self._probing.pop(key, None)
+
+    def snapshot(self) -> Dict[str, str]:
+        """``{key: state}`` for every key that ever tripped."""
+        return {key: self.state(key) for key in self._opened_at}
+
+
+@dataclass
+class _Running:
+    """Parent-side handle of one in-flight worker."""
+
+    job_id: str
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    started: float
+    last_heartbeat: float
+    outcome: Optional[dict] = None
+
+
+@dataclass
+class DrainReport:
+    """Outcome of a graceful drain."""
+
+    finished: List[str] = field(default_factory=list)
+    requeued: List[str] = field(default_factory=list)
+
+
+class Supervisor:
+    """Drive the worker pool over a :class:`JobStore`'s queue.
+
+    Single-threaded asyncio: :meth:`tick` (dispatch + poll) is called
+    from the service loop, so every store mutation happens on the loop
+    thread and the WAL sees a serialised history.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        max_workers: int = 2,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        timeout_s: Optional[float] = None,
+        heartbeat_timeout_s: float = 10.0,
+        run_log: Optional[str] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.store = store
+        self.max_workers = int(max_workers)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.timeout_s = timeout_s
+        self.heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self.run_log = run_log
+        self.rng = rng if rng is not None else random.Random()
+        self.draining = False
+        self._running: Dict[str, _Running] = {}
+        self._not_before: Dict[str, float] = {}
+        self._context = multiprocessing.get_context()
+        registry = get_registry()
+        self._c_dispatched = registry.counter("service.jobs.dispatched")
+        self._c_done = registry.counter("service.jobs.done")
+        self._c_failed = registry.counter("service.jobs.failed")
+        self._c_retries = registry.counter("service.jobs.retries")
+        self._c_worker_deaths = registry.counter("service.worker.deaths")
+        self._c_timeouts = registry.counter("service.jobs.timeouts")
+        self._c_quarantined = registry.counter("service.jobs.quarantined")
+        self._h_wall = registry.histogram("service.job.wall_s")
+
+    # -- dispatch -----------------------------------------------------------
+
+    @property
+    def busy(self) -> int:
+        return len(self._running)
+
+    def _dispatch(self, job: Job) -> None:
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=worker_main,
+            args=(
+                child_conn,
+                job.job_id,
+                job.scenario.to_dict(),
+                str(self.store.cache.root),
+                self.run_log,
+            ),
+            daemon=True,
+        )
+        self.store.transition(
+            job.job_id, JobState.RUNNING, attempts=job.attempts + 1
+        )
+        process.start()
+        child_conn.close()
+        self.store.jobs[job.job_id].worker_pid = process.pid
+        now = time.monotonic()
+        self._running[job.job_id] = _Running(
+            job_id=job.job_id,
+            process=process,
+            conn=parent_conn,
+            started=now,
+            last_heartbeat=now,
+        )
+        self._c_dispatched.inc()
+        get_tracer().event(
+            "service.dispatch", job_id=job.job_id, pid=process.pid
+        )
+
+    def dispatch_pending(self) -> int:
+        """Start as many eligible pending jobs as free slots allow."""
+        if self.draining:
+            return 0
+        started = 0
+        now = time.monotonic()
+        for job in self.store.pending():
+            if len(self._running) >= self.max_workers:
+                break
+            if self._not_before.get(job.job_id, 0.0) > now:
+                continue
+            if not self.breaker.allow(scenario_class(job.scenario)):
+                continue
+            self._dispatch(job)
+            started += 1
+        return started
+
+    # -- polling ------------------------------------------------------------
+
+    def _drain_messages(self, handle: _Running) -> None:
+        while True:
+            try:
+                if not handle.conn.poll(0):
+                    return
+                message = handle.conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                return
+            kind = message.get("kind")
+            if kind == "hb":
+                handle.last_heartbeat = time.monotonic()
+            elif kind in ("done", "error"):
+                handle.outcome = message
+                handle.last_heartbeat = time.monotonic()
+
+    def _reap(self, handle: _Running) -> None:
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        handle.process.join(timeout=1.0)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=1.0)
+        try:
+            handle.process.close()
+        except (ValueError, AttributeError):
+            pass
+        del self._running[handle.job_id]
+
+    def _kill(self, handle: _Running) -> None:
+        try:
+            handle.process.terminate()
+        except (ValueError, OSError):
+            pass
+        self._reap(handle)
+
+    def _schedule_retry(self, job: Job) -> None:
+        self._c_retries.inc()
+        self._not_before[job.job_id] = time.monotonic() + self.retry.delay(
+            job.attempts, self.rng
+        )
+        self.store.transition(job.job_id, JobState.PENDING)
+
+    def _finish_success(self, handle: _Running, outcome: dict) -> None:
+        job = self.store.jobs[handle.job_id]
+        telemetry = outcome.get("telemetry")
+        if is_obs_payload(telemetry):
+            tracer = get_tracer()
+            if tracer.has_sinks:
+                with tracer.span(
+                    "service.job", job_id=job.job_id
+                ) as job_span:
+                    tracer.ingest(
+                        telemetry.get("spans", ()),
+                        depth_offset=job_span.depth + 1,
+                    )
+            get_registry().merge(telemetry.get("metrics", {}))
+        wall = time.monotonic() - handle.started
+        self._h_wall.observe(wall)
+        self.breaker.record_success(scenario_class(job.scenario))
+        self._reap(handle)
+        self.store.transition(job.job_id, JobState.DONE)
+        self._not_before.pop(job.job_id, None)
+        self._c_done.inc()
+
+    def _finish_error(self, handle: _Running, outcome: dict) -> None:
+        job = self.store.jobs[handle.job_id]
+        error = f"{outcome.get('error_type')}: {outcome.get('message')}"
+        self._reap(handle)
+        if job.attempts >= self.retry.max_attempts:
+            self._c_failed.inc()
+            self.store.transition(job.job_id, JobState.FAILED, error=error)
+        else:
+            self._schedule_retry(job)
+
+    def _finish_death(self, handle: _Running, reason: str) -> None:
+        job = self.store.jobs[handle.job_id]
+        key = scenario_class(job.scenario)
+        self._c_worker_deaths.inc()
+        self.breaker.record_death(key)
+        get_tracer().event(
+            "service.worker_death",
+            job_id=job.job_id,
+            reason=reason,
+            scenario_class=key,
+        )
+        self._reap(handle)
+        if job.attempts >= self.retry.max_attempts:
+            self._c_quarantined.inc()
+            self.store.transition(
+                job.job_id,
+                JobState.QUARANTINED,
+                error=f"worker died repeatedly ({reason}); "
+                f"spec quarantined after {job.attempts} attempts",
+            )
+        else:
+            self._schedule_retry(job)
+
+    def _finish_timeout(self, handle: _Running, reason: str) -> None:
+        job = self.store.jobs[handle.job_id]
+        self._c_timeouts.inc()
+        self._kill(handle)
+        if job.attempts >= self.retry.max_attempts:
+            self._c_failed.inc()
+            self.store.transition(job.job_id, JobState.FAILED, error=reason)
+        else:
+            self._schedule_retry(job)
+
+    def poll(self) -> None:
+        """One supervision pass over every in-flight worker."""
+        now = time.monotonic()
+        for handle in list(self._running.values()):
+            self._drain_messages(handle)
+            if handle.outcome is not None:
+                if handle.outcome.get("kind") == "done":
+                    self._finish_success(handle, handle.outcome)
+                else:
+                    self._finish_error(handle, handle.outcome)
+                continue
+            if not handle.process.is_alive():
+                # One last look: the worker may have sent its outcome
+                # between the drain above and its exit.
+                self._drain_messages(handle)
+                if handle.outcome is not None:
+                    if handle.outcome.get("kind") == "done":
+                        self._finish_success(handle, handle.outcome)
+                    else:
+                        self._finish_error(handle, handle.outcome)
+                else:
+                    self._finish_death(
+                        handle,
+                        f"exitcode {handle.process.exitcode}",
+                    )
+                continue
+            if (
+                self.timeout_s is not None
+                and now - handle.started > self.timeout_s
+            ):
+                self._finish_timeout(
+                    handle,
+                    f"job exceeded the {self.timeout_s} s deadline",
+                )
+                continue
+            if now - handle.last_heartbeat > self.heartbeat_timeout_s:
+                self._finish_timeout(
+                    handle,
+                    f"no heartbeat for {self.heartbeat_timeout_s} s "
+                    "(worker hung)",
+                )
+
+    def tick(self) -> None:
+        """One service-loop step: reap finished work, start new work."""
+        self.poll()
+        self.dispatch_pending()
+
+    # -- control ------------------------------------------------------------
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a pending or running job (kills its worker)."""
+        job = self.store.jobs[job_id]
+        if job.state == JobState.RUNNING and job_id in self._running:
+            self._kill(self._running[job_id])
+        self._not_before.pop(job_id, None)
+        return self.store.transition(job_id, JobState.CANCELLED)
+
+    def drain(self, timeout_s: float = 60.0) -> DrainReport:
+        """Graceful shutdown: finish in-flight work, re-enqueue the rest.
+
+        Dispatch stops immediately; in-flight workers get up to
+        ``timeout_s`` to finish.  Whatever is still running then is
+        terminated and journaled back to ``PENDING`` — the WAL is the
+        checkpoint, so a restart resumes exactly there.
+        """
+        self.draining = True
+        report = DrainReport()
+        deadline = time.monotonic() + timeout_s
+        while self._running and time.monotonic() < deadline:
+            before = set(self._running)
+            self.poll()
+            for job_id in before - set(self._running):
+                if self.store.jobs[job_id].state == JobState.DONE:
+                    report.finished.append(job_id)
+            time.sleep(0.05)
+        for handle in list(self._running.values()):
+            job = self.store.jobs[handle.job_id]
+            self._kill(handle)
+            if not job.state.terminal:
+                self.store.transition(handle.job_id, JobState.PENDING)
+                report.requeued.append(handle.job_id)
+        get_tracer().event(
+            "service.drained",
+            finished=len(report.finished),
+            requeued=len(report.requeued),
+        )
+        return report
+
+    def shutdown(self) -> None:
+        """Hard stop: kill every worker without touching job states."""
+        for handle in list(self._running.values()):
+            self._kill(handle)

@@ -20,6 +20,7 @@ from typing import Optional, Union
 
 from ... import __version__
 from ...obs.metrics import get_registry
+from ...obs.trace import get_tracer
 from .basis import ROM_FORMAT_VERSION, RomBasis
 
 
@@ -31,6 +32,22 @@ class RomStore:
         registry = get_registry()
         self._c_hits = registry.counter("rom.store.hits")
         self._c_misses = registry.counter("rom.store.misses")
+        self._c_corrupt = registry.counter("rom.store.corrupt")
+
+    def _corrupt_miss(self, path: Path, reason: str) -> None:
+        """A damaged persisted basis is a counted, traced miss.
+
+        The caller falls through to the offline rebuild exactly as on
+        an absent entry — same policy as
+        :class:`~repro.scenario.cache.ResultCache` corrupt entries —
+        but the damage is never silent: it feeds the
+        ``rom.store.corrupt`` counter and a trace event.
+        """
+        self._c_corrupt.inc()
+        self._c_misses.inc()
+        get_tracer().event(
+            "rom.store_corrupt", path=path.name, reason=reason
+        )
 
     def path(self, model_hash: str) -> Path:
         """On-disk location of one model's serialized basis."""
@@ -42,19 +59,22 @@ class RomStore:
         """The stored basis, or ``None`` on a miss or corrupt entry."""
         path = self.path(model_hash)
         try:
-            payload = pickle.loads(path.read_bytes())
-        except FileNotFoundError:
+            blob = path.read_bytes()
+        except OSError:
             self._c_misses.inc()
             return None
-        except Exception:
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:
             # Truncated/corrupt blob (e.g. a killed writer predating the
             # atomic-write path, or a partial copy): miss, rebuild.
-            self._c_misses.inc()
+            self._corrupt_miss(path, type(exc).__name__)
             return None
-        if (
-            not isinstance(payload, RomBasis)
-            or payload.format_version != ROM_FORMAT_VERSION
-        ):
+        if not isinstance(payload, RomBasis):
+            self._corrupt_miss(path, type(payload).__name__)
+            return None
+        if payload.format_version != ROM_FORMAT_VERSION:
+            # A foreign format version is staleness, not damage.
             self._c_misses.inc()
             return None
         self._c_hits.inc()

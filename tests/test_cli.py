@@ -78,3 +78,46 @@ def test_traces_command(tmp_path, capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_service_verbs_are_registered():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--root", "/tmp/x", "--workers", "3", "--no-fsync"]
+    )
+    assert args.workers == 3 and args.no_fsync
+    args = parser.parse_args(["submit", "spec.json", "--wait"])
+    assert args.spec == "spec.json" and args.wait
+    args = parser.parse_args(["jobs", "--health"])
+    assert args.health
+
+
+def test_submit_against_a_live_service(tmp_path, capsys):
+    import json
+
+    from repro.service import RetryPolicy, ScenarioJobService
+    from tests.chaos import make_scenario
+
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps(make_scenario("cli-live").to_dict()))
+    service = ScenarioJobService(
+        tmp_path / "svc", max_workers=1, retry=RetryPolicy(retries=0),
+        fsync=False, poll_interval_s=0.02,
+    )
+    service.start_background()
+    try:
+        code = main(
+            [
+                "submit",
+                str(spec),
+                "--socket",
+                str(service.address),
+                "--wait",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DONE" in out
+        assert "peak_temperature_c" in out
+    finally:
+        service.stop_background()

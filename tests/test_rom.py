@@ -241,12 +241,19 @@ def test_store_round_trip_and_corruption(tmp_path, rom_model):
     assert np.array_equal(loaded.V, basis.V)
     assert loaded.matches(rom_model)
 
+    from repro.obs import get_registry
+
+    corrupt = get_registry().counter("rom.store.corrupt")
+    misses = get_registry().counter("rom.store.misses")
+    before_corrupt, before_misses = corrupt.value, misses.value
     # Truncated blob: counted miss, never a crash.
     path.write_bytes(path.read_bytes()[:64])
     assert store.get("key") is None
     # Foreign payload: miss as well.
     path.write_bytes(pickle.dumps({"not": "a basis"}))
     assert store.get("key") is None
+    assert corrupt.value == before_corrupt + 2
+    assert misses.value == before_misses + 2
 
 
 def test_store_loaded_basis_rejects_mismatched_model(rom_model, tmp_path):

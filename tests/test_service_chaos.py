@@ -1,0 +1,235 @@
+"""Chaos suite: the service's durability claims under real crashes.
+
+Acceptance criteria from the service design (DESIGN.md §13):
+
+* after ``kill -9`` of a worker mid-solve **and** a full service
+  restart, all jobs reach ``DONE`` exactly once;
+* resubmitting an identical spec performs **zero** additional solves;
+* truncating the WAL tail loses at most the single uncommitted record;
+* SIGTERM drains gracefully and exits 0.
+
+Every test here runs ``python -m repro serve`` as a real subprocess
+(via :class:`tests.chaos.ServiceHarness`) so the kills are real kills.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.service import JobState, JobStore
+from tests.chaos import (
+    ServiceHarness,
+    count_solves,
+    garble_wal_tail,
+    make_scenario,
+    read_run_log,
+)
+
+
+@pytest.fixture()
+def harness(tmp_path):
+    h = ServiceHarness(tmp_path / "svc")
+    yield h
+    h.stop()
+
+
+# ---------------------------------------------------------------------------
+# worker kill + full restart: DONE exactly once
+# ---------------------------------------------------------------------------
+
+
+def test_kill9_worker_then_kill9_service_every_job_done_exactly_once(
+    tmp_path,
+):
+    root = tmp_path / "svc"
+    harness = ServiceHarness(root, solve_delay_s=1.0, retries=3)
+    try:
+        harness.start()
+        first = harness.submit(make_scenario("victim", "database"))
+        second = harness.submit(make_scenario("bystander", "web"))
+
+        # Chaos 1: SIGKILL the worker mid-solve.  The supervisor must
+        # notice the death and re-enqueue the attempt.
+        killed_pid = harness.kill_worker(first["job_id"])
+
+        # Chaos 2: SIGKILL the whole service while the retry attempt
+        # is in flight (wait for a *fresh* worker, not the corpse).
+        deadline = time.monotonic() + 60.0
+        while True:
+            job = harness.wait_running(first["job_id"])
+            if job["worker_pid"] != killed_pid:
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        harness.kill9()
+        # SIGKILL orphans the worker; reap it so "exactly once" is
+        # decided by the restarted service, not a surviving child.
+        try:
+            os.kill(int(job["worker_pid"]), signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+    finally:
+        harness.stop()
+
+    # Full restart on the same root, with the chaos window disabled so
+    # recovery itself runs clean.
+    restarted = ServiceHarness(root, retries=3)
+    try:
+        restarted.start()
+        health = restarted.client.health()
+        # No job lost: both submissions survived both kills.
+        assert health["recovery"]["jobs"] == 2
+        assert health["recovery"]["requeued"] >= 1
+
+        for accepted in (first, second):
+            restarted.wait_done(accepted["job_id"])
+
+        # Exactly once: one uncached solve per content hash, total two,
+        # no matter how many attempts the kills burned.
+        assert count_solves(root, first["content_hash"]) == 1
+        assert count_solves(root, second["content_hash"]) == 1
+        assert count_solves(root) == 2
+    finally:
+        restarted.stop()
+
+
+# ---------------------------------------------------------------------------
+# resubmission: zero additional solves
+# ---------------------------------------------------------------------------
+
+
+def test_resubmit_identical_spec_costs_zero_solves(harness):
+    harness.start()
+    accepted = harness.submit(make_scenario("original"))
+    harness.wait_done(accepted["job_id"])
+    assert count_solves(harness.root) == 1
+
+    # Same physics, different label: the content hash matches, the
+    # result is served from the cache, and the run log does not move.
+    again = harness.submit(make_scenario("relabelled"))
+    assert again["disposition"] == "cached"
+    assert again["job_id"] == accepted["job_id"]
+    result = harness.client.result(accepted["job_id"])
+    assert result["result"]["peak_temperature_c"] > 20.0
+    assert count_solves(harness.root) == 1
+
+    # Even across a restart: the cache and job table are durable.
+    assert harness.sigterm() == 0
+    harness.start()
+    cached = harness.submit(make_scenario("after-restart"))
+    assert cached["disposition"] == "cached"
+    assert count_solves(harness.root) == 1
+
+
+# ---------------------------------------------------------------------------
+# WAL tail truncation: lose at most the uncommitted record
+# ---------------------------------------------------------------------------
+
+
+def test_torn_wal_tail_loses_at_most_the_last_record(harness):
+    harness.start()
+    done = harness.submit(make_scenario("committed", "database"))
+    harness.wait_done(done["job_id"])
+    pending = harness.submit(make_scenario("queued", "web"))
+    harness.kill9()
+
+    # A crash mid-append leaves a torn, newline-less record at the tail.
+    segment = garble_wal_tail(harness.root)
+
+    harness.start()
+    health = harness.client.health()
+    assert health["recovery"]["corrupt_tail_segments"] == 1
+    assert health["recovery"]["dropped_bytes"] > 0
+    # Every *committed* record survived: both jobs are still known and
+    # the finished one is still DONE (its solve is not repeated).
+    status = harness.client.status(done["job_id"])["job"]
+    assert status["state"] == "DONE"
+    harness.wait_done(pending["job_id"])
+    assert count_solves(harness.root, done["content_hash"]) == 1
+    # The repair was physical: the segment on disk ends clean again.
+    assert not segment.read_bytes().rstrip().endswith(b"subm")
+
+
+def test_truncation_only_loses_the_uncommitted_suffix(tmp_path):
+    """Offline twin of the tail test: byte-level, no service process."""
+    root = tmp_path / "svc"
+    store = JobStore(root, fsync=False)
+    first, _ = store.submit(make_scenario("first", "database"))
+    second, _ = store.submit(make_scenario("second", "web"))
+    store.close()
+
+    # Cut the newest segment mid-way through the second record.
+    (segment,) = store.wal.segments()
+    blob = segment.read_bytes()
+    first_end = blob.index(b"\n") + 1
+    with open(segment, "r+b") as handle:
+        handle.truncate(first_end + (len(blob) - first_end) // 2)
+
+    reopened = JobStore(root, fsync=False)
+    # The committed first record is intact; only the torn second
+    # submission (the "uncommitted record") is gone.
+    assert reopened.recovery.corrupt_tail_segments == 1
+    assert first.job_id in reopened.jobs
+    assert second.job_id not in reopened.jobs
+    assert reopened.jobs[first.job_id].state is JobState.PENDING
+    reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# SIGTERM: graceful drain, exit 0, resumable
+# ---------------------------------------------------------------------------
+
+
+def test_sigterm_mid_solve_drains_checkpoints_and_exits_zero(tmp_path):
+    root = tmp_path / "svc"
+    harness = ServiceHarness(
+        root, solve_delay_s=3.0, drain_timeout_s=0.5
+    )
+    try:
+        harness.start()
+        accepted = harness.submit(make_scenario("interrupted"))
+        harness.wait_running(accepted["job_id"])
+
+        # SIGTERM with a drain window far shorter than the solve: the
+        # service must requeue the job through the WAL and exit 0.
+        assert harness.sigterm() == 0
+        assert count_solves(root) == 0
+    finally:
+        harness.stop()
+
+    resumed = ServiceHarness(root)
+    try:
+        resumed.start()
+        job = resumed.client.status(accepted["job_id"])["job"]
+        assert job["state"] in ("PENDING", "RUNNING", "DONE")
+        resumed.wait_done(accepted["job_id"])
+        assert count_solves(root, accepted["content_hash"]) == 1
+        assert resumed.sigterm() == 0
+    finally:
+        resumed.stop()
+
+
+def test_sigterm_waits_for_short_inflight_work(harness):
+    """With a generous drain window the in-flight job finishes first."""
+    harness.start()
+    accepted = harness.submit(make_scenario("finish-me"))
+    deadline = time.monotonic() + 30.0
+    while True:  # make sure the job left the queue before the SIGTERM
+        state = harness.client.status(accepted["job_id"])["job"]["state"]
+        if state in ("RUNNING", "DONE"):
+            break
+        assert time.monotonic() < deadline
+        time.sleep(0.02)
+    assert harness.sigterm(timeout=90.0) == 0
+    # The drain completed the solve before exiting: a restart serves
+    # the result from the cache with zero extra work.
+    entries = [e for e in read_run_log(harness.root) if not e["cached"]]
+    assert len(entries) == 1
+    harness.start()
+    resubmitted = harness.submit(make_scenario("finish-me-again"))
+    assert resubmitted["disposition"] == "cached"
+    assert count_solves(harness.root) == 1
