@@ -188,20 +188,23 @@ def bench_controller_batch(
 def solver_observability() -> Dict[str, object]:
     """How the tiered solver backend behaved on a representative load.
 
-    Exercises the steady and transient paths on both backends of a
-    2-tier stack and reports the factor-cache statistics, the Krylov
-    iteration counts and the fallback-to-direct counts that
-    ``repro bench-thermal`` prints.
+    Exercises the steady and transient paths on the direct, iterative
+    and AMG backends of a 2-tier stack and reports the factor-cache
+    statistics, the Krylov iteration counts and the fallback counts
+    that ``repro bench-thermal`` prints.
     """
     stack = build_3d_mpsoc(2)
-    direct = CompactThermalModel(stack)
-    powers = {ref: 2.0 for ref in direct.block_masks()}
-    iterative = CompactThermalModel(stack, solver="iterative")
-    for model in (direct, iterative):
+    models = [
+        ("direct", CompactThermalModel(stack)),
+        ("iterative", CompactThermalModel(stack, solver="iterative")),
+        ("amg", CompactThermalModel(stack, solver="amg")),
+    ]
+    powers = {ref: 2.0 for ref in models[0][1].block_masks()}
+    for _, model in models:
         for flow in (None, 30.0, 30.0):
             model.steady_state(powers, flow)
     steppers = {}
-    for label, model in (("direct", direct), ("iterative", iterative)):
+    for label, model in models:
         stepper = TransientStepper(model, 0.1, model.steady_state(powers))
         for _ in range(5):
             stepper.step(powers)
@@ -209,7 +212,7 @@ def solver_observability() -> Dict[str, object]:
     return {
         "steady_cache": {
             label: model.steady_cache_info()._asdict()
-            for label, model in (("direct", direct), ("iterative", iterative))
+            for label, model in models
         },
         "transient_cache": {
             label: stepper.cache_info()._asdict()
@@ -217,7 +220,7 @@ def solver_observability() -> Dict[str, object]:
         },
         "steady_stats": {
             label: model.steady_stats.as_dict()
-            for label, model in (("direct", direct), ("iterative", iterative))
+            for label, model in models
         },
         "transient_stats": {
             label: stepper.stats.as_dict()
@@ -230,6 +233,7 @@ def bench_thermal(
     simulate_seconds: float = 10.0,
     repeats: int = 10,
     large_grid: bool = True,
+    backend: str = "auto",
 ) -> Dict[str, float]:
     """Run the microbenchmark suite and return seconds per operation.
 
@@ -242,14 +246,20 @@ def bench_thermal(
     large_grid:
         Also time a 100x100 4-tier assembly (the "large grids become
         practical" criterion); one sample, skipped in quick mode.
+    backend:
+        Solver backend of the steady/transient measurements (``repro
+        bench-thermal --backend``); any
+        :data:`repro.thermal.krylov.SOLVER_CHOICES` value.  Speedup
+        ratios against the committed seed baseline only mean anything
+        on the default ``"auto"``.
     """
     results: Dict[str, float] = {}
     for tiers in (2, 4):
         stack = build_3d_mpsoc(tiers)
         results[f"assembly_{tiers}tier_s"] = _mean_time(
-            lambda: CompactThermalModel(stack), repeats
+            lambda: CompactThermalModel(stack, solver=backend), repeats
         )
-        model = CompactThermalModel(stack)
+        model = CompactThermalModel(stack, solver=backend)
         powers = {ref: 2.0 for ref in model.block_masks()}
         results[f"steady_{tiers}tier_s"] = _mean_time(
             lambda: model.steady_state(powers), repeats

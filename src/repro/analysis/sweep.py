@@ -842,10 +842,15 @@ def _prewarm_shared_models(
                 ny=int(kwargs.get("ny", DEFAULT_NY)),
             )
         model.injection_operator()
-        if model.steady_backend() == "rom":
+        backend = model.steady_backend()
+        if backend == "rom":
             model.ensure_rom()
-        elif model.steady_backend() == "direct":
+        elif backend == "direct":
             model.steady_factor(None)
+        elif backend == "amg":
+            model.steady_amg_solver(None)
+        elif backend == "iterative":
+            model.steady_krylov_solver(None)
         _shared_models[ref.model_key] = model
 
 

@@ -428,6 +428,7 @@ def cmd_bench_thermal(args: argparse.Namespace) -> int:
             simulate_seconds=args.duration,
             repeats=args.repeats,
             large_grid=not args.quick,
+            backend=args.backend,
         )
         observability = solver_observability()
     if args.trace:
@@ -437,7 +438,10 @@ def cmd_bench_thermal(args: argparse.Namespace) -> int:
         results,
         Path(args.output),
         baseline_path,
-        extras={"observability": observability},
+        extras={
+            "observability": observability,
+            "bench_backend": args.backend,
+        },
     )
 
     table = Table(
@@ -469,6 +473,7 @@ def cmd_bench_thermal(args: argparse.Namespace) -> int:
                 f"  {section.replace('_', ' ')} [{backend}]: "
                 f"direct={stats['direct_solves']} "
                 f"iterative={stats['iterative_solves']} "
+                f"amg={stats.get('amg_solves', 0)} "
                 f"krylov_iterations={stats['krylov_iterations']} "
                 f"fallbacks={stats['fallbacks_to_direct']}"
             )
@@ -701,6 +706,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--duration", type=float, default=10.0)
     bench.add_argument("--repeats", type=int, default=10)
+    bench.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "direct", "iterative", "amg", "rom"),
+        help="solver backend of the steady/transient measurements "
+        "(default: auto; seed-baseline speedups only apply to auto)",
+    )
     bench.add_argument(
         "--quick", action="store_true", help="skip the 100x100 large-grid sample"
     )

@@ -39,7 +39,7 @@ COOLING_CHOICES = ("air", "liquid")
 WORKLOAD_SOURCES = ("suite", "generator")
 SUITE_WORKLOADS = ("web", "database", "multimedia", "max-utilisation")
 GENERATOR_WORKLOADS = SUITE_WORKLOADS + ("idle",)
-SOLVER_BACKENDS = ("auto", "direct", "iterative", "rom")
+SOLVER_BACKENDS = ("auto", "direct", "iterative", "amg", "rom")
 SENSOR_FAULT_KINDS = ("dead", "stuck", "noisy")
 FLOW_FAULT_KINDS = ("pump-degradation", "clogged-cavity")
 

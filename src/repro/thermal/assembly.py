@@ -25,6 +25,12 @@ The loop-built reference implementation in
 derives each phase's edge list with explicit Python loops, feeds it to
 the shared builder phase by phase, and reproduces the production
 matrices exactly.
+
+The two reduction loops (diagonal scatter-add, nonzero-diagonal
+gather) dispatch through :mod:`repro.thermal.jit`: numba-compiled when
+numba is installed and ``REPRO_JIT`` is not ``"0"``, the numpy
+primitives otherwise.  Both paths accumulate in the same order, so the
+assembled matrices are bitwise identical either way.
 """
 
 from __future__ import annotations
@@ -33,6 +39,8 @@ from typing import List
 
 import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix
+
+from .jit import accumulate_diagonal, gather_nonzero
 
 
 class ConductanceBuilder:
@@ -106,10 +114,10 @@ class ConductanceBuilder:
         """The accumulated diagonal (one ordered sequential sum per cell)."""
         if not self._diag_idx:
             return np.zeros(self.n)
-        return np.bincount(
+        return accumulate_diagonal(
             np.concatenate(self._diag_idx),
-            weights=np.concatenate(self._diag_val),
-            minlength=self.n,
+            np.concatenate(self._diag_val),
+            self.n,
         )
 
     def to_csr(self) -> csr_matrix:
@@ -121,10 +129,10 @@ class ConductanceBuilder:
         internal sort order.
         """
         diag = self.diagonal()
-        keep = np.flatnonzero(diag).astype(np.int32)
+        keep, keep_vals = gather_nonzero(diag)
         row = np.concatenate(self._rows + [keep])
         col = np.concatenate(self._cols + [keep])
-        val = np.concatenate(self._vals + [diag[keep]])
+        val = np.concatenate(self._vals + [keep_vals])
         matrix = coo_matrix(
             (val, (row, col)), shape=(self.n, self.n)
         ).tocsr()

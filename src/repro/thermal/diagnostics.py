@@ -62,14 +62,19 @@ class SolverDiagnostics:
     factor_evictions:
         Poisoned LU factors evicted while handling this solve.
     method:
-        ``"direct"`` (sparse LU) or ``"bicgstab"`` (ILU-preconditioned
-        Krylov); the method that produced the accepted solution.
+        ``"direct"`` (sparse LU), ``"bicgstab"`` (ILU-preconditioned
+        Krylov) or ``"bicgstab+amg"`` (AMG-preconditioned Krylov); the
+        method that produced the accepted solution.
     iterations:
-        Krylov iteration count when the iterative path ran, else
+        Krylov iteration count when an iterative path ran, else
         ``None``.
     fallback_to_direct:
         Whether the iterative solve failed to converge and the direct
         factorisation produced the accepted solution instead.
+    fallback_to_iterative:
+        Whether the AMG tier failed (broken hierarchy setup or
+        non-convergence) and the solve dropped to the ILU tier — the
+        first hop of the amg -> iterative -> direct chain.
     """
 
     kind: str
@@ -83,12 +88,13 @@ class SolverDiagnostics:
     method: str = "direct"
     iterations: Optional[int] = None
     fallback_to_direct: bool = False
+    fallback_to_iterative: bool = False
 
     def healthy(self, residual_tolerance: float = 1e-6) -> bool:
         """True when the solve needed no intervention and looks sane."""
         if not self.finite or self.retries or self.factor_evictions:
             return False
-        if self.fallback_to_direct:
+        if self.fallback_to_direct or self.fallback_to_iterative:
             return False
         if self.residual_norm is not None:
             return self.residual_norm <= residual_tolerance
@@ -150,19 +156,28 @@ class SolverStats:
     _GLOBAL_NAMES = (
         "solver.direct_solves",
         "solver.iterative_solves",
+        "solver.amg_solves",
         "solver.krylov_iterations",
         "solver.fallbacks_to_direct",
+        "solver.fallbacks_to_iterative",
     )
 
     def __init__(self) -> None:
         self._direct = Counter("direct_solves")
         self._iterative = Counter("iterative_solves")
+        self._amg = Counter("amg_solves")
         self._krylov = Counter("krylov_iterations")
         self._fallbacks = Counter("fallbacks_to_direct")
+        self._fallbacks_iterative = Counter("fallbacks_to_iterative")
         registry = get_registry()
-        self._g_direct, self._g_iterative, self._g_krylov, self._g_fallbacks = (
-            registry.counter(name) for name in self._GLOBAL_NAMES
-        )
+        (
+            self._g_direct,
+            self._g_iterative,
+            self._g_amg,
+            self._g_krylov,
+            self._g_fallbacks,
+            self._g_fallbacks_iterative,
+        ) = (registry.counter(name) for name in self._GLOBAL_NAMES)
 
     @property
     def direct_solves(self) -> int:
@@ -173,6 +188,10 @@ class SolverStats:
         return self._iterative.value
 
     @property
+    def amg_solves(self) -> int:
+        return self._amg.value
+
+    @property
     def krylov_iterations(self) -> int:
         return self._krylov.value
 
@@ -180,11 +199,18 @@ class SolverStats:
     def fallbacks_to_direct(self) -> int:
         return self._fallbacks.value
 
+    @property
+    def fallbacks_to_iterative(self) -> int:
+        return self._fallbacks_iterative.value
+
     def record(self, diagnostics: "SolverDiagnostics") -> None:
         """Fold one solve's diagnostics into the counters."""
         if diagnostics.iterations is not None:
             self._krylov.inc(diagnostics.iterations)
             self._g_krylov.inc(diagnostics.iterations)
+        if diagnostics.fallback_to_iterative:
+            self._fallbacks_iterative.inc()
+            self._g_fallbacks_iterative.inc()
         if diagnostics.fallback_to_direct:
             self._fallbacks.inc()
             self._g_fallbacks.inc()
@@ -193,6 +219,9 @@ class SolverStats:
         elif diagnostics.method == "direct":
             self._direct.inc()
             self._g_direct.inc()
+        elif diagnostics.method == "bicgstab+amg":
+            self._amg.inc()
+            self._g_amg.inc()
         else:
             self._iterative.inc()
             self._g_iterative.inc()
@@ -202,8 +231,10 @@ class SolverStats:
         return {
             "direct_solves": self.direct_solves,
             "iterative_solves": self.iterative_solves,
+            "amg_solves": self.amg_solves,
             "krylov_iterations": self.krylov_iterations,
             "fallbacks_to_direct": self.fallbacks_to_direct,
+            "fallbacks_to_iterative": self.fallbacks_to_iterative,
         }
 
     def __repr__(self) -> str:

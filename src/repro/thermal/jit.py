@@ -1,0 +1,154 @@
+"""Optional numba JIT tier of the assembly hot loops.
+
+:class:`~repro.thermal.assembly.ConductanceBuilder` spends its build
+time in two dense scatter/gather loops: the ordered diagonal
+accumulation and the nonzero-diagonal gather that feeds the final COO
+merge.  Both are pure element loops, which is exactly the shape numba
+compiles well — and exactly the shape numpy already executes as a
+single C loop, so the fallback costs nothing in clarity.
+
+Dispatch contract
+-----------------
+Every kernel here exists in two implementations that are **bitwise
+identical**:
+
+* the numpy path uses primitives whose accumulation order is the plain
+  sequential input order (``np.bincount`` with weights adds ``w[k]``
+  into ``out[idx[k]]`` for ``k = 0..n-1``, one float add at a time), and
+* the numba path spells out the very same loop.
+
+Because float addition happens in the same order with the same values,
+the two paths produce the same bits, so enabling or disabling the JIT
+can never change an assembled matrix — the determinism contract of
+:mod:`repro.thermal.assembly` (and every golden test built on it)
+holds on both paths.  ``tests/test_jit_dispatch.py`` pins the
+equivalence.
+
+Selection: the numba path runs when numba imports cleanly and
+``REPRO_JIT`` is not ``"0"``; set ``REPRO_JIT=0`` to force the numpy
+path (e.g. to rule the JIT out while bisecting a perf regression).
+The per-path dispatch counters ``assembly.jit.numba_calls`` /
+``assembly.jit.numpy_calls`` make whichever tier actually ran visible
+in the metrics registry without guessing from wall time.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+
+JIT_ENV = "REPRO_JIT"
+"""Set to ``"0"`` to force the numpy fallback even when numba exists."""
+
+
+@lru_cache(maxsize=1)
+def _numba_kernels() -> Optional[tuple]:
+    """Compile and memoise the numba kernels, or ``None`` without numba.
+
+    The import and ``njit`` compilation run once per process; a broken
+    numba installation (import or compile failure) degrades to the
+    numpy path instead of poisoning every assembly.
+    """
+    try:
+        import numba
+    except Exception:
+        return None
+    try:
+        accumulate = numba.njit(cache=True)(_accumulate_diagonal_loop)
+        gather = numba.njit(cache=True)(_gather_nonzero_loop)
+        # Warm the compile on tiny inputs so the first real assembly
+        # doesn't pay it inside a timed region.
+        accumulate(np.zeros(1, np.int32), np.zeros(1), 1)
+        gather(np.zeros(1))
+    except Exception:
+        return None
+    return accumulate, gather
+
+
+def have_numba() -> bool:
+    """Whether the numba kernels compiled and are available."""
+    return _numba_kernels() is not None
+
+
+def jit_enabled() -> bool:
+    """Whether assembly kernels dispatch to numba right now."""
+    return os.environ.get(JIT_ENV, "") != "0" and have_numba()
+
+
+def _count(path: str) -> None:
+    get_registry().counter(f"assembly.jit.{path}_calls").inc()
+
+
+def _accumulate_diagonal_loop(
+    indices: np.ndarray, weights: np.ndarray, n: int
+) -> np.ndarray:
+    """Sequential in-order scatter-add — the semantics both paths share."""
+    out = np.zeros(n)
+    for k in range(indices.size):
+        out[indices[k]] += weights[k]
+    return out
+
+
+def _gather_nonzero_loop(
+    values: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices and values of the nonzero entries, in index order."""
+    count = 0
+    for k in range(values.size):
+        if values[k] != 0.0:
+            count += 1
+    idx = np.empty(count, np.int32)
+    out = np.empty(count, np.float64)
+    pos = 0
+    for k in range(values.size):
+        if values[k] != 0.0:
+            idx[pos] = k
+            out[pos] = values[k]
+            pos += 1
+    return idx, out
+
+
+def accumulate_diagonal(
+    indices: np.ndarray, weights: np.ndarray, n: int
+) -> np.ndarray:
+    """Ordered scatter-add of ``weights`` into an ``n``-vector.
+
+    ``out[indices[k]] += weights[k]`` for ``k`` in input order — the
+    diagonal-assembly reduction whose ordering the determinism contract
+    of :mod:`repro.thermal.assembly` is built on.
+    """
+    kernels = _numba_kernels()
+    if kernels is not None and os.environ.get(JIT_ENV, "") != "0":
+        _count("numba")
+        return kernels[0](
+            np.ascontiguousarray(indices, dtype=np.int32),
+            np.ascontiguousarray(weights, dtype=np.float64),
+            n,
+        )
+    _count("numpy")
+    # np.bincount with weights is the same sequential in-input-order
+    # float accumulation as the explicit loop above: bitwise identical.
+    return np.bincount(indices, weights=weights, minlength=n)
+
+
+def gather_nonzero(
+    values: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(indices, values)`` of the nonzero entries, in index order.
+
+    Pure selection — no arithmetic — so the paths are trivially
+    bitwise identical; the numba version fuses the index scan and the
+    gather into one pass over the diagonal.
+    """
+    kernels = _numba_kernels()
+    if kernels is not None and os.environ.get(JIT_ENV, "") != "0":
+        _count("numba")
+        return kernels[1](np.ascontiguousarray(values, dtype=np.float64))
+    _count("numpy")
+    idx = np.flatnonzero(values).astype(np.int32)
+    return idx, values[idx]

@@ -26,19 +26,23 @@ the tiered solve paths catch to fall back to the guarded direct LU.
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Set, Tuple
 
 import numpy as np
 from scipy.sparse import csc_matrix
 from scipy.sparse.linalg import LinearOperator, bicgstab, spilu
 
 from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .diagnostics import FactorizationError, IterativeConvergenceError
 
+logger = logging.getLogger(__name__)
+
 DIRECT_NODE_LIMIT = 75_000
-"""Node count above which ``"auto"`` prefers the iterative path.
+"""Node count above which ``"auto"`` leaves the direct path.
 
 Calibrated on the 4-tier stack (see
 ``benchmarks/bench_solver_crossover.py``): on a *cold single* solve
@@ -50,27 +54,72 @@ solves, where direct stays ahead until fill-in memory dominates.
 Override with the ``REPRO_DIRECT_NODE_LIMIT`` environment variable.
 """
 
-SOLVER_CHOICES = ("auto", "direct", "iterative", "rom")
-"""Accepted solver-backend selections.
+AMG_NODE_LIMIT = DIRECT_NODE_LIMIT
+"""Node count above which ``"auto"`` prefers AMG over plain ILU.
 
-``"rom"`` selects the certified reduced-order fast path (see
-:mod:`repro.thermal.rom`): queries inside the snapshot trust region are
-served in microseconds from the projected system, everything else falls
-through to the exact backend that ``"auto"`` would have chosen — i.e.
-the full fallback chain is rom -> iterative -> direct above the node
-limit and rom -> direct below it.
+The extended crossover sweep (``benchmarks/bench_solver_crossover.py``,
+curves in ``BENCH_thermal.json``) shows the AMG-preconditioned solve
+beating ILU+BiCGSTAB at every size above the direct limit — 8x at
+100x100 per level and widening with the grid — so by default the
+iterative ILU tier has no ``"auto"`` window of its own and serves as
+the guarded fallback of the AMG tier (amg -> iterative -> direct).
+Raise ``REPRO_AMG_NODE_LIMIT`` above ``REPRO_DIRECT_NODE_LIMIT`` to
+re-open an ILU window between the two for A/B experiments.
 """
 
+SOLVER_CHOICES = ("auto", "direct", "iterative", "amg", "rom")
+"""Accepted solver-backend selections.
 
-def direct_node_limit() -> int:
-    """The auto-selection threshold, honouring the env override."""
-    raw = os.environ.get("REPRO_DIRECT_NODE_LIMIT")
+``"amg"`` runs BiCGSTAB preconditioned by an algebraic-multigrid
+V-cycle (see :mod:`repro.thermal.amg`) — the raw-speed tier for large
+steady grids, with a guarded fallback chain amg -> iterative ->
+direct.  ``"rom"`` selects the certified reduced-order fast path (see
+:mod:`repro.thermal.rom`): queries inside the snapshot trust region are
+served in microseconds from the projected system, everything else falls
+through to the exact backend that ``"auto"`` would have chosen.
+"""
+
+_ENV_WARNED: Set[str] = set()
+
+
+def _env_node_limit(name: str, default: int) -> int:
+    """Parse a node-limit environment override.
+
+    A malformed value must not silently vanish into the default: it is
+    counted (``solver.env.invalid``), traced and logged once per
+    process so a typo in a job script shows up in telemetry instead of
+    quietly mis-tiering every solve.
+    """
+    raw = os.environ.get(name)
     if raw is None:
-        return DIRECT_NODE_LIMIT
+        return default
     try:
         return max(0, int(raw))
     except ValueError:
-        return DIRECT_NODE_LIMIT
+        get_registry().counter("solver.env.invalid").inc()
+        if name not in _ENV_WARNED:
+            _ENV_WARNED.add(name)
+            logger.warning(
+                "ignoring malformed %s=%r (not an integer); using the "
+                "default %d",
+                name,
+                raw,
+                default,
+            )
+            get_tracer().event(
+                "solver.env.invalid", variable=name, value=raw
+            )
+        return default
+
+
+def direct_node_limit() -> int:
+    """The direct-tier threshold, honouring the env override."""
+    return _env_node_limit("REPRO_DIRECT_NODE_LIMIT", DIRECT_NODE_LIMIT)
+
+
+def amg_node_limit() -> int:
+    """The AMG-tier threshold, honouring the env override."""
+    return _env_node_limit("REPRO_AMG_NODE_LIMIT", AMG_NODE_LIMIT)
 
 
 def estimate_direct_factor_bytes(n_nodes: int, nnz: int) -> int:
@@ -97,15 +146,17 @@ def choose_backend(
     Parameters
     ----------
     requested:
-        ``"auto"``, ``"direct"``, ``"iterative"`` or ``"rom"``.
-        Explicit requests pass through (``"rom"`` is a tier of its
-        own — its *exact fallback* backend is resolved separately via
-        :func:`exact_fallback_backend`); ``"auto"`` picks by problem
-        size.
+        ``"auto"``, ``"direct"``, ``"iterative"``, ``"amg"`` or
+        ``"rom"``.  Explicit requests pass through (``"rom"`` is a
+        tier of its own — its *exact fallback* backend is resolved
+        separately via :func:`exact_fallback_backend`); ``"auto"``
+        picks by problem size: direct at or below the direct node
+        limit, ILU+BiCGSTAB up to the (by default empty) iterative
+        window, AMG-preconditioned BiCGSTAB above it.
     n_nodes:
         Problem size (grid nodes).
     node_limit:
-        Auto-selection threshold; defaults to
+        Direct-tier threshold override; defaults to
         :func:`direct_node_limit`.
     """
     if requested not in SOLVER_CHOICES:
@@ -116,7 +167,12 @@ def choose_backend(
         _count_selection(requested)
         return requested
     limit = direct_node_limit() if node_limit is None else node_limit
-    resolved = "iterative" if n_nodes > limit else "direct"
+    if n_nodes <= limit:
+        resolved = "direct"
+    elif n_nodes <= max(limit, amg_node_limit()):
+        resolved = "iterative"
+    else:
+        resolved = "amg"
     _count_selection(resolved)
     return resolved
 
@@ -127,9 +183,10 @@ def exact_fallback_backend(
     """The exact backend a rejected ROM query falls back to.
 
     The ROM's fallback chain reuses the ``"auto"`` size rule: rom ->
-    iterative -> direct above the node limit, rom -> direct below it.
-    Counted as a regular selection so the `solver.backend_selected.*`
-    counters reflect what actually ran.
+    amg (itself guarded by iterative then direct) above the node
+    limit, rom -> direct below it.  Counted as a regular selection so
+    the `solver.backend_selected.*` counters reflect what actually
+    ran.
     """
     return choose_backend("auto", n_nodes, node_limit)
 
@@ -273,5 +330,110 @@ class KrylovSolver:
             raise IterativeConvergenceError(
                 f"BiCGSTAB did not converge (info={info}) after "
                 f"{iterations} iterations at rtol={self.options.rtol:g}"
+            )
+        return solution, iterations
+
+
+class AmgSolver:
+    """AMG-preconditioned BiCGSTAB, cacheable like an LU factor.
+
+    The raw-speed twin of :class:`KrylovSolver`: the (expensive)
+    hierarchy construction happens in the constructor so the steady
+    cache can account it exactly like an LU/ILU setup, and each
+    :meth:`solve` costs a handful of V-cycle-preconditioned BiCGSTAB
+    sweeps.  On the Poisson-like conductance matrices the iteration
+    count is nearly size-independent, which is what makes the tier
+    near-O(n) where ILU iteration counts grow with the grid side.
+
+    Parameters
+    ----------
+    matrix:
+        The system matrix ``A(f)``.
+    options:
+        Convergence controls (``rtol``/``atol``/``maxiter``); the ILU
+        knobs of :class:`KrylovOptions` are ignored here.
+    amg:
+        Hierarchy knobs; defaults to
+        :class:`~repro.thermal.amg.AmgOptions`.
+    grid_shape, n_extra:
+        Grid extents ``(levels, ny, nx)`` plus trailing off-grid node
+        count, enabling the geometric aggregation fast path (see
+        :class:`~repro.thermal.amg.AmgPreconditioner`).
+
+    Setup failures raise
+    :class:`~repro.thermal.diagnostics.FactorizationError`;
+    non-convergence raises
+    :class:`~repro.thermal.diagnostics.IterativeConvergenceError`.
+    The tiered steady path catches both to fall back to the ILU tier.
+    """
+
+    method = "bicgstab+amg"
+
+    def __init__(
+        self,
+        matrix,
+        options: Optional[KrylovOptions] = None,
+        amg: Optional["object"] = None,
+        grid_shape: Optional[Tuple[int, int, int]] = None,
+        n_extra: int = 0,
+    ) -> None:
+        from .amg import AmgOptions, AmgPreconditioner
+
+        self.options = options if options is not None else KrylovOptions()
+        self.matrix = matrix.tocsr()
+        self.preconditioner = AmgPreconditioner(
+            self.matrix,
+            amg if amg is not None else AmgOptions(),
+            grid_shape=grid_shape,
+            n_extra=n_extra,
+        )
+        self._operator = self.preconditioner.aslinearoperator()
+        self.iterations_total = 0
+        self.solve_count = 0
+        registry = get_registry()
+        self._c_solves = registry.counter("solver.amg.solves")
+        self._c_iterations = registry.counter("solver.amg.iterations")
+
+    def solve(
+        self,
+        rhs: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, int]:
+        """Solve ``A x = rhs``; returns ``(solution, iterations)``.
+
+        Raises
+        ------
+        IterativeConvergenceError
+            When BiCGSTAB exhausts ``maxiter`` or breaks down, or the
+            solution contains non-finite entries.
+        """
+        iterations = 0
+
+        def count(_xk: np.ndarray) -> None:
+            nonlocal iterations
+            iterations += 1
+
+        with get_tracer().span(
+            "solver.amg.solve", nodes=self.matrix.shape[0]
+        ):
+            solution, info = bicgstab(
+                self.matrix,
+                rhs,
+                x0=x0,
+                rtol=self.options.rtol,
+                atol=self.options.atol,
+                maxiter=self.options.maxiter,
+                M=self._operator,
+                callback=count,
+            )
+        self.iterations_total += iterations
+        self.solve_count += 1
+        self._c_solves.inc()
+        self._c_iterations.inc(iterations)
+        if info != 0 or not np.all(np.isfinite(solution)):
+            raise IterativeConvergenceError(
+                f"AMG-preconditioned BiCGSTAB did not converge "
+                f"(info={info}) after {iterations} iterations at "
+                f"rtol={self.options.rtol:g}"
             )
         return solution, iterations

@@ -77,6 +77,7 @@ from .field import TemperatureField
 from .grid import ThermalGrid
 from .krylov import (
     SOLVER_CHOICES,
+    AmgSolver,
     KrylovOptions,
     KrylovSolver,
     choose_backend,
@@ -171,12 +172,17 @@ class CompactThermalModel:
     solver:
         Steady-solve backend: ``"direct"`` (sparse LU), ``"iterative"``
         (ILU-preconditioned BiCGSTAB with warm starts and a guarded
-        direct fallback), ``"rom"`` (the certified reduced-order fast
-        path of :mod:`repro.thermal.rom`, falling back to the exact
-        auto-resolved backend whenever the certified error bound or the
-        snapshot trust region rejects a query) or ``"auto"`` (direct
-        below :data:`repro.thermal.krylov.DIRECT_NODE_LIMIT` nodes,
-        iterative above — large grids stay out of LU fill-in memory).
+        direct fallback), ``"amg"`` (algebraic-multigrid-preconditioned
+        BiCGSTAB — the raw-speed tier for large grids, guarded by the
+        fallback chain amg -> iterative -> direct), ``"rom"`` (the
+        certified reduced-order fast path of :mod:`repro.thermal.rom`,
+        falling back to the exact auto-resolved backend whenever the
+        certified error bound or the snapshot trust region rejects a
+        query) or ``"auto"`` (direct below
+        :data:`repro.thermal.krylov.DIRECT_NODE_LIMIT` nodes, AMG
+        above — large grids stay out of LU fill-in memory; see
+        :func:`repro.thermal.krylov.choose_backend` for the tunable
+        ILU window between the two).
     krylov:
         Tuning of the iterative path; defaults to
         :class:`~repro.thermal.krylov.KrylovOptions`.
@@ -265,9 +271,20 @@ class CompactThermalModel:
         self._c_rom_fallback = registry.counter("rom.fallback")
         # Iterative-path state, keyed like the LU cache: one
         # ILU-preconditioned operator per flow state, plus the last
-        # solution at that state as the warm-start guess.
+        # solution at that state as the warm-start guess.  The AMG tier
+        # keeps its (much more expensive to set up) hierarchies in a
+        # third cache under the same keys and shares the warm starts.
         self._steady_krylov: "OrderedDict[object, KrylovSolver]" = OrderedDict()
+        self._steady_amg_solvers: "OrderedDict[object, AmgSolver]" = (
+            OrderedDict()
+        )
         self._steady_warm: Dict[object, np.ndarray] = {}
+        self._c_fallback_amg = registry.counter(
+            "solver.fallback.amg_to_iterative"
+        )
+        self._c_fallback_iterative = registry.counter(
+            "solver.fallback.iterative_to_direct"
+        )
         with get_tracer().span(
             "thermal.assembly",
             nx=self.grid.nx,
@@ -773,15 +790,17 @@ class CompactThermalModel:
         Returns whether an entry was actually evicted.  Guarded solves
         call this when a factor produces non-finite or out-of-tolerance
         solutions, so a retry refactorises instead of reusing the bad
-        factor.  Covers both backends: the LU factor and the iterative
-        path's preconditioner/warm-start state of the same key.
+        factor.  Covers every backend: the LU factor, the ILU
+        preconditioner/warm-start state and the AMG hierarchy of the
+        same key.
         """
         key = self._steady_key(flow_ml_min)
         dropped_lu = self._steady_factors.pop(key, None) is not None
         dropped_ilu = self._steady_krylov.pop(key, None) is not None
+        dropped_amg = self._steady_amg_solvers.pop(key, None) is not None
         self._steady_warm.pop(key, None)
         self._g_steady_currsize.set(len(self._steady_factors))
-        return dropped_lu or dropped_ilu
+        return dropped_lu or dropped_ilu or dropped_amg
 
     def steady_cache_info(self) -> CacheInfo:
         """Hit/miss statistics of the steady-factor cache."""
@@ -795,11 +814,13 @@ class CompactThermalModel:
     def clear_steady_cache(self) -> None:
         """Drop all cached steady factorisations (and their statistics).
 
-        Covers both backends: direct LU factors and the iterative
-        path's preconditioners and warm-start guesses.
+        Covers every backend: direct LU factors, the iterative path's
+        ILU preconditioners, the AMG hierarchies and the shared
+        warm-start guesses.
         """
         self._steady_factors.clear()
         self._steady_krylov.clear()
+        self._steady_amg_solvers.clear()
         self._steady_warm.clear()
         self._steady_hits.reset()
         self._steady_misses.reset()
@@ -841,6 +862,70 @@ class CompactThermalModel:
             self._steady_warm.pop(evicted, None)
         return solver
 
+    def steady_amg_solver(
+        self, flow_ml_min: Optional[float] = None
+    ) -> AmgSolver:
+        """Cached AMG-preconditioned operator of ``A(f)``.
+
+        The raw-speed twin of :meth:`steady_krylov_solver`: keyed by
+        the same flow signatures and bounded by the same LRU budget.
+        The hierarchy setup is handed the grid extents so the
+        pure-scipy builder aggregates geometrically (see
+        :mod:`repro.thermal.amg`); per-level operators are then reused
+        by every solve at that flow state — across a whole sweep when
+        the model is shared through the fan-out prewarm.
+        """
+        key = self._steady_key(flow_ml_min)
+        solver = self._steady_amg_solvers.get(key)
+        if solver is not None:
+            self._steady_amg_solvers.move_to_end(key)
+            self._steady_hits.inc()
+            self._g_steady_hits.inc()
+            return solver
+        self._steady_misses.inc()
+        self._g_steady_misses.inc()
+        solver = AmgSolver(
+            self.system_matrix(flow_ml_min),
+            self.krylov_options,
+            grid_shape=(self.grid.levels, self.grid.ny, self.grid.nx),
+            n_extra=1 if self.grid.has_sink_node else 0,
+        )
+        self._steady_amg_solvers[key] = solver
+        if len(self._steady_amg_solvers) > self._max_steady_factors:
+            self._steady_amg_solvers.popitem(last=False)
+        return solver
+
+    def _steady_amg(
+        self, q: np.ndarray, flow_ml_min: Optional[float]
+    ) -> Tuple[Optional[np.ndarray], Optional[int]]:
+        """One AMG steady solve; ``(None, iterations)`` on failure.
+
+        Mirrors :meth:`_steady_iterative`: warm-starts from the last
+        solution at the same flow state, evicts the hierarchy on
+        non-convergence or an out-of-tolerance residual, and reports
+        failure so the caller drops to the ILU tier of the
+        amg -> iterative -> direct chain.
+        """
+        key = self._steady_key(flow_ml_min)
+        try:
+            solver = self.steady_amg_solver(flow_ml_min)
+        except FactorizationError:
+            return None, None
+        try:
+            values, iterations = solver.solve(q, x0=self._steady_warm.get(key))
+        except IterativeConvergenceError:
+            self._steady_amg_solvers.pop(key, None)
+            self._steady_warm.pop(key, None)
+            return None, solver.iterations_total
+        if self.guard.residual_tolerance is not None:
+            residual = relative_residual(solver.matrix, values, q)
+            if residual > self.guard.residual_tolerance:
+                self._steady_amg_solvers.pop(key, None)
+                self._steady_warm.pop(key, None)
+                return None, iterations
+        self._steady_warm[key] = values
+        return values, iterations
+
     def _steady_iterative(
         self, q: np.ndarray, flow_ml_min: Optional[float]
     ) -> Tuple[Optional[np.ndarray], Optional[int]]:
@@ -880,12 +965,12 @@ class CompactThermalModel:
         """Steady-state temperature field for constant block powers.
 
         The backend follows :meth:`steady_backend`: large grids run
-        ILU-preconditioned BiCGSTAB (warm-started per flow state) and
-        fall back to the guarded direct LU on non-convergence; small
-        grids run the direct LU outright.  Either way the solve is
-        guarded per ``self.guard``: non-finite solutions evict the
-        (poisoned) cached factor, one refactorised retry is attempted,
-        and a persistent failure raises
+        AMG-preconditioned BiCGSTAB (warm-started per flow state) and
+        drop down the guarded chain amg -> iterative -> direct on
+        failure; small grids run the direct LU outright.  Either way
+        the solve is guarded per ``self.guard``: non-finite solutions
+        evict the (poisoned) cached factor, one refactorised retry is
+        attempted, and a persistent failure raises
         :class:`~repro.thermal.diagnostics.NonFiniteFieldError`.  The
         health record of the last solve is kept in
         ``last_steady_diagnostics``; running counters in
@@ -902,11 +987,41 @@ class CompactThermalModel:
                     return field
                 # Certified bound or trust region rejected the query:
                 # fall through to the exact backend the "auto" rule
-                # picks (rom -> iterative -> direct above the node
+                # picks (rom -> amg/iterative -> direct above the node
                 # limit, rom -> direct below it).  The exact path is
                 # byte-for-byte the non-rom code below, so fallback
                 # results are bitwise identical to a plain exact model.
                 backend = exact_fallback_backend(self.grid.size)
+            amg_fallback = False
+            if backend == "amg":
+                q = self.power_vector(block_powers) + self.boundary_rhs(
+                    flow_ml_min
+                )
+                values, iterations = self._steady_amg(q, flow_ml_min)
+                if values is not None:
+                    residual = None
+                    if self.guard.residual_tolerance is not None:
+                        residual = relative_residual(
+                            self.system_matrix(flow_ml_min), values, q
+                        )
+                    diagnostics = SolverDiagnostics(
+                        kind="steady",
+                        residual_norm=residual,
+                        finite=True,
+                        method="bicgstab+amg",
+                        iterations=iterations,
+                    )
+                    self.last_steady_diagnostics = diagnostics
+                    self.steady_stats.record(diagnostics)
+                    return TemperatureField(self.grid, values)
+                # First hop of the guarded chain: the ILU tier answers
+                # exactly like a plain solver="iterative" model would.
+                self._c_fallback_amg.inc()
+                tracer.event(
+                    "amg.fallback", kind="steady", iterations=iterations
+                )
+                amg_fallback = True
+                backend = "iterative"
             if backend == "iterative":
                 q = self.power_vector(block_powers) + self.boundary_rhs(
                     flow_ml_min
@@ -924,15 +1039,21 @@ class CompactThermalModel:
                         finite=True,
                         method="bicgstab",
                         iterations=iterations,
+                        fallback_to_iterative=amg_fallback,
                     )
                     self.last_steady_diagnostics = diagnostics
                     self.steady_stats.record(diagnostics)
                     return TemperatureField(self.grid, values)
+                self._c_fallback_iterative.inc()
                 tracer.event(
                     "krylov.fallback", kind="steady", iterations=iterations
                 )
                 return self._steady_direct(
-                    q, flow_ml_min, fallback=True, iterations=iterations
+                    q,
+                    flow_ml_min,
+                    fallback=True,
+                    iterations=iterations,
+                    amg_fallback=amg_fallback,
                 )
             factor = self.steady_factor(flow_ml_min)
             q = self.power_vector(block_powers) + self.boundary_rhs(flow_ml_min)
@@ -1027,6 +1148,7 @@ class CompactThermalModel:
         factor: Optional[object] = None,
         fallback: bool = False,
         iterations: Optional[int] = None,
+        amg_fallback: bool = False,
     ) -> TemperatureField:
         """The guarded direct-LU steady solve (also the Krylov fallback)."""
         if factor is None:
@@ -1047,6 +1169,7 @@ class CompactThermalModel:
                     factor_evictions=evictions,
                     iterations=iterations,
                     fallback_to_direct=fallback,
+                    fallback_to_iterative=amg_fallback,
                 )
                 self.last_steady_diagnostics = diagnostics
                 raise NonFiniteFieldError(
@@ -1071,6 +1194,7 @@ class CompactThermalModel:
                     factor_evictions=evictions,
                     iterations=iterations,
                     fallback_to_direct=fallback,
+                    fallback_to_iterative=amg_fallback,
                 )
                 self.last_steady_diagnostics = diagnostics
                 self.evict_steady_factor(flow_ml_min)
@@ -1088,6 +1212,7 @@ class CompactThermalModel:
             factor_evictions=evictions,
             iterations=iterations,
             fallback_to_direct=fallback,
+            fallback_to_iterative=amg_fallback,
         )
         self.last_steady_diagnostics = diagnostics
         self.steady_stats.record(diagnostics)

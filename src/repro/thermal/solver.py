@@ -99,7 +99,11 @@ class TransientStepper:
         Numerical-guard configuration; defaults to the model's.
     solver:
         Backend selection (``"auto"`` / ``"direct"`` / ``"iterative"``
-        / ``"rom"``); defaults to the model's.  The iterative path
+        / ``"amg"`` / ``"rom"``); defaults to the model's.  The
+        ``"amg"`` steady tier shares the iterative transient path (the
+        ``C/dt`` shift already makes ILU-BiCGSTAB converge in a few
+        iterations, so a per-``(flow, dt)`` hierarchy would be wasted
+        setup).  The iterative path
         solves ``(C/dt + A(f))`` with ILU-preconditioned BiCGSTAB
         warm-started from the previous state — the dominant-diagonal
         ``C/dt`` makes these systems converge in a handful of
@@ -390,7 +394,12 @@ class TransientStepper:
             # A rejected rom step lands here; it runs on whatever exact
             # backend the "auto" size rule picks for this grid.
             backend = self._exact()
-        if backend == "iterative":
+        if backend in ("iterative", "amg"):
+            # The C/dt shift makes transient systems strongly
+            # diagonally dominant: ILU-BiCGSTAB converges in a handful
+            # of iterations, so an AMG hierarchy per (flow, dt) key
+            # would cost more setup than it could save.  The amg
+            # backend therefore shares the iterative transient tier.
             try:
                 solver, boundary = self._krylov_factor(dt)
                 rhs = self._c_over(dt) * values + power + boundary

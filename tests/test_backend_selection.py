@@ -4,10 +4,18 @@ import numpy as np
 import pytest
 
 from repro.geometry import CoolingMode, build_3d_mpsoc
+from repro.obs.metrics import get_registry
 from repro.thermal import CompactThermalModel
+from repro.thermal.diagnostics import (
+    FactorizationError,
+    IterativeConvergenceError,
+)
 from repro.thermal.krylov import (
+    AMG_NODE_LIMIT,
     DIRECT_NODE_LIMIT,
     SOLVER_CHOICES,
+    AmgSolver,
+    amg_node_limit,
     choose_backend,
     direct_node_limit,
     exact_fallback_backend,
@@ -18,6 +26,7 @@ from repro.thermal.rom import RomOptions
 @pytest.fixture(autouse=True)
 def _clean_env(monkeypatch):
     monkeypatch.delenv("REPRO_DIRECT_NODE_LIMIT", raising=False)
+    monkeypatch.delenv("REPRO_AMG_NODE_LIMIT", raising=False)
 
 
 @pytest.mark.parametrize(
@@ -26,15 +35,18 @@ def _clean_env(monkeypatch):
         (1, "direct"),
         (DIRECT_NODE_LIMIT - 1, "direct"),
         (DIRECT_NODE_LIMIT, "direct"),
-        (DIRECT_NODE_LIMIT + 1, "iterative"),
-        (10 * DIRECT_NODE_LIMIT, "iterative"),
+        # AMG_NODE_LIMIT defaults to DIRECT_NODE_LIMIT, so the ILU tier
+        # has no auto window of its own: above the limit auto goes
+        # straight to the raw-speed tier.
+        (DIRECT_NODE_LIMIT + 1, "amg"),
+        (10 * DIRECT_NODE_LIMIT, "amg"),
     ],
 )
 def test_auto_tier_pinned_at_the_node_limit(n_nodes, expected):
     assert choose_backend("auto", n_nodes) == expected
 
 
-@pytest.mark.parametrize("backend", ["direct", "iterative", "rom"])
+@pytest.mark.parametrize("backend", ["direct", "iterative", "amg", "rom"])
 @pytest.mark.parametrize("n_nodes", [1, DIRECT_NODE_LIMIT, 10**9])
 def test_explicit_requests_pass_through(backend, n_nodes):
     assert backend in SOLVER_CHOICES
@@ -45,12 +57,14 @@ def test_explicit_requests_pass_through(backend, n_nodes):
     "override,n_nodes,expected",
     [
         ("100", 100, "direct"),
+        # Between the lowered direct limit and the default AMG limit
+        # the ILU window is open.
         ("100", 101, "iterative"),
         ("0", 1, "iterative"),
         ("0", 0, "direct"),
         ("-5", 1, "iterative"),  # negative clamps to 0
         ("junk", DIRECT_NODE_LIMIT, "direct"),  # malformed -> default
-        ("junk", DIRECT_NODE_LIMIT + 1, "iterative"),
+        ("junk", DIRECT_NODE_LIMIT + 1, "amg"),
     ],
 )
 def test_env_override_pins_the_auto_tier(
@@ -68,11 +82,41 @@ def test_direct_node_limit_reads_env(monkeypatch):
     assert direct_node_limit() == DIRECT_NODE_LIMIT
 
 
+def test_amg_node_limit_defaults_and_reads_env(monkeypatch):
+    assert AMG_NODE_LIMIT == DIRECT_NODE_LIMIT
+    assert amg_node_limit() == AMG_NODE_LIMIT
+    monkeypatch.setenv("REPRO_AMG_NODE_LIMIT", "123456")
+    assert amg_node_limit() == 123456
+    monkeypatch.setenv("REPRO_AMG_NODE_LIMIT", "banana")
+    assert amg_node_limit() == AMG_NODE_LIMIT
+
+
+def test_amg_node_limit_reopens_the_ilu_window(monkeypatch):
+    monkeypatch.setenv("REPRO_DIRECT_NODE_LIMIT", "100")
+    monkeypatch.setenv("REPRO_AMG_NODE_LIMIT", "1000")
+    assert choose_backend("auto", 100) == "direct"
+    assert choose_backend("auto", 500) == "iterative"
+    assert choose_backend("auto", 1000) == "iterative"
+    assert choose_backend("auto", 1001) == "amg"
+
+
+def test_malformed_env_limit_is_counted(monkeypatch):
+    registry = get_registry()
+    start = registry.snapshot()
+    monkeypatch.setenv("REPRO_DIRECT_NODE_LIMIT", "seventy-five-thousand")
+    assert direct_node_limit() == DIRECT_NODE_LIMIT
+    assert direct_node_limit() == DIRECT_NODE_LIMIT
+    delta = registry.delta_since(start)
+    # Counted per parse (telemetry sees the ongoing mis-tiering risk);
+    # the log/trace warning itself fires once per variable per process.
+    assert delta["solver.env.invalid"]["value"] >= 2
+
+
 @pytest.mark.parametrize(
     "n_nodes,expected",
     [
         (DIRECT_NODE_LIMIT, "direct"),
-        (DIRECT_NODE_LIMIT + 1, "iterative"),
+        (DIRECT_NODE_LIMIT + 1, "amg"),
     ],
 )
 def test_rom_exact_fallback_follows_the_auto_rule(n_nodes, expected):
@@ -125,3 +169,85 @@ def test_rom_chain_falls_back_to_iterative_then_direct(monkeypatch):
     assert np.array_equal(
         field.values, direct.steady_state(powers).values
     )
+
+
+# ---------------------------------------------------------------------------
+# forced-failure amg -> iterative -> direct chain
+# ---------------------------------------------------------------------------
+
+
+def _force_amg_failure(monkeypatch, mode):
+    """Break the AMG tier: hierarchy setup or BiCGSTAB convergence."""
+    if mode == "setup":
+        def broken_init(self, *args, **kwargs):
+            raise FactorizationError("forced AMG setup failure")
+
+        monkeypatch.setattr(AmgSolver, "__init__", broken_init)
+    else:
+        def broken_solve(self, rhs, x0=None):
+            raise IterativeConvergenceError("forced AMG non-convergence")
+
+        monkeypatch.setattr(AmgSolver, "solve", broken_solve)
+
+
+@pytest.mark.parametrize("failure", ["setup", "convergence"])
+def test_amg_chain_falls_back_to_iterative(monkeypatch, failure):
+    """amg -> iterative: a broken AMG tier must answer through the ILU
+    path with observables bitwise identical to a plain iterative model,
+    and the hop must land in the fallback counters."""
+    stack = build_3d_mpsoc(2, CoolingMode.LIQUID)
+    model = CompactThermalModel(stack, nx=12, ny=10, solver="amg")
+    reference = CompactThermalModel(stack, nx=12, ny=10, solver="iterative")
+    powers = {ref: 2.0 for ref in model.block_order}
+    registry = get_registry()
+    start = registry.snapshot()
+    _force_amg_failure(monkeypatch, failure)
+    field = model.steady_state(powers)
+    diagnostics = model.last_steady_diagnostics
+    assert diagnostics.method == "bicgstab"
+    assert diagnostics.fallback_to_iterative
+    assert not diagnostics.fallback_to_direct
+    assert not diagnostics.healthy()
+    assert model.steady_stats.fallbacks_to_iterative == 1
+    assert model.steady_stats.iterative_solves == 1
+    assert model.steady_stats.amg_solves == 0
+    delta = registry.delta_since(start)
+    assert delta["solver.fallback.amg_to_iterative"]["value"] == 1
+    assert "solver.fallback.iterative_to_direct" not in delta
+    expected = reference.steady_state(powers)
+    assert np.array_equal(field.values, expected.values)
+
+
+@pytest.mark.parametrize("failure", ["setup", "convergence"])
+def test_amg_chain_falls_back_to_iterative_then_direct(monkeypatch, failure):
+    """amg -> iterative -> direct: with both Krylov tiers broken the
+    guarded direct LU must produce the exact direct-model observables
+    while both fallback hops are counted."""
+    import repro.thermal.model as model_module
+
+    stack = build_3d_mpsoc(2, CoolingMode.LIQUID)
+    model = CompactThermalModel(stack, nx=12, ny=10, solver="amg")
+    reference = CompactThermalModel(stack, nx=12, ny=10, solver="direct")
+    powers = {ref: 2.0 for ref in model.block_order}
+    registry = get_registry()
+    start = registry.snapshot()
+    _force_amg_failure(monkeypatch, failure)
+
+    class BrokenKrylov:
+        def __init__(self, *args, **kwargs):
+            raise FactorizationError("forced ILU setup failure")
+
+    monkeypatch.setattr(model_module, "KrylovSolver", BrokenKrylov)
+    field = model.steady_state(powers)
+    diagnostics = model.last_steady_diagnostics
+    assert diagnostics.method == "direct"
+    assert diagnostics.fallback_to_iterative
+    assert diagnostics.fallback_to_direct
+    assert model.steady_stats.fallbacks_to_iterative == 1
+    assert model.steady_stats.fallbacks_to_direct == 1
+    assert model.steady_stats.direct_solves == 1
+    delta = registry.delta_since(start)
+    assert delta["solver.fallback.amg_to_iterative"]["value"] == 1
+    assert delta["solver.fallback.iterative_to_direct"]["value"] == 1
+    expected = reference.steady_state(powers)
+    assert np.array_equal(field.values, expected.values)

@@ -1,0 +1,122 @@
+"""JIT assembly dispatch: bitwise numpy/numba equivalence, env gating."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import CoolingMode, build_3d_mpsoc
+from repro.obs.metrics import get_registry
+from repro.thermal import CompactThermalModel
+from repro.thermal.assembly import ConductanceBuilder
+from repro.thermal.jit import (
+    JIT_ENV,
+    _accumulate_diagonal_loop,
+    _gather_nonzero_loop,
+    accumulate_diagonal,
+    gather_nonzero,
+    have_numba,
+    jit_enabled,
+)
+
+
+def test_accumulate_diagonal_matches_the_loop_reference_bitwise():
+    rng = np.random.default_rng(7)
+    indices = rng.integers(0, 257, size=10_000).astype(np.int32)
+    weights = rng.normal(scale=1e3, size=10_000)
+    fast = accumulate_diagonal(indices, weights, 257)
+    reference = _accumulate_diagonal_loop(indices, weights, 257)
+    assert np.array_equal(fast, reference)  # bitwise, not allclose
+
+
+def test_gather_nonzero_matches_the_loop_reference_bitwise():
+    rng = np.random.default_rng(8)
+    values = np.where(rng.random(500) < 0.4, 0.0, rng.normal(size=500))
+    idx, vals = gather_nonzero(values)
+    ref_idx, ref_vals = _gather_nonzero_loop(values)
+    assert np.array_equal(idx, ref_idx)
+    assert np.array_equal(vals, ref_vals)
+    assert idx.dtype == np.int32
+
+
+def test_empty_and_all_zero_inputs():
+    out = accumulate_diagonal(
+        np.zeros(0, np.int32), np.zeros(0), 4
+    )
+    assert np.array_equal(out, np.zeros(4))
+    idx, vals = gather_nonzero(np.zeros(6))
+    assert idx.size == 0 and vals.size == 0
+
+
+def test_env_kill_switch_forces_numpy(monkeypatch):
+    monkeypatch.setenv(JIT_ENV, "0")
+    assert not jit_enabled()
+    registry = get_registry()
+    start = registry.snapshot()
+    accumulate_diagonal(np.zeros(1, np.int32), np.ones(1), 1)
+    delta = registry.delta_since(start)
+    assert delta["assembly.jit.numpy_calls"]["value"] == 1
+    assert "assembly.jit.numba_calls" not in delta
+
+
+def test_jit_enabled_tracks_numba_availability(monkeypatch):
+    monkeypatch.delenv(JIT_ENV, raising=False)
+    assert jit_enabled() == have_numba()
+
+
+def test_dispatch_is_counted():
+    registry = get_registry()
+    start = registry.snapshot()
+    gather_nonzero(np.ones(3))
+    delta = registry.delta_since(start)
+    path = "numba" if jit_enabled() else "numpy"
+    assert delta[f"assembly.jit.{path}_calls"]["value"] == 1
+
+
+def test_assembled_matrix_identical_with_jit_disabled(monkeypatch):
+    """The env kill switch must not change a single bit of the model.
+
+    Assembles the same stack twice — dispatch enabled (whatever this
+    environment resolves to) and forced off — and compares the system
+    matrices exactly.
+    """
+    stack = build_3d_mpsoc(2, CoolingMode.LIQUID)
+    enabled = CompactThermalModel(stack, nx=10, ny=8).system_matrix()
+    monkeypatch.setenv(JIT_ENV, "0")
+    disabled = CompactThermalModel(stack, nx=10, ny=8).system_matrix()
+    assert enabled.shape == disabled.shape
+    assert enabled.nnz == disabled.nnz
+    assert np.array_equal(enabled.indptr, disabled.indptr)
+    assert np.array_equal(enabled.indices, disabled.indices)
+    assert np.array_equal(enabled.data, disabled.data)
+
+
+def test_builder_uses_the_dispatch_layer():
+    registry = get_registry()
+    builder = ConductanceBuilder(6)
+    builder.add_edges(
+        np.array([0, 1, 2]), np.array([3, 4, 5]), 2.0
+    )
+    builder.add_diagonal(np.array([0, 5]), 1.5)
+    start = registry.snapshot()
+    matrix = builder.to_csr()
+    delta = registry.delta_since(start)
+    path = "numba" if jit_enabled() else "numpy"
+    # to_csr runs one diagonal accumulation and one nonzero gather.
+    assert delta[f"assembly.jit.{path}_calls"]["value"] == 2
+    assert matrix.diagonal()[0] == pytest.approx(3.5)
+
+
+@pytest.mark.skipif(not have_numba(), reason="numba not installed")
+def test_numba_path_matches_numpy_bitwise(monkeypatch):
+    """With numba present both dispatch targets must agree exactly."""
+    rng = np.random.default_rng(9)
+    indices = rng.integers(0, 1000, size=50_000).astype(np.int32)
+    weights = rng.normal(scale=37.0, size=50_000)
+    monkeypatch.delenv(JIT_ENV, raising=False)
+    jit_diag = accumulate_diagonal(indices, weights, 1000)
+    jit_gather = gather_nonzero(jit_diag)
+    monkeypatch.setenv(JIT_ENV, "0")
+    np_diag = accumulate_diagonal(indices, weights, 1000)
+    np_gather = gather_nonzero(np_diag)
+    assert np.array_equal(jit_diag, np_diag)
+    assert np.array_equal(jit_gather[0], np_gather[0])
+    assert np.array_equal(jit_gather[1], np_gather[1])
