@@ -5,12 +5,35 @@ fluid/wall/base temperatures) and checks the reported behaviour: the
 refrigerant enters at 30 degC and leaves at 29.5 degC, the HTC under the
 hot spot is ~8x the background, and the wall superheat rises only ~2x.
 The benchmark times the calibrated vehicle solution.
+
+Runnable form (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_fig8_twophase.py \
+        [--quick] [--gate] [--output fig8-saturation.json]
+
+drives the *runtime* two-phase cooling backend (``repro.cooling``) with
+the vehicle's heater layout and mass flow and gates on it reproducing
+the calibrated vehicle's falling saturation profile, plus the flow
+response the closed loop relies on (more flow -> higher outlet
+saturation).  ``--output`` writes the saturation-profile artifact.
 """
 
-import pytest
+import argparse
+import json
+import sys
+from pathlib import Path
 
-from repro.analysis import Table, PAPER_CLAIMS, within_band
-from repro.twophase import HotSpotTestVehicle
+import numpy as np
+
+from repro.analysis import PAPER_CLAIMS, Table, within_band
+from repro.cooling import CoolingConfig, TwoPhaseBackend
+from repro.geometry.channels import MicroChannelGeometry
+from repro.geometry.stack import TwoPhaseCavity
+from repro.twophase import FIG8_VEHICLE, HotSpotTestVehicle
+from repro.units import ml_per_min_to_m3_per_s
+
+SATURATION_TOL_K = 0.05
+"""Max |runtime backend - calibrated vehicle| saturation deviation [K]."""
 
 
 def solve_vehicle():
@@ -67,3 +90,148 @@ def test_fig8_two_phase_hotspot(benchmark):
     assert profile.fluid_c[0] > profile.fluid_c[-1]  # falling saturation
     assert profile.htc.argmax() == 2  # HTC peaks under the hot spot
     assert profile.wall_c.argmax() == 2  # wall peaks under the hot spot
+
+
+# ---------------------------------------------------------------------------
+# runnable form: runtime cooling backend vs the calibrated vehicle
+# ---------------------------------------------------------------------------
+
+
+def vehicle_cavity() -> TwoPhaseCavity:
+    """A cavity whose backend-built evaporator matches the Fig. 8 chip.
+
+    ``span = 135.5 * pitch`` keeps the float division safely above the
+    channel count so ``int()`` truncation lands on exactly 135.
+    """
+    evap = FIG8_VEHICLE.evaporator
+    geometry = MicroChannelGeometry(
+        width=evap.channel_width,
+        height=evap.channel_height,
+        pitch=evap.pitch,
+        length=evap.length,
+        span=(evap.channels + 0.5) * evap.pitch,
+    )
+    assert geometry.channel_count == evap.channels
+    return TwoPhaseCavity(
+        name="fig8",
+        geometry=geometry,
+        refrigerant=evap.refrigerant,
+        saturation_k=FIG8_VEHICLE.inlet_saturation_k,
+    )
+
+
+def run(quick: bool = False, gate: bool = False) -> dict:
+    """Drive the runtime backend over the Fig. 8 layout; return results."""
+    vehicle = FIG8_VEHICLE
+    segments_per_row = 20 if quick else 40
+    segments = vehicle.rows * segments_per_row
+    cavity = vehicle_cavity()
+    backend = TwoPhaseBackend(
+        cavity,
+        CoolingConfig(dynamic=True, segments_per_row=segments_per_row),
+    )
+
+    # The vehicle's calibrated operating point, expressed as the
+    # volumetric flow command the runtime loop would issue.
+    mass_flow = vehicle.operating_mass_flow(segments)
+    rho = cavity.refrigerant.liquid_density
+    flow_ml_min = mass_flow / rho / ml_per_min_to_m3_per_s(1.0)
+    flux = np.full(vehicle.rows, vehicle.background_flux)
+    flux[2] = vehicle.hotspot_flux
+
+    runtime_k = backend.respond_to_flow(flow_ml_min, flux)
+    operating = backend.hydraulic_state()
+    outlet_quality = float(operating.quality[-1])
+    reference_k = vehicle.solve(segments).row_means(vehicle.rows).saturation_k
+    deviation_k = float(np.max(np.abs(runtime_k - reference_k)))
+
+    # Flow response: more flow carries the same heat at lower vapour
+    # quality, growing the dry-out margin.  This is the axis the
+    # LC_FUZZY loop actuates when the evaporator runs hot.
+    boosted_k = backend.respond_to_flow(1.5 * flow_ml_min, flux)
+    boosted = backend.hydraulic_state()
+    boosted_outlet_quality = float(boosted.quality[-1])
+    quality_response = outlet_quality - boosted_outlet_quality
+
+    results = {
+        "quick": quick,
+        "segments": segments,
+        "flow_ml_min": flow_ml_min,
+        "rows": list(range(1, vehicle.rows + 1)),
+        "reference_saturation_k": [float(v) for v in reference_k],
+        "runtime_saturation_k": [float(v) for v in runtime_k],
+        "boosted_saturation_k": [float(v) for v in boosted_k],
+        "deviation_k": deviation_k,
+        "outlet_quality": outlet_quality,
+        "boosted_outlet_quality": boosted_outlet_quality,
+        "quality_response": quality_response,
+        "dryout_margin": boosted.dryout_margin,
+    }
+
+    if gate:
+        failures = []
+        if deviation_k > SATURATION_TOL_K:
+            failures.append(
+                f"runtime backend deviates {deviation_k:.4f} K from the "
+                f"calibrated vehicle (tolerance {SATURATION_TOL_K} K)"
+            )
+        if not runtime_k[0] > runtime_k[-1]:
+            failures.append(
+                "saturation profile does not fall inlet -> outlet "
+                "(Fig. 8 shape)"
+            )
+        if not quality_response > 0.0:
+            failures.append(
+                "outlet vapour quality did not fall when the flow "
+                "command rose 1.5x"
+            )
+        margin = results["dryout_margin"]
+        if margin is None or not 0.0 < margin < 1.0:
+            failures.append(
+                f"dry-out margin {margin!r} outside (0, 1)"
+            )
+        results["gate"] = {"passed": not failures, "failures": failures}
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILURE: {failure}", file=sys.stderr)
+
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="coarser axial resolution for CI smoke",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when the runtime backend misses the "
+        "Fig. 8 profile or the flow response",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the saturation-profile artifact (JSON) here",
+    )
+    args = parser.parse_args()
+
+    results = run(quick=args.quick, gate=args.gate)
+    print(json.dumps(results, indent=2))
+
+    if args.output is not None:
+        args.output.write_text(
+            json.dumps(results, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.output}")
+
+    if args.gate and not results.get("gate", {}).get("passed", True):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

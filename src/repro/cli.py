@@ -35,6 +35,7 @@ from .core.simulator import SimulationResult
 from .obs import JsonlSink, session
 from .scenario import (
     ControlSpec,
+    CoolingSpec,
     PolicySpec,
     ResultCache,
     Runner,
@@ -45,6 +46,7 @@ from .scenario import (
     WorkloadSpec,
     run_scenario,
 )
+from .scenario.spec import REFRIGERANT_CHOICES
 from .twophase import HotSpotTestVehicle
 from .workload import paper_workload_suite, save_trace_csv
 
@@ -61,15 +63,29 @@ def _result_table(title: str, result: SimulationResult) -> Table:
     table.add_row("system energy [kJ]", f"{result.total_energy_j / 1e3:.2f}")
     table.add_row("mean flow [ml/min]", f"{result.mean_flow_ml_min:.1f}")
     table.add_row("performance degradation [%]", f"{result.degradation_percent:.3f}")
+    if result.dryout_margin is not None:
+        table.add_row("dry-out margin", f"{result.dryout_margin:.3f}")
     return table
 
 
 def _simulate_scenario(args: argparse.Namespace) -> Scenario:
     """The scenario the ``simulate``/``export-scenario`` flags describe."""
     policy = PolicySpec(name=args.policy)
+    two_phase = bool(getattr(args, "two_phase", False))
+    cooling_backend = None
+    if two_phase:
+        cooling_backend = CoolingSpec(
+            backend="two_phase",
+            refrigerant=getattr(args, "refrigerant", "R134a"),
+        )
     try:
         return Scenario(
-            stack=StackSpec(tiers=args.tiers, cooling=policy.cooling),
+            stack=StackSpec(
+                tiers=args.tiers,
+                cooling=policy.cooling,
+                two_phase=two_phase,
+                cooling_backend=cooling_backend,
+            ),
             workload=WorkloadSpec(
                 name=args.workload, duration=args.duration
             ),
@@ -665,6 +681,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--policy", default="LC_FUZZY", choices=POLICY_NAMES)
     simulate.add_argument("--workload", default="database")
     simulate.add_argument("--duration", type=int, default=60)
+    simulate.add_argument(
+        "--two-phase",
+        action="store_true",
+        help="fill the cavities with an evaporating refrigerant "
+        "(dynamic two-phase cooling backend)",
+    )
+    simulate.add_argument(
+        "--refrigerant",
+        default="R134a",
+        choices=REFRIGERANT_CHOICES,
+        help="two-phase working fluid (with --two-phase)",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     export = sub.add_parser(
@@ -675,6 +703,17 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--policy", default="LC_FUZZY", choices=POLICY_NAMES)
     export.add_argument("--workload", default="database")
     export.add_argument("--duration", type=int, default=60)
+    export.add_argument(
+        "--two-phase",
+        action="store_true",
+        help="emit a two-phase stack with the dynamic cooling backend",
+    )
+    export.add_argument(
+        "--refrigerant",
+        default="R134a",
+        choices=REFRIGERANT_CHOICES,
+        help="two-phase working fluid (with --two-phase)",
+    )
     export.add_argument(
         "--out", default=None, help="write to a file instead of stdout"
     )

@@ -132,6 +132,12 @@ EVAPORATOR_CHANNEL_COUNT = 135
 EVAPORATOR_CHANNEL_WIDTH = 85e-6
 """Channel width of the two-phase test vehicle [m]."""
 
+EVAPORATOR_CHANNEL_HEIGHT = 560e-6
+"""Channel height of the two-phase test vehicle [m]."""
+
+EVAPORATOR_CHANNEL_PITCH = 150e-6
+"""Channel pitch of the two-phase test vehicle [m]."""
+
 EVAPORATOR_HEATER_ROWS = 5
 EVAPORATOR_HEATER_COLS = 7
 """The 35 local heaters are organised in a 5 x 7 layout (Section IV-B)."""

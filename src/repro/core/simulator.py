@@ -73,6 +73,12 @@ class SimulationResult:
     degradation_percent: float
     mean_flow_ml_min: float
     series: Dict[str, np.ndarray] = field(default_factory=dict)
+    dryout_margin: Optional[float] = None
+    """Worst-case two-phase dry-out margin, ``1 - max outlet quality``.
+
+    ``None`` on stacks without dynamic two-phase cooling; ``0.0`` means
+    the evaporator marched into dry-out at some point of the run.
+    """
 
     @property
     def total_energy_j(self) -> float:
@@ -172,9 +178,14 @@ class SystemSimulator:
         self.sensors = TemperatureSensors(
             self.model, refs=self.core_refs, noise_sigma=sensor_noise
         )
-        self._cavity_names = list(self.model.cavity_flows)
+        self._cavity_names = list(self.model.cooled_cavity_names)
         if faults is not None:
             faults.install_sensor_faults(self.sensors)
+            self.model.install_cooling_faults(faults.flow_faults)
+        else:
+            # A pre-assembled model may be shared across runs; clear any
+            # cooling faults a previous (faulted) run installed.
+            self.model.install_cooling_faults([])
         if trace.threads < len(self.core_refs):
             raise ValueError(
                 f"trace provides {trace.threads} threads for "
@@ -261,6 +272,7 @@ class SystemSimulator:
         power_hist,
     ) -> SimulationResult:
         self.policy.reset()
+        self.model.reset_cooling_state()
         stepper = self._initial_state()
         energy = EnergyAccount()
         hotspots = HotSpotStats()
@@ -316,7 +328,11 @@ class SystemSimulator:
                         )
                         for name, value in delivered.items():
                             self.model.set_cavity_flow(name, value)
-                        achieved = sum(delivered.values()) / len(delivered)
+                        achieved = (
+                            sum(delivered.values()) / len(delivered)
+                            if delivered
+                            else flow
+                        )
                     else:
                         self.model.set_flow(flow)
                         achieved = flow
@@ -357,6 +373,10 @@ class SystemSimulator:
                 packed = np.array(
                     [powers.get(ref, 0.0) for ref in self._block_order]
                 )
+                # Quasi-static two-phase coupling: re-march the cooling
+                # backends against this step's flow/flux before the
+                # thermal step consumes the updated saturation anchors.
+                self.model.update_cooling(packed, time)
                 stepper.step_packed(packed)
                 time += dt
                 energy.add(chip_w, pump_w, dt)
@@ -399,4 +419,5 @@ class SystemSimulator:
             series={k: np.asarray(v) for k, v in series.items()}
             if self.record_series
             else {},
+            dryout_margin=self.model.dryout_margin(),
         )

@@ -11,6 +11,7 @@ from .models import (
     ActuatorLagFault,
     CloggedCavityFault,
     DeadSensorFault,
+    DryoutFault,
     FaultSet,
     NoisySensorFault,
     PumpDegradationFault,
@@ -27,6 +28,7 @@ __all__ = [
     "ActuatorLagFault",
     "CloggedCavityFault",
     "DeadSensorFault",
+    "DryoutFault",
     "FaultSet",
     "NoisySensorFault",
     "PumpDegradationFault",

@@ -88,6 +88,8 @@ class ScenarioOutcome:
     energy_delta_j: Optional[float] = None
     time_over_threshold_s: Optional[float] = None
     time_over_threshold_delta_s: Optional[float] = None
+    dryout_margin_delta: Optional[float] = None
+    """Dry-out margin lost vs the baseline (two-phase stacks only)."""
 
     @property
     def completed(self) -> bool:
@@ -125,11 +127,17 @@ class FaultCampaignReport:
                 "dPeak [K]",
                 "Hot [s]",
                 "dEnergy [J]",
+                "dMargin",
                 "Status",
             ],
         )
         for outcome in self.outcomes:
             if outcome.result is not None:
+                margin = (
+                    "-"
+                    if outcome.dryout_margin_delta is None
+                    else f"{outcome.dryout_margin_delta:+.3f}"
+                )
                 table.add_row(
                     outcome.name,
                     outcome.faults,
@@ -137,6 +145,7 @@ class FaultCampaignReport:
                     f"{outcome.peak_delta_c:+.2f}",
                     f"{outcome.time_over_threshold_s:.1f}",
                     f"{outcome.energy_delta_j:+.0f}",
+                    margin,
                     "ok",
                 )
             else:
@@ -144,6 +153,7 @@ class FaultCampaignReport:
                 table.add_row(
                     outcome.name,
                     outcome.faults,
+                    "-",
                     "-",
                     "-",
                     "-",
@@ -300,6 +310,14 @@ def run_fault_campaign(
         result = results.get(scenario.name)
         if result is not None:
             hot_s = _time_over_threshold_s(result)
+            margin_delta = None
+            if (
+                result.dryout_margin is not None
+                and baseline.dryout_margin is not None
+            ):
+                margin_delta = (
+                    result.dryout_margin - baseline.dryout_margin
+                )
             outcomes.append(
                 ScenarioOutcome(
                     name=scenario.name,
@@ -311,6 +329,7 @@ def run_fault_campaign(
                     - baseline.total_energy_j,
                     time_over_threshold_s=hot_s,
                     time_over_threshold_delta_s=hot_s - baseline_hot_s,
+                    dryout_margin_delta=margin_delta,
                 )
             )
         else:

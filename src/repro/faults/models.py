@@ -142,6 +142,32 @@ class CloggedCavityFault(_WindowedFault):
         return flows
 
 
+@dataclass
+class DryoutFault(_WindowedFault):
+    """Upstream pre-heating pushes a two-phase loop towards dry-out.
+
+    Models a failing condenser / pre-heater: the refrigerant enters the
+    cavity partially evaporated, at ``inlet_quality`` instead of the
+    loop's design quality.  The fault does not touch the delivered flow
+    (``apply`` is the identity) — it is consumed by
+    :meth:`CompactThermalModel.install_cooling_faults`, which forces the
+    elevated inlet quality into the evaporator march while the window is
+    active.  ``cavity=None`` pre-heats every two-phase cavity.
+    """
+
+    cavity: Optional[str] = None
+    inlet_quality: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.inlet_quality < 1.0:
+            raise ValueError("inlet_quality must be in (0, 1)")
+
+    def apply(
+        self, time: float, flows: Dict[str, float]
+    ) -> Dict[str, float]:
+        return flows
+
+
 # ---------------------------------------------------------------------------
 # actuator faults
 # ---------------------------------------------------------------------------

@@ -108,6 +108,17 @@ class Cavity:
         """Cavity (channel) height [m]."""
         return self.geometry.height
 
+    def cooling_backend(self, config=None):
+        """The :mod:`repro.cooling` backend serving this cavity.
+
+        Dispatch on the cavity type (two-phase cavities get the
+        marching-evaporator backend).  Imported lazily: the cooling
+        layer builds on this module.
+        """
+        from ..cooling import backend_for_cavity
+
+        return backend_for_cavity(self, config)
+
 
 def refrigerant_liquid(refrigerant) -> Liquid:
     """Saturated-liquid view of a refrigerant as a :class:`Liquid`.
@@ -332,6 +343,8 @@ def build_3d_mpsoc(
     lid_thickness: float = 0.3e-3,
     two_phase: bool = False,
     refrigerant=None,
+    saturation_k: Optional[float] = None,
+    design_flux: Optional[float] = None,
     tier_pattern: Optional[str] = None,
     name: Optional[str] = None,
 ) -> StackDesign:
@@ -363,6 +376,12 @@ def build_3d_mpsoc(
         :class:`TwoPhaseCavity`).
     refrigerant:
         Working fluid for two-phase cavities (default R134a).
+    saturation_k:
+        Inlet saturation temperature of the two-phase loop [K];
+        defaults to the :class:`TwoPhaseCavity` design point.
+    design_flux:
+        Footprint heat flux at which the boiling HTC is evaluated
+        [W/m^2]; defaults to the :class:`TwoPhaseCavity` design point.
     tier_pattern:
         Bottom-to-top tier kinds as a string of ``'c'`` (core tier) and
         ``'m'`` (memory/cache tier); defaults to alternating
@@ -426,12 +445,18 @@ def build_3d_mpsoc(
             from ..materials.refrigerants import R134A
 
             working = refrigerant or R134A
+            loop: dict = {}
+            if saturation_k is not None:
+                loop["saturation_k"] = float(saturation_k)
+            if design_flux is not None:
+                loop["design_flux"] = float(design_flux)
             elements.append(
                 TwoPhaseCavity(
                     name=f"cavity{tier}",
                     geometry=geometry,
                     coolant=refrigerant_liquid(working),
                     refrigerant=working,
+                    **loop,
                 )
             )
         elif cooling is CoolingMode.LIQUID:

@@ -25,6 +25,7 @@ from .spec import (
     SCHEMA_VERSION,
     ChannelSpec,
     ControlSpec,
+    CoolingSpec,
     FaultSpec,
     FlowFaultSpec,
     PolicySpec,
@@ -42,6 +43,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "ChannelSpec",
     "ControlSpec",
+    "CoolingSpec",
     "FaultSpec",
     "FlowFaultSpec",
     "PolicySpec",

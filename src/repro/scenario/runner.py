@@ -78,6 +78,30 @@ def build_stack(spec: StackSpec) -> StackDesign:
             length=DIE_WIDTH,
             span=DIE_HEIGHT,
         )
+    loop: Dict[str, object] = {}
+    cooling = spec.cooling_backend
+    if cooling is not None and cooling.backend == "two_phase":
+        from .. import constants
+        from ..materials.refrigerants import REFRIGERANTS
+        from ..units import celsius_to_kelvin
+
+        loop = {
+            "refrigerant": REFRIGERANTS[cooling.refrigerant],
+            "saturation_k": celsius_to_kelvin(cooling.saturation_c),
+            "design_flux": cooling.design_flux_w_m2,
+        }
+        if geometry is None:
+            # Table I channels (50 x 100 um) cannot pass an evaporating
+            # refrigerant at pump flows — the two-phase pressure drop
+            # collapses.  Default to the Section IV-B test-vehicle
+            # cross-section instead; an explicit ChannelSpec overrides.
+            geometry = MicroChannelGeometry(
+                width=constants.EVAPORATOR_CHANNEL_WIDTH,
+                height=constants.EVAPORATOR_CHANNEL_HEIGHT,
+                pitch=constants.EVAPORATOR_CHANNEL_PITCH,
+                length=DIE_WIDTH,
+                span=DIE_HEIGHT,
+            )
     return build_3d_mpsoc(
         spec.tiers,
         CoolingMode(spec.cooling),
@@ -88,6 +112,7 @@ def build_stack(spec: StackSpec) -> StackDesign:
         two_phase=spec.two_phase,
         tier_pattern=spec.tier_pattern,
         name=spec.name,
+        **loop,
     )
 
 
@@ -173,6 +198,15 @@ def build_faults(spec: Optional[FaultSpec]):
                     **window(flow),
                 )
             )
+        elif flow.kind == "dryout":
+            from ..faults.models import DryoutFault
+
+            kwargs = {} if flow.inlet_quality is None else {
+                "inlet_quality": flow.inlet_quality
+            }
+            flows.append(
+                DryoutFault(cavity=flow.cavity, **kwargs, **window(flow))
+            )
         else:
             flows.append(
                 CloggedCavityFault(
@@ -228,6 +262,16 @@ def build_model(
     serialized basis under the scenario's :meth:`Scenario.model_hash`.
     """
     solver: SolverSpec = scenario.solver
+    cooling = None
+    cooling_spec = scenario.stack.cooling_backend
+    if cooling_spec is not None:
+        from ..cooling import CoolingConfig
+
+        cooling = CoolingConfig(
+            dynamic=cooling_spec.dynamic,
+            inlet_quality=cooling_spec.inlet_quality,
+            segments_per_row=cooling_spec.segments_per_row,
+        )
     return CompactThermalModel(
         stack if stack is not None else build_stack(scenario.stack),
         nx=solver.nx,
@@ -243,6 +287,7 @@ def build_model(
         rom=rom_options(scenario),
         rom_store=rom_store,
         rom_key=scenario.model_hash() if solver.backend == "rom" else None,
+        cooling=cooling,
     )
 
 

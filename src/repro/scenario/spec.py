@@ -41,7 +41,9 @@ SUITE_WORKLOADS = ("web", "database", "multimedia", "max-utilisation")
 GENERATOR_WORKLOADS = SUITE_WORKLOADS + ("idle",)
 SOLVER_BACKENDS = ("auto", "direct", "iterative", "amg", "rom")
 SENSOR_FAULT_KINDS = ("dead", "stuck", "noisy")
-FLOW_FAULT_KINDS = ("pump-degradation", "clogged-cavity")
+FLOW_FAULT_KINDS = ("pump-degradation", "clogged-cavity", "dryout")
+COOLING_BACKEND_CHOICES = ("single_phase_liquid", "air_sink", "two_phase")
+REFRIGERANT_CHOICES = ("R134a", "R236fa", "R245fa")
 
 _AIR_POLICIES = ("AC_LB", "AC_TDVFS_LB")
 
@@ -170,6 +172,99 @@ class ChannelSpec:
 
 
 @dataclass(frozen=True)
+class CoolingSpec:
+    """Cooling-backend selection and its two-phase loop parameters.
+
+    Nested (optionally) inside :class:`StackSpec`; an absent block
+    keeps the legacy behaviour — and the serialized payload, so
+    ``content_hash`` / ``model_hash`` of pre-existing specs stay
+    byte-identical (the same None-drop rule as ``solver.rom``).
+
+    Attributes
+    ----------
+    backend:
+        Registered :mod:`repro.cooling` backend name.
+    refrigerant:
+        Working fluid of the two-phase loop (ASHRAE designation).
+    saturation_c:
+        Inlet saturation temperature of the loop [degC].
+    design_flux_w_m2:
+        Footprint heat flux at which the boiling HTC is evaluated.
+    dynamic:
+        Let run-time flow commands re-march the evaporator and move
+        the saturation anchors (the §III coupling); ``False`` keeps
+        the static anchor.
+    inlet_quality:
+        Vapour quality at the cavity inlet [-].
+    segments_per_row:
+        Marching segments per grid column (axial resolution).
+    """
+
+    backend: str = "two_phase"
+    refrigerant: str = "R134a"
+    saturation_c: float = 30.0
+    design_flux_w_m2: float = 3.0e5
+    dynamic: bool = True
+    inlet_quality: float = 0.03
+    segments_per_row: int = 4
+
+    def __post_init__(self) -> None:
+        _check_choice(self.backend, COOLING_BACKEND_CHOICES, "backend")
+        _check_choice(self.refrigerant, REFRIGERANT_CHOICES, "refrigerant")
+        if not -100.0 < self.saturation_c < 150.0:
+            raise ScenarioError(
+                f"saturation_c: implausible saturation temperature "
+                f"{self.saturation_c!r} degC"
+            )
+        _check_positive(self.design_flux_w_m2, "design_flux_w_m2")
+        if not 0.0 <= self.inlet_quality < 1.0:
+            raise ScenarioError(
+                f"inlet_quality: must be in [0, 1), "
+                f"got {self.inlet_quality!r}"
+            )
+        if self.segments_per_row < 1:
+            raise ScenarioError(
+                f"segments_per_row: must be >= 1, "
+                f"got {self.segments_per_row!r}"
+            )
+
+    @classmethod
+    def from_dict(
+        cls, data: Any, path: str = "stack.cooling_backend"
+    ) -> "CoolingSpec":
+        data = _require_mapping(data, path)
+        _reject_unknown(data, cls, path)
+        kwargs: Dict[str, Any] = {
+            "backend": _typed(
+                data, "backend", (str,), path, default=cls.backend
+            ),
+            "refrigerant": _typed(
+                data, "refrigerant", (str,), path, default=cls.refrigerant
+            ),
+            "saturation_c": _typed(
+                data, "saturation_c", (float,), path,
+                default=cls.saturation_c,
+            ),
+            "design_flux_w_m2": _typed(
+                data, "design_flux_w_m2", (float,), path,
+                default=cls.design_flux_w_m2,
+            ),
+            "dynamic": _typed(
+                data, "dynamic", (bool,), path, default=cls.dynamic
+            ),
+            "inlet_quality": _typed(
+                data, "inlet_quality", (float,), path,
+                default=cls.inlet_quality,
+            ),
+            "segments_per_row": _typed(
+                data, "segments_per_row", (int,), path,
+                default=cls.segments_per_row,
+            ),
+        }
+        return _build(cls, kwargs, path)
+
+
+@dataclass(frozen=True)
 class StackSpec:
     """The 3D stack: tier count/order, cooling technology, cavity config."""
 
@@ -181,6 +276,7 @@ class StackSpec:
     wiring_thickness: float = 20e-6
     lid_thickness: float = 0.3e-3
     channel: Optional[ChannelSpec] = None
+    cooling_backend: Optional[CoolingSpec] = None
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -193,6 +289,25 @@ class StackSpec:
             raise ScenarioError(
                 "two_phase: two-phase cavities require liquid cooling"
             )
+        if self.cooling_backend is not None:
+            backend = self.cooling_backend.backend
+            if backend == "two_phase" and not self.two_phase:
+                raise ScenarioError(
+                    "cooling_backend.backend: the two_phase backend "
+                    "requires two_phase=true on the stack"
+                )
+            if backend == "single_phase_liquid" and (
+                self.cooling != "liquid" or self.two_phase
+            ):
+                raise ScenarioError(
+                    "cooling_backend.backend: single_phase_liquid requires "
+                    "a single-phase liquid-cooled stack"
+                )
+            if backend == "air_sink" and self.cooling != "air":
+                raise ScenarioError(
+                    "cooling_backend.backend: air_sink requires "
+                    "cooling='air'"
+                )
         if self.tier_pattern is not None:
             if len(self.tier_pattern) != self.tiers:
                 raise ScenarioError(
@@ -219,6 +334,7 @@ class StackSpec:
         data = _require_mapping(data, path)
         _reject_unknown(data, cls, path)
         channel = data.get("channel")
+        cooling_backend = data.get("cooling_backend")
         kwargs: Dict[str, Any] = {
             "tiers": _typed(data, "tiers", (int,), path, default=cls.tiers),
             "cooling": _typed(
@@ -243,6 +359,11 @@ class StackSpec:
             "channel": None
             if channel is None
             else ChannelSpec.from_dict(channel, f"{path}.channel"),
+            "cooling_backend": None
+            if cooling_backend is None
+            else CoolingSpec.from_dict(
+                cooling_backend, f"{path}.cooling_backend"
+            ),
             "name": _typed(data, "name", (str,), path),
         }
         return _build(cls, kwargs, path)
@@ -577,6 +698,7 @@ class FlowFaultSpec:
     cavity: Optional[str] = None
     start: float = 0.0
     end: Optional[float] = None
+    inlet_quality: Optional[float] = None
 
     def __post_init__(self) -> None:
         _check_choice(self.kind, FLOW_FAULT_KINDS, "kind")
@@ -596,6 +718,17 @@ class FlowFaultSpec:
             raise ScenarioError(
                 f"end: must be after start={self.start!r}, got {self.end!r}"
             )
+        if self.inlet_quality is not None:
+            if self.kind != "dryout":
+                raise ScenarioError(
+                    "inlet_quality: only 'dryout' faults take a forced "
+                    "inlet vapour quality"
+                )
+            if not 0.0 < self.inlet_quality < 1.0:
+                raise ScenarioError(
+                    f"inlet_quality: must be in (0, 1), "
+                    f"got {self.inlet_quality!r}"
+                )
 
     @classmethod
     def from_dict(cls, data: Any, path: str) -> "FlowFaultSpec":
@@ -610,6 +743,7 @@ class FlowFaultSpec:
             "cavity": _typed(data, "cavity", (str,), path),
             "start": _typed(data, "start", (float,), path, default=cls.start),
             "end": _typed(data, "end", (float,), path),
+            "inlet_quality": _typed(data, "inlet_quality", (float,), path),
         }
         return _build(cls, kwargs, path)
 
@@ -702,6 +836,34 @@ def _solver_plain(solver: "SolverSpec") -> Dict[str, Any]:
     return data
 
 
+def _stack_plain(stack: "StackSpec") -> Dict[str, Any]:
+    """``_to_plain`` for the stack, omitting an unset cooling backend.
+
+    Same None-drop rule as :func:`_solver_plain`: specs written before
+    the pluggable cooling layer keep byte-identical ``content_hash`` /
+    ``model_hash``, so cached results and shared fan-out models survive
+    the upgrade.
+    """
+    data = _to_plain(stack)
+    if data.get("cooling_backend") is None:
+        data.pop("cooling_backend", None)
+    return data
+
+
+def _faults_plain(faults: "FaultSpec") -> Dict[str, Any]:
+    """``_to_plain`` for the fault overlay, omitting unset flow fields.
+
+    Flow faults written before the dryout kind existed carry no
+    ``inlet_quality``; dropping the ``None`` placeholder keeps their
+    serialized payload — and every dependent hash — byte-identical.
+    """
+    data = _to_plain(faults)
+    for flow in data.get("flows") or []:
+        if flow.get("inlet_quality") is None:
+            flow.pop("inlet_quality", None)
+    return data
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One fully-specified closed-loop experiment.
@@ -748,6 +910,12 @@ class Scenario:
                     "faults.flows: cooling-loop faults require a "
                     "liquid-cooled stack"
                 )
+        if self.faults is not None and not self.stack.two_phase:
+            if any(flow.kind == "dryout" for flow in self.faults.flows):
+                raise ScenarioError(
+                    "faults.flows: dryout faults require a two-phase "
+                    "stack (stack.two_phase=true)"
+                )
         return self
 
     # -- serialisation ------------------------------------------------------
@@ -756,12 +924,12 @@ class Scenario:
         """Plain-data view, JSON-compatible and stable field order."""
         data = {
             "schema_version": SCHEMA_VERSION,
-            "stack": _to_plain(self.stack),
+            "stack": _stack_plain(self.stack),
             "workload": _to_plain(self.workload),
             "policy": _to_plain(self.policy),
             "solver": _solver_plain(self.solver),
             "control": _to_plain(self.control),
-            "faults": _to_plain(self.faults)
+            "faults": _faults_plain(self.faults)
             if self.faults is not None
             else None,
             "record_series": self.record_series,
@@ -875,7 +1043,7 @@ class Scenario:
         canonical = json.dumps(
             {
                 "schema_version": SCHEMA_VERSION,
-                "stack": _to_plain(self.stack),
+                "stack": _stack_plain(self.stack),
                 "solver": _solver_plain(self.solver),
             },
             sort_keys=True,

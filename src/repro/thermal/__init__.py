@@ -10,6 +10,7 @@ from .grid import ThermalGrid
 from .field import BlockReduction, TemperatureField
 from .assembly import ConductanceBuilder
 from .diagnostics import (
+    CoolingDryoutError,
     FactorizationError,
     IterativeConvergenceError,
     NonFiniteFieldError,
@@ -45,6 +46,7 @@ __all__ = [
     "SolverStats",
     "ThermalSolveError",
     "ThermalInputError",
+    "CoolingDryoutError",
     "FactorizationError",
     "IterativeConvergenceError",
     "NonFiniteFieldError",

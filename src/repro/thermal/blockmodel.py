@@ -29,9 +29,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..cooling import effective_htc_for
 from ..geometry.floorplan import Block
 from ..geometry.stack import Cavity, CoolingMode, Layer, StackDesign, TwoPhaseCavity
-from ..heat_transfer.convection import cavity_effective_htc
 from ..units import ml_per_min_to_m3_per_s
 from .model import DEFAULT_AMBIENT_K, DEFAULT_INLET_K, TWO_PHASE_ANCHOR_W_PER_K
 
@@ -184,14 +184,9 @@ class BlockThermalModel:
         for cavity_idx, cavity in enumerate(self.stack.cavities):
             level = cavity_levels[cavity_idx]
             geometry = cavity.geometry
-            if isinstance(cavity, TwoPhaseCavity):
-                h_eff = geometry.effective_htc(
-                    cavity.boiling_htc(), cavity.wall_material.conductivity
-                )
-            else:
-                h_eff = cavity_effective_htc(
-                    geometry, cavity.coolant, cavity.wall_material
-                )
+            # One dispatch point shared with CompactThermalModel: the
+            # cooling backend owns the effective-HTC correlation.
+            h_eff = effective_htc_for(cavity)
             wall_g_per_area = geometry.wall_bypass_coefficient(
                 cavity.wall_material.conductivity
             )

@@ -16,7 +16,8 @@ The hierarchy::
     ├── FactorizationError      (sparse LU construction failed)
     ├── NonFiniteFieldError     (solution contains NaN/Inf)
     ├── TransientDivergenceError (dt-halving backoff exhausted)
-    └── IterativeConvergenceError (Krylov solve failed to converge)
+    ├── IterativeConvergenceError (Krylov solve failed to converge)
+    └── CoolingDryoutError      (two-phase cooling marched into dry-out)
 
 The Krylov path (see :mod:`repro.thermal.krylov`) reports through the
 same records: :class:`SolverDiagnostics` carries the method that
@@ -290,6 +291,32 @@ class IterativeConvergenceError(ThermalSolveError):
     propagates to callers that request the iterative backend
     explicitly with the fallback disabled.
     """
+
+
+class CoolingDryoutError(ThermalSolveError):
+    """A two-phase cooling backend marched into dry-out (quality → 1).
+
+    Wraps :class:`repro.twophase.evaporator.DryoutError` into the
+    solver-error taxonomy: Section III's benefits hold only "as long as
+    dry-out ... is avoided", and a flow command that starves an
+    evaporating cavity is an operating-point failure, not a crash.
+    Fault campaigns classify it like any other solve failure and report
+    dry-out margin deltas instead of tracebacks.
+
+    Attributes
+    ----------
+    cavity:
+        Name of the cavity that dried out, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        cavity: Optional[str] = None,
+        diagnostics: Optional[SolverDiagnostics] = None,
+    ) -> None:
+        super().__init__(message, diagnostics)
+        self.cavity = cavity
 
 
 def condition_estimate_from_factor(factor: object) -> Optional[float]:

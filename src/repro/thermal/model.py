@@ -54,8 +54,14 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.linalg import splu
 
 from .. import constants
+from ..cooling import (
+    TWO_PHASE_ANCHOR_W_PER_K,
+    CoolingBackend,
+    CoolingConfig,
+    HydraulicState,
+    backend_for_cavity,
+)
 from ..geometry.stack import Cavity, CoolingMode, Layer, StackDesign, TwoPhaseCavity
-from ..heat_transfer.convection import cavity_effective_htc
 from ..obs.metrics import Counter, get_registry
 from ..obs.trace import get_tracer
 from ..units import celsius_to_kelvin, ml_per_min_to_m3_per_s
@@ -139,17 +145,9 @@ COLAMD ordering — measured ~1.7x faster factorisation and ~1.8x
 faster triangular solves on the 2-tier stack at the default grid.
 """
 
-TWO_PHASE_ANCHOR_W_PER_K = 10.0
-"""Per-cell conductance anchoring two-phase fluid cells at saturation
-[W/K].
-
-An evaporating refrigerant absorbs heat "without an increase in its
-temperature ... because simply more liquid evaporates into vapor"
-(Section III) — i.e. the fluid behaves as a constant-temperature
-reservoir until dry-out.  The anchor is ~10^3 times larger than any
-convective cell conductance, making the cells effectively Dirichlet
-nodes without harming the matrix conditioning.
-"""
+# TWO_PHASE_ANCHOR_W_PER_K moved to repro.cooling with the backend
+# layer; the import above keeps this module's historical re-export for
+# blockmodel.py and tests/reference_assembly.py.
 
 
 class CompactThermalModel:
@@ -197,6 +195,13 @@ class CompactThermalModel:
     rom_key:
         Store key of this model's basis (scenario runs pass their
         ``model_hash``); without it the store is not consulted.
+    cooling:
+        Run-time cooling configuration
+        (:class:`~repro.cooling.CoolingConfig`).  The default static
+        configuration reproduces the legacy behaviour bit for bit;
+        ``CoolingConfig(dynamic=True)`` lets flow commands re-march the
+        two-phase evaporator and move the saturation anchors at run
+        time (see :meth:`update_cooling`).
     """
 
     def __init__(
@@ -213,6 +218,7 @@ class CompactThermalModel:
         rom: Optional[object] = None,
         rom_store: Optional[object] = None,
         rom_key: Optional[str] = None,
+        cooling: Optional[CoolingConfig] = None,
     ) -> None:
         if max_steady_factors is None:
             max_steady_factors = lu_cache_size(8)
@@ -285,6 +291,21 @@ class CompactThermalModel:
         self._c_fallback_iterative = registry.counter(
             "solver.fallback.iterative_to_direct"
         )
+        # Cooling backends: one per cavity, dispatched on the cavity
+        # type.  Dynamic two-phase backends (and their grid levels) are
+        # collected during assembly; their moving saturation anchors
+        # enter the solves through cooling_rhs(), never the matrix.
+        self.cooling_config = cooling if cooling is not None else CoolingConfig()
+        self._cooling_backends: Dict[str, CoolingBackend] = {
+            element.name: backend_for_cavity(element, self.cooling_config)
+            for element in stack.elements
+            if isinstance(element, Cavity)
+        }
+        self._dynamic_cooling: Dict[str, Tuple[CoolingBackend, int]] = {}
+        self._cooling_flows: Dict[str, float] = {}
+        self._cooling_faults: List[object] = []
+        self._b_cooling: Optional[np.ndarray] = None
+        self._c_cooling_updates = registry.counter("cooling.updates")
         with get_tracer().span(
             "thermal.assembly",
             nx=self.grid.nx,
@@ -310,6 +331,14 @@ class CompactThermalModel:
         b_base = np.zeros(n)
         b_adv = np.zeros(n)
         capacitance = np.zeros(n)
+
+        # Per-cavity fluid couplings from the backend layer: the
+        # effective HTC and the coupling kind (advection stencil,
+        # saturation anchor) each cavity level contributes.
+        couplings = {
+            name: backend.fluid_coupling()
+            for name, backend in self._cooling_backends.items()
+        }
 
         def vertical_half_resistance(element, a: float) -> float:
             """Half-cell vertical resistance of a solid element [K/W]."""
@@ -375,15 +404,7 @@ class CompactThermalModel:
                     (upper, level + 1) if isinstance(lower, Cavity) else (lower, level)
                 )
                 assert isinstance(cavity, Cavity) and isinstance(solid, Layer)
-                if isinstance(cavity, TwoPhaseCavity):
-                    h_eff = cavity.geometry.effective_htc(
-                        cavity.boiling_htc(),
-                        cavity.wall_material.conductivity,
-                    )
-                else:
-                    h_eff = cavity_effective_htc(
-                        cavity.geometry, cavity.coolant, cavity.wall_material
-                    )
+                h_eff = couplings[cavity.name].effective_htc
                 r = vertical_half_resistance(solid, area) + 1.0 / (h_eff * area)
                 base.add_edges(
                     grid.level_indices(solid_level),
@@ -414,16 +435,25 @@ class CompactThermalModel:
                 1.0 / r,
             )
 
-        # Two-phase cavities: fluid cells anchored at the saturation
-        # temperature (evaporation absorbs heat isothermally).
+        # Anchor-coupled cavities (two-phase): fluid cells anchored at
+        # the saturation temperature (evaporation absorbs heat
+        # isothermally).  Dynamic backends are collected here; their
+        # run-time anchor movement rides on cooling_rhs(), keeping the
+        # assembled operators (and every cached factor) untouched.
         for level, element in enumerate(elements):
-            if not isinstance(element, TwoPhaseCavity):
+            if not isinstance(element, Cavity):
+                continue
+            coupling = couplings[element.name]
+            if coupling.kind != "anchor":
                 continue
             cells = grid.level_indices(level).ravel()
-            base.add_diagonal(cells, TWO_PHASE_ANCHOR_W_PER_K)
+            base.add_diagonal(cells, coupling.anchor_w_per_k)
             b_base[grid.level_slice(level)] += (
-                TWO_PHASE_ANCHOR_W_PER_K * element.saturation_k
+                coupling.anchor_w_per_k * coupling.anchor_temperature_k
             )
+            backend = self._cooling_backends[element.name]
+            if backend.dynamic:
+                self._dynamic_cooling[element.name] = (backend, level)
 
         # Advective transport in single-phase cavities (unit
         # capacity-rate pattern).  The actual contribution is
@@ -436,8 +466,9 @@ class CompactThermalModel:
         cavity_levels: Dict[str, int] = {}
         per_cavity_b: Dict[str, np.ndarray] = {}
         for level, element in enumerate(elements):
-            if not isinstance(element, Cavity) or isinstance(
-                element, TwoPhaseCavity
+            if (
+                not isinstance(element, Cavity)
+                or couplings[element.name].kind != "advection"
             ):
                 continue
             idx = grid.level_indices(level)
@@ -476,6 +507,9 @@ class CompactThermalModel:
         self._capacitance = capacitance
         self._flows: Dict[str, float] = {
             name: self._flow_ml_min for name in cavity_levels
+        }
+        self._cooling_flows = {
+            name: self._flow_ml_min for name in self._dynamic_cooling
         }
 
     # ------------------------------------------------------------------
@@ -518,6 +552,9 @@ class CompactThermalModel:
         flow_ml_min = validate_positive_scalar(flow_ml_min, "flow rate")
         self._flow_ml_min = float(flow_ml_min)
         self._flows = {name: float(flow_ml_min) for name in self._flows}
+        self._cooling_flows = {
+            name: float(flow_ml_min) for name in self._cooling_flows
+        }
 
     def set_cavity_flow(self, cavity_name: str, flow_ml_min: float) -> None:
         """Set one cavity's flow rate independently [ml/min].
@@ -528,12 +565,18 @@ class CompactThermalModel:
         ``benchmarks/bench_ablation_percavity.py`` for the pay-off.
         """
         flow_ml_min = validate_positive_scalar(flow_ml_min, "flow rate")
-        if cavity_name not in self._flows:
-            raise KeyError(
-                f"no single-phase cavity named {cavity_name!r} "
-                f"(have {sorted(self._flows)})"
-            )
-        self._flows[cavity_name] = float(flow_ml_min)
+        if cavity_name in self._flows:
+            self._flows[cavity_name] = float(flow_ml_min)
+            return
+        if cavity_name in self._dynamic_cooling:
+            # Dynamic two-phase cavity: the command feeds the next
+            # update_cooling() march instead of the advection terms.
+            self._cooling_flows[cavity_name] = float(flow_ml_min)
+            return
+        raise KeyError(
+            f"no single-phase cavity named {cavity_name!r} "
+            f"(have {sorted(self._flows)})"
+        )
 
     def _capacity_rate_per_row(self, flow_ml_min: float) -> float:
         """Per-cell-row capacity rate c(f) = rho cp Q / ny [W/K]."""
@@ -624,6 +667,170 @@ class CompactThermalModel:
     def capacitance(self) -> np.ndarray:
         """Per-node thermal capacitance [J/K]."""
         return self._capacitance
+
+    # ------------------------------------------------------------------
+    # run-time cooling coupling (dynamic two-phase backends)
+    # ------------------------------------------------------------------
+
+    @property
+    def cooled_cavity_names(self) -> List[str]:
+        """Cavities that accept run-time flow commands.
+
+        Single-phase cavities (advective flow terms) plus dynamic
+        two-phase cavities (moving saturation anchors).
+        """
+        names = list(self._flows)
+        names.extend(n for n in self._dynamic_cooling if n not in self._flows)
+        return names
+
+    def cooling_backend(self, cavity_name: str) -> CoolingBackend:
+        """The cooling backend serving one cavity."""
+        backend = self._cooling_backends.get(cavity_name)
+        if backend is None:
+            raise KeyError(
+                f"no cavity named {cavity_name!r} "
+                f"(have {sorted(self._cooling_backends)})"
+            )
+        return backend
+
+    def hydraulic_states(self) -> Dict[str, HydraulicState]:
+        """Run-time hydraulic snapshot of every cavity backend."""
+        return {
+            name: backend.hydraulic_state()
+            for name, backend in self._cooling_backends.items()
+        }
+
+    def dryout_margin(self) -> Optional[float]:
+        """Smallest dry-out margin seen since the last cooling reset.
+
+        ``1 - max outlet quality`` across all dynamic two-phase
+        cavities; ``None`` when no dynamic backend has marched yet.
+        """
+        margins = [
+            backend.hydraulic_state().dryout_margin
+            for backend, _level in self._dynamic_cooling.values()
+        ]
+        margins = [m for m in margins if m is not None]
+        return min(margins) if margins else None
+
+    def install_cooling_faults(self, faults: List[object]) -> None:
+        """Attach inlet-quality fault models (see ``repro.faults``).
+
+        Each fault exposes ``active(time)``, ``inlet_quality`` and an
+        optional ``cavity`` filter; while active it floors the inlet
+        vapour quality of the matching dynamic cavities, eroding the
+        dry-out margin the way a starved or vapour-locked feed line
+        would.  Flow faults without an ``inlet_quality`` (pump wear,
+        clogs) act on the delivered flow instead and are ignored here.
+        """
+        self._cooling_faults = [
+            fault for fault in faults
+            if getattr(fault, "inlet_quality", None) is not None
+        ]
+
+    def _inlet_quality_at(self, cavity_name: str, time: float) -> Optional[float]:
+        """Resolve the (possibly fault-elevated) inlet quality."""
+        quality = None
+        for fault in self._cooling_faults:
+            if fault.cavity is not None and fault.cavity != cavity_name:
+                continue
+            if not fault.active(time):
+                continue
+            value = float(fault.inlet_quality)
+            if quality is None or value > quality:
+                quality = value
+        return quality
+
+    def _column_heat_flux(self, packed: Optional[np.ndarray]) -> np.ndarray:
+        """Footprint heat flux per x-column, per dynamic cavity [W/m^2].
+
+        The chip's per-column nodal power (one spmv on the packed block
+        powers) split evenly across the dynamic cavities and divided by
+        the column strip footprint ``dx * (ny dy)``.
+        """
+        grid = self.grid
+        strip_area = grid.cell_area * grid.ny
+        if packed is None:
+            return np.zeros(grid.nx)
+        nodal = self.power_vector_packed(packed)
+        levels = nodal[: grid.levels * grid.ny * grid.nx]
+        per_column = levels.reshape(grid.levels, grid.ny, grid.nx).sum(
+            axis=(0, 1)
+        )
+        share = max(1, len(self._dynamic_cooling))
+        return per_column / (share * strip_area)
+
+    def update_cooling(
+        self, packed: Optional[np.ndarray] = None, time: float = 0.0
+    ) -> bool:
+        """Quasi-static cooling update for one control step.
+
+        Drives every dynamic two-phase backend with its commanded flow
+        (see :meth:`set_flow` / :meth:`set_cavity_flow`) and the
+        current footprint heat-flux pattern; the marched row-averaged
+        saturation profile replaces the static anchor temperature
+        through :meth:`cooling_rhs`.  A cheap no-op (returns ``False``)
+        without dynamic backends, so legacy single-phase and static
+        two-phase paths are untouched.
+
+        Raises
+        ------
+        CoolingDryoutError
+            When a backend's march dries out; part of the
+            :class:`~repro.thermal.diagnostics.ThermalSolveError`
+            taxonomy, so guarded callers report it instead of crashing.
+        """
+        if not self._dynamic_cooling:
+            return False
+        flux = self._column_heat_flux(packed)
+        delta = np.zeros(self.grid.size)
+        with get_tracer().span(
+            "cooling.update", cavities=len(self._dynamic_cooling)
+        ):
+            for name, (backend, level) in self._dynamic_cooling.items():
+                flow = self._cooling_flows.get(name, self._flow_ml_min)
+                element = self.stack.element(name)
+                profile = backend.respond_to_flow(
+                    flow,
+                    flux,
+                    inlet_quality=self._inlet_quality_at(name, time),
+                )
+                if profile is None:
+                    continue
+                idx = self.grid.level_indices(level)
+                delta[idx] = TWO_PHASE_ANCHOR_W_PER_K * (
+                    profile[None, :] - element.saturation_k
+                )
+        self._b_cooling = delta
+        self._c_cooling_updates.inc()
+        return True
+
+    def cooling_rhs(self) -> Optional[np.ndarray]:
+        """Dynamic cooling correction to the boundary source vector.
+
+        The per-node delta ``G_anchor (T_sat,marched - T_sat,static)``
+        of the last :meth:`update_cooling`, or ``None`` when the
+        anchors are static.  Added to the right-hand side at solve
+        time — the assembled matrices and every cached factorisation
+        stay valid while the saturation field moves.
+        """
+        return self._b_cooling
+
+    def reset_cooling_state(self) -> None:
+        """Clear run-time cooling state between simulation runs.
+
+        Resets the dynamic anchor deltas, re-aims every dynamic cavity
+        at the shared pump flow and clears the backends' dry-out margin
+        trackers (their march caches survive: marches are pure
+        functions of the quantised key).  Models are shared across runs
+        by the sweep fan-out prewarm, so per-run state must not leak.
+        """
+        self._b_cooling = None
+        self._cooling_flows = {
+            name: self._flow_ml_min for name in self._dynamic_cooling
+        }
+        for backend, _level in self._dynamic_cooling.values():
+            backend.reset()
 
     # ------------------------------------------------------------------
     # power injection
@@ -993,10 +1200,16 @@ class CompactThermalModel:
                 # results are bitwise identical to a plain exact model.
                 backend = exact_fallback_backend(self.grid.size)
             amg_fallback = False
+            # Dynamic two-phase anchors enter as a pure rhs delta; the
+            # matrix (and every cached factor/preconditioner) is
+            # untouched, and the branch is never taken on legacy paths.
+            cooling = self.cooling_rhs()
             if backend == "amg":
                 q = self.power_vector(block_powers) + self.boundary_rhs(
                     flow_ml_min
                 )
+                if cooling is not None:
+                    q = q + cooling
                 values, iterations = self._steady_amg(q, flow_ml_min)
                 if values is not None:
                     residual = None
@@ -1026,6 +1239,8 @@ class CompactThermalModel:
                 q = self.power_vector(block_powers) + self.boundary_rhs(
                     flow_ml_min
                 )
+                if cooling is not None:
+                    q = q + cooling
                 values, iterations = self._steady_iterative(q, flow_ml_min)
                 if values is not None:
                     residual = None
@@ -1057,6 +1272,8 @@ class CompactThermalModel:
                 )
             factor = self.steady_factor(flow_ml_min)
             q = self.power_vector(block_powers) + self.boundary_rhs(flow_ml_min)
+            if cooling is not None:
+                q = q + cooling
             return self._steady_direct(q, flow_ml_min, factor=factor)
 
     # ------------------------------------------------------------------
@@ -1122,6 +1339,14 @@ class CompactThermalModel:
         flow, rate = self.rom_flow(flow_ml_min)
         try:
             with tracer.span("rom.solve", kind="steady"):
+                if self._b_cooling is not None:
+                    # Moving saturation anchors sit outside the basis'
+                    # calibrated (static-anchor) snapshot space.
+                    raise RomRejection(
+                        "two-phase-anchor",
+                        "dynamic two-phase anchors moved the boundary "
+                        "source outside the calibrated ROM basis",
+                    )
                 if self._flows and flow is None:
                     rom.check_flow(None)  # raises RomRejection, counted
                 values, bound = rom.steady_values(
@@ -1242,9 +1467,15 @@ class CompactThermalModel:
                 continue
             view = self.grid.level_view(field.values, level)
             if isinstance(element, TwoPhaseCavity):
+                anchor = element.saturation_k
+                entry = self._dynamic_cooling.get(element.name)
+                if entry is not None and self._b_cooling is not None:
+                    state = entry[0].hydraulic_state()
+                    if state.saturation_k is not None:
+                        # Marched per-row anchors (broadcast across y).
+                        anchor = state.saturation_k[None, :]
                 total += float(
-                    TWO_PHASE_ANCHOR_W_PER_K
-                    * (view - element.saturation_k).sum()
+                    TWO_PHASE_ANCHOR_W_PER_K * (view - anchor).sum()
                 )
             else:
                 c = self._capacity_rate_per_row(self._flows[element.name])

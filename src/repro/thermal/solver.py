@@ -343,6 +343,14 @@ class TransientStepper:
             rom = model.ensure_rom()
             flow, rate = model.rom_flow(None)
             with tracer.span("rom.solve", kind="transient"):
+                if model.cooling_rhs() is not None:
+                    # Moving saturation anchors sit outside the basis'
+                    # calibrated (static-anchor) snapshot space.
+                    raise RomRejection(
+                        "two-phase-anchor",
+                        "dynamic two-phase anchors moved the boundary "
+                        "source outside the calibrated ROM basis",
+                    )
                 if model._flows and flow is None:
                     rom.check_flow(None)  # raises RomRejection, counted
                 reduced = self._reduced
@@ -390,6 +398,10 @@ class TransientStepper:
         iterations: Optional[int] = None
         fell_back = False
         backend = self._backend
+        # Dynamic two-phase anchors contribute a pure rhs delta: the
+        # (C/dt + A) factor caches stay valid while the saturation
+        # field moves, and legacy paths never take the branch.
+        cooling = self.model.cooling_rhs()
         if backend == "rom":
             # A rejected rom step lands here; it runs on whatever exact
             # backend the "auto" size rule picks for this grid.
@@ -403,6 +415,8 @@ class TransientStepper:
             try:
                 solver, boundary = self._krylov_factor(dt)
                 rhs = self._c_over(dt) * values + power + boundary
+                if cooling is not None:
+                    rhs = rhs + cooling
                 solution, iterations = solver.solve(rhs, x0=values)
             except (FactorizationError, IterativeConvergenceError):
                 self._evict_krylov(dt)
@@ -425,6 +439,8 @@ class TransientStepper:
                 fell_back = True
         factor, boundary, matrix = self._factor(dt)
         rhs = self._c_over(dt) * values + power + boundary
+        if cooling is not None:
+            rhs = rhs + cooling
         solution = factor.solve(rhs)
         residual = None
         ok = True
