@@ -41,6 +41,9 @@ from repro.workload import paper_workload_suite
 BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / "baseline_seed.json"
 """The committed seed measurements (see module docstring)."""
 
+HISTORY_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / "history.jsonl"
+"""Append-only benchmark trajectory, one timestamped record per run."""
+
 
 def _mean_time(fn: Callable[[], object], repeats: int) -> float:
     fn()  # warm-up (allocations, caches, imports)
@@ -368,6 +371,60 @@ def write_bench_report(
         report.update(extras)
     Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
+
+
+def append_history(
+    results: Dict[str, float],
+    path: Optional[Path] = None,
+    **extra: object,
+) -> Path:
+    """Append one timestamped record to the benchmark trajectory.
+
+    Every ``repro bench-thermal`` run — gated or not — adds one JSONL
+    line, so ``benchmarks/history.jsonl`` is never empty and the
+    perf-regression watchdog (``repro report bench --check``, see
+    :func:`repro.obs.live.check_bench_history`) always has a
+    trajectory to compare the newest run against.  The append is one
+    O_APPEND write of one line, atomic enough for concurrent CI runs.
+    """
+    import os
+
+    from repro import __version__
+
+    path = HISTORY_PATH if path is None else Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record: Dict[str, object] = {
+        "t": time.time(),
+        "version": __version__,
+        "results": results,
+    }
+    record.update(extra)
+    line = json.dumps(record, sort_keys=True) + "\n"
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+    return path
+
+
+def read_history(path: Optional[Path] = None) -> list:
+    """Decoded trajectory records, oldest first (bad lines skipped)."""
+    path = HISTORY_PATH if path is None else Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            entries.append(record)
+    return entries
 
 
 def write_baseline(

@@ -580,8 +580,16 @@ def _merge_worker_value(tracer, key: object, value: object) -> object:
         and len(value) == 2
         and is_obs_payload(value[1])
     ):
+        from ..obs.live import current_trace
+
         result, payload = value
-        with tracer.span("sweep.job", key=str(key)) as job_span:
+        attrs: Dict[str, object] = {"key": str(key)}
+        context = current_trace()
+        if context is not None:
+            # Sweeps running under a distributed trace (e.g. inside a
+            # service worker) keep their fan-out joined to it.
+            attrs["trace_id"] = context.trace_id
+        with tracer.span("sweep.job", **attrs) as job_span:
             tracer.ingest(
                 payload.get("spans", ()),
                 depth_offset=job_span.depth + 1,

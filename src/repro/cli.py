@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -162,9 +163,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         heartbeat_timeout_s=args.heartbeat_timeout,
         fsync=not args.no_fsync,
         drain_timeout_s=args.drain_timeout,
+        metrics_interval_s=args.metrics_interval,
+        metrics_http=args.metrics_http,
     )
     recovery = service.store.recovery
     print(f"scenario service on {service.address}")
+    if args.metrics_http:
+        print(f"  prometheus metrics on http://{args.metrics_http}/metrics")
     print(
         f"  root {root} | workers {args.workers} | "
         f"recovered {recovery.jobs} jobs "
@@ -186,9 +191,16 @@ def cmd_submit(args: argparse.Namespace) -> int:
         scenario = Scenario.load(path)
     except ScenarioError as error:
         raise SystemExit(f"invalid scenario spec {path}: {error}") from error
+    from .obs.live import TraceContext
+
     client = ServiceClient(_service_address(args))
+    context = TraceContext.mint()
     try:
-        response = client.submit(scenario.to_dict())
+        response = client.submit(
+            scenario.to_dict(),
+            trace=context.to_wire(),
+            profile=args.profile,
+        )
     except (ProtocolError, OSError) as error:
         raise SystemExit(
             f"cannot reach the service at {client.address}: {error} "
@@ -197,7 +209,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     job_id = response["job_id"]
     print(
         f"{job_id} [{response['disposition']}] "
-        f"state={response['state']} hash={response['content_hash'][:12]}"
+        f"state={response['state']} hash={response['content_hash'][:12]} "
+        f"trace={response.get('trace_id') or context.trace_id}"
     )
     if not args.wait:
         return 0
@@ -415,7 +428,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Render a recorded telemetry artifact (JSONL trace) as text."""
+    """Render a recorded telemetry artifact (trace / bench history)."""
+    if args.what == "bench":
+        return _report_bench(args)
+    if args.job:
+        return _report_job_trace(args)
+    if not args.path:
+        raise SystemExit("report trace needs a PATH or --job JOB_ID")
     from .obs.report import render_trace
 
     path = Path(args.path)
@@ -425,10 +444,213 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_job_trace(args: argparse.Namespace) -> int:
+    """One job's stitched client -> queue -> worker tree."""
+    from .obs.report import render_job_trace
+    from .obs.sinks import read_jsonl
+
+    if args.path:
+        events = Path(args.path)
+    else:
+        root = Path(args.root or DEFAULT_SERVICE_ROOT)
+        events = root / "events.jsonl"
+    if not events.exists():
+        raise SystemExit(
+            f"no service event log at {events} "
+            "(is the service root right? pass --root or PATH)"
+        )
+    print(render_job_trace(read_jsonl(events), args.job))
+    return 0
+
+
+def _report_bench(args: argparse.Namespace) -> int:
+    """Summarise benchmarks/history.jsonl; --check gates on it."""
+    from .analysis.perf import HISTORY_PATH, read_history
+    from .obs.live import check_bench_history
+
+    history_path = Path(args.path) if args.path else HISTORY_PATH
+    entries = read_history(history_path)
+    if not entries:
+        raise SystemExit(
+            f"no benchmark history at {history_path} "
+            "(run `repro bench-thermal` to record the first entry)"
+        )
+    latest = entries[-1]
+    print(
+        f"benchmark history: {history_path} ({len(entries)} runs, "
+        f"latest version {latest.get('version', '?')})"
+    )
+    table = Table(
+        "Latest run vs trajectory median",
+        ["Metric", "Latest", "Median", "Ratio"],
+    )
+    import statistics as _statistics
+
+    results = latest.get("results", {})
+    for key in sorted(results):
+        value = results[key]
+        if not isinstance(value, (int, float)) or key.endswith("_x"):
+            continue
+        prior = [
+            e["results"][key]
+            for e in entries[:-1]
+            if isinstance(e.get("results", {}).get(key), (int, float))
+        ][-args.window :]
+        if prior:
+            median = _statistics.median(prior)
+            ratio = value / median if median else float("nan")
+            table.add_row(
+                key, f"{value:.4g}", f"{median:.4g}", f"{ratio:.2f}x"
+            )
+        else:
+            table.add_row(key, f"{value:.4g}", "-", "-")
+    print(table)
+    if not args.check:
+        return 0
+    report = check_bench_history(
+        entries, window=args.window, threshold=args.threshold
+    )
+    for note in report["skipped"]:
+        print(f"skipped: {note}")
+    if report["regressions"]:
+        for key, detail in sorted(report["regressions"].items()):
+            print(
+                f"PERF REGRESSION: {key} at {detail['ratio']:.2f}x of its "
+                f"{detail['window']}-run median ({detail['latest']:.4g} vs "
+                f"{detail['median']:.4g}, threshold "
+                f"{detail['threshold']:.2f}x)"
+            )
+        return 1
+    print(
+        f"bench check passed: {report['checked']} metrics within "
+        f"{args.threshold:.2f}x of their trajectory median"
+    )
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live service dashboard from the ``metrics`` socket verb."""
+    from .service import ProtocolError, ServiceClient
+
+    client = ServiceClient(_service_address(args))
+
+    def render_once() -> None:
+        snap = client.metrics()
+        metrics = snap["metrics"]
+
+        def value(name: str, default: float = 0.0) -> float:
+            entry = metrics.get(name)
+            return entry["value"] if entry else default
+
+        counts = ", ".join(
+            f"{state}={count}"
+            for state, count in sorted(snap["counts"].items())
+            if count
+        )
+        print(
+            f"repro top — service at {client.address} "
+            f"(uptime {snap['uptime_s']:.0f}s)"
+        )
+        print(f"jobs: {counts or 'none yet'}")
+        print(
+            f"workers {snap['workers']['busy']}/{snap['workers']['max']} "
+            f"busy | queue depth {value('service.queue.depth'):.0f} | "
+            f"wal {value('service.wal.bytes') / 1024:.1f} KiB | "
+            f"breakers open {value('service.breaker.open'):.0f}"
+        )
+        latency = [
+            (name.rsplit(".", 1)[-1], entry)
+            for name, entry in sorted(metrics.items())
+            if name.startswith("service.solve.wall_s.")
+            and entry.get("count")
+        ]
+        for backend, entry in latency:
+            mean = entry["total"] / entry["count"]
+            print(
+                f"solve [{backend}]: n={entry['count']} "
+                f"mean={mean:.3f}s max={entry['max']:.3f}s"
+            )
+        for key, state in sorted(snap.get("watchdog", {}).items()):
+            rolling = state.get("rolling_mean")
+            baseline = state.get("baseline")
+            print(
+                f"watchdog [{key}]: {state['state']} "
+                f"(rolling {rolling:.3f}s"
+                + (f" vs baseline {baseline:.3f}s)" if baseline else ")")
+            )
+        ring = snap["ring"]
+        print(
+            f"ring: {ring['samples']}/{ring['capacity']} samples at "
+            f"{ring['interval_s']:g}s"
+            + (
+                f" ({ring['evicted_unflushed']} evicted unflushed)"
+                if ring["evicted_unflushed"]
+                else ""
+            )
+        )
+
+    try:
+        if args.once:
+            render_once()
+            return 0
+        while True:
+            print("\x1b[2J\x1b[H", end="")
+            render_once()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (ProtocolError, OSError) as error:
+        raise SystemExit(
+            f"cannot reach the service at {client.address}: {error} "
+            "(start one with `repro serve`)"
+        ) from error
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run a scenario spec under the sampling profiler."""
+    from .obs.live import SamplingProfiler
+
+    path = Path(args.spec)
+    if not path.exists():
+        raise SystemExit(f"no such scenario spec: {path}")
+    try:
+        scenario = Scenario.load(path)
+    except ScenarioError as error:
+        raise SystemExit(f"invalid scenario spec {path}: {error}") from error
+    if not SamplingProfiler.available():
+        raise SystemExit(
+            "sampling profiler unavailable on this platform "
+            "(needs signal.setitimer and the main thread)"
+        )
+    profiler = SamplingProfiler(
+        interval_s=args.interval, timer=args.timer
+    )
+    runner = Runner(scenario)
+    with profiler:
+        runner.run()
+    out = Path(args.out) if args.out else path.with_suffix(".collapsed")
+    profiler.write(out)
+    print(
+        f"{profiler.total_samples} samples at {args.interval * 1e3:g} ms "
+        f"({args.timer} time) -> {out}"
+    )
+    table = Table("Hottest frames", ["Frame", "Samples", "Share"])
+    for frame in profiler.hot_frames(args.top):
+        table.add_row(
+            frame["frame"],
+            str(frame["samples"]),
+            f"{frame['share'] * 100:.1f}%",
+        )
+    print(table)
+    print(f"flamegraph: flamegraph.pl {out} > profile.svg")
+    return 0
+
+
 def cmd_bench_thermal(args: argparse.Namespace) -> int:
     """Run the thermal perf microbenchmarks and write BENCH_thermal.json."""
     from .analysis.perf import (
         BASELINE_PATH,
+        append_history,
         bench_thermal,
         solver_observability,
         write_baseline,
@@ -459,6 +681,18 @@ def cmd_bench_thermal(args: argparse.Namespace) -> int:
             "bench_backend": args.backend,
         },
     )
+    if not args.no_history:
+        # Every run — gated or not — extends the trajectory, so the
+        # perf watchdog (`repro report bench --check`) never sees an
+        # empty history.
+        history = append_history(
+            results,
+            Path(args.history) if args.history else None,
+            backend=args.backend,
+            quick=bool(args.quick),
+            gate=bool(args.gate),
+        )
+        print(f"appended run to benchmark history at {history}")
 
     table = Table(
         "Thermal-pipeline benchmarks (speedup vs committed seed baseline)",
@@ -560,14 +794,54 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a recorded telemetry artifact"
     )
     report.add_argument(
-        "what", choices=("trace",), help="artifact kind to render"
+        "what",
+        choices=("trace", "bench"),
+        help="artifact kind: a JSONL trace, or the benchmark history",
     )
-    report.add_argument("path", help="path to a JSONL trace file")
+    report.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="trace file (for trace) or history JSONL (for bench); "
+        "defaults to the service event log / committed history",
+    )
     report.add_argument(
         "--top",
         type=int,
         default=10,
         help="how many longest spans to list (default 10)",
+    )
+    report.add_argument(
+        "--job",
+        default=None,
+        metavar="JOB_ID",
+        help="render one service job's stitched client->queue->worker "
+        "trace (reads <root>/events.jsonl)",
+    )
+    report.add_argument(
+        "--root",
+        default=None,
+        help=f"service state directory for --job "
+        f"(default {DEFAULT_SERVICE_ROOT})",
+    )
+    report.add_argument(
+        "--check",
+        action="store_true",
+        help="bench only: exit non-zero when the newest run regresses "
+        "against its trajectory (CI gate)",
+    )
+    report.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="bench only: trajectory window per metric (default 8 runs)",
+    )
+    report.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="bench only: regression ratio vs the window median "
+        "(default 1.5x)",
     )
     report.set_defaults(func=cmd_report)
 
@@ -630,7 +904,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         default=None,
         metavar="PATH",
-        help="record a JSONL telemetry trace of the service",
+        help="record a JSONL telemetry trace of the service "
+        "(in addition to the always-on <root>/events.jsonl)",
+    )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=5.0,
+        help="metrics ring sampling period in seconds (default 5)",
+    )
+    serve.add_argument(
+        "--metrics-http",
+        default=None,
+        metavar="HOST:PORT",
+        help="also serve Prometheus-text metrics over HTTP "
+        "(e.g. 127.0.0.1:9464)",
     )
     serve.set_defaults(func=cmd_serve)
 
@@ -653,7 +941,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=600.0,
         help="--wait deadline in seconds (default 600)",
     )
+    submit.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample-profile the worker solving this job "
+        "(collapsed stacks land in <root>/profiles/)",
+    )
     submit.set_defaults(func=cmd_submit)
+
+    top = sub.add_parser(
+        "top", help="live service dashboard (metrics socket verb)"
+    )
+    top.add_argument("--root", default=None, help="service state directory")
+    top.add_argument(
+        "--socket", default=None, help="service socket path or host:port"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh period in seconds (default 2)",
+    )
+    top.set_defaults(func=cmd_top)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a scenario spec under the sampling profiler",
+    )
+    profile.add_argument("spec", help="path to a Scenario JSON file")
+    profile.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="collapsed-stack output (default <spec>.collapsed)",
+    )
+    profile.add_argument(
+        "--interval",
+        type=float,
+        default=0.005,
+        help="sampling period in seconds (default 0.005)",
+    )
+    profile.add_argument(
+        "--timer",
+        default="cpu",
+        choices=("cpu", "real"),
+        help="sample on CPU time (default) or wall-clock time",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="hottest frames to print (default 10)",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     jobs = sub.add_parser(
         "jobs", help="list/inspect/cancel jobs on a running service"
@@ -778,6 +1121,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="record a JSONL telemetry trace of the benchmark run",
+    )
+    bench.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="benchmark trajectory to append to "
+        "(default benchmarks/history.jsonl)",
+    )
+    bench.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending this run to the benchmark history",
     )
     bench.set_defaults(func=cmd_bench_thermal)
 

@@ -11,7 +11,11 @@ The observability substrate of the reproduction (DESIGN.md section 11):
 * :mod:`repro.obs.manifest` — per-run manifests binding scenario
   content hashes to code version, backend and cost;
 * :mod:`repro.obs.report` — trace rendering (span tree, top-k
-  durations, metric table) behind ``repro report trace``.
+  durations, metric table) behind ``repro report trace``;
+* :mod:`repro.obs.live` — the live operational plane (DESIGN.md
+  section 16): cross-process trace contexts, the bounded metrics ring
+  behind the service's ``metrics`` verb and Prometheus endpoint, the
+  signal-based sampling profiler, and the perf-regression watchdog.
 
 Typical use::
 
@@ -36,8 +40,29 @@ from .manifest import (
     read_manifest,
     write_manifest,
 )
+from .live import (
+    PROFILE_ENV,
+    MetricsRing,
+    PerfWatchdog,
+    SamplingProfiler,
+    TraceContext,
+    annotate_records,
+    check_bench_history,
+    current_trace,
+    json_safe_snapshot,
+    profile_requested,
+    record_job_id,
+    render_prometheus,
+    set_current_trace,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
-from .report import render_trace, span_tree, top_durations
+from .report import (
+    job_records,
+    render_job_trace,
+    render_trace,
+    span_tree,
+    top_durations,
+)
 from .sinks import JsonlSink, MemorySink, NullSink, Sink, read_jsonl
 from .trace import Span, Tracer, get_tracer
 
@@ -110,20 +135,35 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "MemorySink",
     "MetricsRegistry",
+    "MetricsRing",
     "NullSink",
     "OBS_PAYLOAD_KEY",
+    "PROFILE_ENV",
+    "PerfWatchdog",
+    "SamplingProfiler",
     "Sink",
     "Span",
+    "TraceContext",
     "Tracer",
+    "annotate_records",
     "build_manifest",
     "capture_telemetry",
+    "check_bench_history",
+    "current_trace",
     "get_registry",
     "get_tracer",
     "is_obs_payload",
+    "job_records",
+    "json_safe_snapshot",
+    "profile_requested",
     "read_jsonl",
     "read_manifest",
+    "record_job_id",
+    "render_job_trace",
+    "render_prometheus",
     "render_trace",
     "session",
+    "set_current_trace",
     "span_tree",
     "top_durations",
     "write_manifest",

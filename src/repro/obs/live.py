@@ -1,0 +1,594 @@
+"""Live operational plane: trace context, metrics ring, profiler, watchdog.
+
+PR 5's :mod:`repro.obs` records telemetry *post hoc* — a sink is
+attached for one measured window and the trace is inspected after the
+run.  This module is the *live* half (DESIGN.md section 16): the pieces
+a long-running ``repro serve`` needs to be operated, not just replayed:
+
+* :class:`TraceContext` — a trace id minted at ``repro submit`` that
+  travels through the JSON-lines protocol, the WAL and worker
+  heartbeats, so one job's client, queue and worker spans stitch into
+  one tree (``repro report trace --job``);
+* :class:`MetricsRing` — a bounded time-series ring buffer of registry
+  snapshots with periodic JSONL flush, sized for month-long uptimes
+  (the ``metrics`` socket verb and ``repro top`` read it);
+* :func:`render_prometheus` — Prometheus text exposition of the
+  process-global registry (the optional ``--metrics-http`` endpoint);
+* :class:`SamplingProfiler` — a signal-based stack sampler emitting
+  collapsed-stack output ready for ``flamegraph.pl`` (``repro
+  profile`` / ``REPRO_PROFILE=1`` on service workers);
+* :class:`PerfWatchdog` + :func:`check_bench_history` — rolling
+  per-backend latency surveillance emitting structured
+  ``perf.regression`` events, and the CI-facing trajectory check
+  behind ``repro report bench --check``.
+
+Everything here is stdlib-only, keeping :mod:`repro.obs`'s
+zero-dependency contract.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import statistics
+import threading
+import time
+import uuid
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, Union
+
+from .metrics import MetricsRegistry, Snapshot, get_registry
+from .trace import get_tracer
+
+PROFILE_ENV = "REPRO_PROFILE"
+"""Set to ``1`` to profile every service worker's solve."""
+
+
+# ---------------------------------------------------------------------------
+# trace-context propagation
+# ---------------------------------------------------------------------------
+
+
+class TraceContext:
+    """One distributed trace: an id minted at the client, carried along.
+
+    The context is deliberately tiny — a ``trace_id`` plus the client's
+    wall-clock submit time — because the heavy lifting (span nesting,
+    durations) stays in each process's tracer; the context only has to
+    let the pieces be *joined* afterwards.
+    """
+
+    __slots__ = ("trace_id", "client_t0")
+
+    def __init__(
+        self, trace_id: str, client_t0: Optional[float] = None
+    ) -> None:
+        self.trace_id = str(trace_id)
+        self.client_t0 = client_t0
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        """A fresh context stamped with the caller's wall clock."""
+        return cls(uuid.uuid4().hex[:16], time.time())
+
+    def to_wire(self) -> Dict[str, object]:
+        """JSON-safe form for protocol requests and WAL records."""
+        wire: Dict[str, object] = {"trace_id": self.trace_id}
+        if self.client_t0 is not None:
+            wire["client_t0"] = float(self.client_t0)
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: object) -> Optional["TraceContext"]:
+        """Decode a wire dict; ``None`` for anything malformed/absent."""
+        if not isinstance(wire, dict) or not wire.get("trace_id"):
+            return None
+        t0 = wire.get("client_t0")
+        return cls(
+            str(wire["trace_id"]),
+            float(t0) if isinstance(t0, (int, float)) else None,
+        )
+
+    def __repr__(self) -> str:
+        return f"TraceContext({self.trace_id!r})"
+
+
+_CURRENT_TRACE: Optional[TraceContext] = None
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The trace context this process is executing under (or ``None``)."""
+    return _CURRENT_TRACE
+
+
+def set_current_trace(context: Optional[TraceContext]) -> None:
+    """Install (or clear) the process-wide trace context.
+
+    Workers call this once at startup; the parent stamps the id onto
+    ingested records, so there is no per-span cost.
+    """
+    global _CURRENT_TRACE
+    _CURRENT_TRACE = context
+
+
+def annotate_records(
+    records: Sequence[dict], **fields: object
+) -> List[dict]:
+    """Copies of ``records`` with top-level ``fields`` stamped on.
+
+    Used by the supervisor to mark every ingested worker span with its
+    ``job_id``/``trace_id`` so ``repro report trace --job`` can filter
+    one job out of a month of service events.
+    """
+    annotated = []
+    for record in records:
+        merged = dict(record)
+        merged.update(fields)
+        annotated.append(merged)
+    return annotated
+
+
+def record_job_id(record: dict) -> Optional[str]:
+    """The job id a trace record belongs to (top-level or attribute)."""
+    job_id = record.get("job_id")
+    if job_id:
+        return str(job_id)
+    attrs = record.get("attrs")
+    if isinstance(attrs, dict) and attrs.get("job_id"):
+        return str(attrs["job_id"])
+    return None
+
+
+# ---------------------------------------------------------------------------
+# live metrics: JSON-safe snapshots, ring buffer, Prometheus text
+# ---------------------------------------------------------------------------
+
+
+def _json_safe(value: float) -> Optional[float]:
+    if value in (float("inf"), float("-inf")):
+        return None
+    return value
+
+
+def json_safe_snapshot(
+    source: Union[MetricsRegistry, Snapshot, None] = None,
+) -> Snapshot:
+    """A registry snapshot with infinities nulled for strict JSON.
+
+    Untouched histograms carry ``min=inf``/``max=-inf`` sentinels;
+    protocol responses and flushed samples must stay loadable by
+    non-Python consumers, so those become ``null``.
+    """
+    if source is None:
+        source = get_registry()
+    snapshot = source.snapshot() if hasattr(source, "snapshot") else source
+    safe: Snapshot = {}
+    for name, entry in snapshot.items():
+        if entry.get("type") == "histogram":
+            entry = dict(entry)
+            entry["min"] = _json_safe(entry["min"])
+            entry["max"] = _json_safe(entry["max"])
+        safe[name] = entry
+    return safe
+
+
+class MetricsRing:
+    """Bounded time series of registry snapshots with JSONL flush.
+
+    The service samples the process-global registry every
+    ``interval_s``; the newest ``capacity`` samples stay addressable in
+    memory (the ``metrics`` verb / ``repro top``), and :meth:`flush`
+    appends everything not yet flushed to a JSONL file so a
+    month-long uptime keeps a complete on-disk trajectory while RAM
+    stays bounded.  Samples evicted before a flush are counted, never
+    silently dropped.
+    """
+
+    def __init__(
+        self, capacity: int = 720, interval_s: float = 5.0
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.interval_s = float(interval_s)
+        self._samples: Deque[dict] = deque(maxlen=self.capacity)
+        self._seq = 0
+        self._flushed_seq = 0
+        self._last_sample = 0.0
+        self.evicted_unflushed = 0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def due(self, now: Optional[float] = None) -> bool:
+        now = time.monotonic() if now is None else now
+        return now - self._last_sample >= self.interval_s
+
+    def sample(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        t: Optional[float] = None,
+    ) -> dict:
+        """Take one snapshot sample unconditionally."""
+        self._seq += 1
+        if (
+            len(self._samples) == self.capacity
+            and self._samples[0]["seq"] > self._flushed_seq
+        ):
+            self.evicted_unflushed += 1
+        record = {
+            "type": "metrics_sample",
+            "seq": self._seq,
+            "t": time.time() if t is None else float(t),
+            "metrics": json_safe_snapshot(registry),
+        }
+        self._samples.append(record)
+        self._last_sample = time.monotonic()
+        return record
+
+    def maybe_sample(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        now: Optional[float] = None,
+    ) -> Optional[dict]:
+        """Sample when the interval elapsed; ``None`` otherwise."""
+        if not self.due(now):
+            return None
+        return self.sample(registry)
+
+    def window(self, last: Optional[int] = None) -> List[dict]:
+        """The newest ``last`` samples (all when ``None``), oldest first."""
+        samples = list(self._samples)
+        if last is not None and last < len(samples):
+            samples = samples[-last:]
+        return samples
+
+    def flush(self, path: Union[str, Path]) -> int:
+        """Append every not-yet-flushed sample to ``path`` (JSONL).
+
+        Returns the number of lines written.  The append is one
+        buffered write per sample followed by a flush, so a crash loses
+        at most the in-flight flush — the ring still holds the tail.
+        """
+        import json
+
+        pending = [
+            s for s in self._samples if s["seq"] > self._flushed_seq
+        ]
+        if not pending:
+            return 0
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as handle:
+            for sample in pending:
+                handle.write(json.dumps(sample, sort_keys=True) + "\n")
+            handle.flush()
+        self._flushed_seq = pending[-1]["seq"]
+        return len(pending)
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    cleaned = "".join(
+        ch if (ch.isascii() and (ch.isalnum() or ch == "_")) else "_"
+        for ch in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def render_prometheus(
+    snapshot: Optional[Snapshot] = None, *, prefix: str = "repro_"
+) -> str:
+    """Prometheus text exposition (v0.0.4) of a registry snapshot.
+
+    Counters and gauges map directly; histograms are exposed as the
+    streaming summary the registry keeps (``_count``/``_sum`` plus
+    ``_min``/``_max`` gauges — no buckets, matching
+    :class:`~repro.obs.metrics.Histogram`).
+    """
+    snapshot = json_safe_snapshot(snapshot)
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        metric = _prometheus_name(name, prefix)
+        kind = entry.get("type")
+        if kind == "counter":
+            lines.append(f"# TYPE {metric}_total counter")
+            lines.append(f"{metric}_total {entry['value']:g}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {entry['value']:g}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(f"{metric}_count {entry['count']:g}")
+            lines.append(f"{metric}_sum {entry['total']:g}")
+            for bound in ("min", "max"):
+                value = entry.get(bound)
+                if value is not None:
+                    lines.append(f"{metric}_{bound} {value:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# sampling profiler
+# ---------------------------------------------------------------------------
+
+
+class SamplingProfiler:
+    """Signal-based stack sampler producing collapsed flamegraph stacks.
+
+    A POSIX interval timer delivers ``SIGPROF`` every ``interval_s`` of
+    *CPU* time (``timer="real"`` switches to wall clock); the handler
+    walks the interrupted frame's ancestry and counts the collapsed
+    stack string.  Pure stdlib, no tracing overhead between samples —
+    the cost is one frame walk per sample.
+
+    Caveats (inherent to in-process signal sampling): only the main
+    thread is sampled, and a long GIL-releasing C call (an SpLU
+    factorisation) is attributed to the Python caller it returns into.
+    Both are acceptable for "where does the solve spend its time".
+    """
+
+    def __init__(
+        self, interval_s: float = 0.005, timer: str = "cpu"
+    ) -> None:
+        if timer not in ("cpu", "real"):
+            raise ValueError(f"timer must be 'cpu' or 'real', got {timer!r}")
+        self.interval_s = float(interval_s)
+        self.timer = timer
+        self.counts: Dict[str, int] = {}
+        self.total_samples = 0
+        self._previous_handler = None
+        self._active = False
+
+    @staticmethod
+    def available() -> bool:
+        """Can a profiler run here? (main thread + setitimer support)"""
+        return (
+            hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        )
+
+    # -- sampling ------------------------------------------------------
+
+    def _signals(self):
+        if self.timer == "cpu":
+            return signal.ITIMER_PROF, signal.SIGPROF
+        return signal.ITIMER_REAL, signal.SIGALRM
+
+    def _handle(self, signum, frame) -> None:
+        stack: List[str] = []
+        depth = 0
+        while frame is not None and depth < 64:
+            code = frame.f_code
+            stack.append(
+                f"{os.path.basename(code.co_filename)}:{code.co_name}"
+            )
+            frame = frame.f_back
+            depth += 1
+        key = ";".join(reversed(stack))
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.total_samples += 1
+
+    def start(self) -> "SamplingProfiler":
+        if self._active:
+            raise RuntimeError("profiler already running")
+        if not self.available():
+            raise RuntimeError(
+                "sampling profiler needs setitimer and the main thread"
+            )
+        timer, signum = self._signals()
+        self._previous_handler = signal.signal(signum, self._handle)
+        signal.setitimer(timer, self.interval_s, self.interval_s)
+        self._active = True
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if not self._active:
+            return self
+        timer, signum = self._signals()
+        signal.setitimer(timer, 0.0)
+        signal.signal(signum, self._previous_handler)
+        self._previous_handler = None
+        self._active = False
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- output --------------------------------------------------------
+
+    def collapsed(self) -> List[str]:
+        """``stack;frames count`` lines, hottest first (flamegraph.pl)."""
+        return [
+            f"{stack} {count}"
+            for stack, count in sorted(
+                self.counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+
+    def hot_frames(self, k: int = 5) -> List[Dict[str, object]]:
+        """The ``k`` hottest *leaf* frames with their sample share."""
+        leaves: Dict[str, int] = {}
+        for stack, count in self.counts.items():
+            leaf = stack.rsplit(";", 1)[-1]
+            leaves[leaf] = leaves.get(leaf, 0) + count
+        ranked = sorted(leaves.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        total = self.total_samples or 1
+        return [
+            {"frame": frame, "samples": count, "share": count / total}
+            for frame, count in ranked
+        ]
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the collapsed stacks to ``path`` (one stack per line)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(self.collapsed()) + "\n")
+        return path
+
+
+def profile_requested() -> bool:
+    """Is worker-side profiling requested through the environment?"""
+    return os.environ.get(PROFILE_ENV, "").strip() not in ("", "0", "false")
+
+
+# ---------------------------------------------------------------------------
+# perf-regression watchdog
+# ---------------------------------------------------------------------------
+
+
+class PerfWatchdog:
+    """Rolling latency surveillance emitting ``perf.regression`` events.
+
+    Per metric key (the service uses one key per solver backend) the
+    watchdog establishes a baseline — supplied explicitly, or the mean
+    of the first ``min_samples`` observations — and compares a rolling
+    window mean against it.  Crossing ``threshold`` times the baseline
+    flips the key to ``regressing`` and emits one structured
+    ``perf.regression`` trace event (re-armed when the key recovers, so
+    a sustained regression does not spam the event log).
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: float = 1.5,
+        min_samples: int = 5,
+        window: int = 20,
+        baseline: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+        self.window = int(window)
+        self._baseline: Dict[str, float] = dict(baseline or {})
+        self._warmup: Dict[str, List[float]] = {}
+        self._rolling: Dict[str, Deque[float]] = {}
+        self._state: Dict[str, str] = {}
+        self._c_regressions = get_registry().counter(
+            "obs.watchdog.regressions"
+        )
+
+    def observe(self, key: str, value: float) -> Optional[dict]:
+        """Feed one latency sample; returns the regression event, if any."""
+        value = float(value)
+        if key not in self._baseline:
+            warmup = self._warmup.setdefault(key, [])
+            warmup.append(value)
+            if len(warmup) >= self.min_samples:
+                self._baseline[key] = sum(warmup) / len(warmup)
+                del self._warmup[key]
+            return None
+        rolling = self._rolling.get(key)
+        if rolling is None:
+            rolling = self._rolling[key] = deque(maxlen=self.window)
+        rolling.append(value)
+        mean = sum(rolling) / len(rolling)
+        baseline = self._baseline[key]
+        regressing = baseline > 0 and mean > self.threshold * baseline
+        previous = self._state.get(key, "ok")
+        self._state[key] = "regressing" if regressing else "ok"
+        if regressing and previous != "regressing":
+            self._c_regressions.inc()
+            event = {
+                "metric": key,
+                "rolling_mean": mean,
+                "baseline": baseline,
+                "ratio": mean / baseline,
+                "threshold": self.threshold,
+                "samples": len(rolling),
+            }
+            get_tracer().event("perf.regression", **event)
+            return event
+        return None
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Per-key state for the ``metrics`` verb / ``repro top``."""
+        out: Dict[str, dict] = {}
+        for key, baseline in self._baseline.items():
+            rolling = self._rolling.get(key)
+            mean = (
+                sum(rolling) / len(rolling) if rolling else baseline
+            )
+            out[key] = {
+                "baseline": baseline,
+                "rolling_mean": mean,
+                "state": self._state.get(key, "ok"),
+            }
+        for key, warmup in self._warmup.items():
+            out[key] = {
+                "baseline": None,
+                "rolling_mean": sum(warmup) / len(warmup),
+                "state": "warmup",
+            }
+        return out
+
+
+# ---------------------------------------------------------------------------
+# bench-history trajectory check (repro report bench --check)
+# ---------------------------------------------------------------------------
+
+
+def check_bench_history(
+    entries: Sequence[dict],
+    *,
+    window: int = 8,
+    threshold: float = 1.5,
+    min_history: int = 2,
+) -> dict:
+    """Compare the newest bench run against its own rolling trajectory.
+
+    ``entries`` are decoded ``benchmarks/history.jsonl`` records (see
+    :func:`repro.analysis.perf.append_history`).  For every timing
+    metric of the newest entry, the reference is the *median* of up to
+    ``window`` prior values of that metric — the median keeps one noisy
+    CI run from poisoning the trajectory.  A metric regresses when the
+    newest value exceeds ``threshold`` times that median.  Ratio-style
+    ``*_x`` metrics (bigger is better) are skipped, mirroring
+    :func:`repro.analysis.perf.speedups`.
+    """
+    report = {
+        "entries": len(entries),
+        "checked": 0,
+        "skipped": [],
+        "regressions": {},
+    }
+    if len(entries) < min_history:
+        report["skipped"].append(
+            f"history too short ({len(entries)} < {min_history} entries)"
+        )
+        return report
+    latest = entries[-1].get("results", {})
+    history = entries[:-1]
+    for key in sorted(latest):
+        value = latest[key]
+        if key.endswith("_x") or not isinstance(value, (int, float)):
+            continue
+        prior = [
+            entry["results"][key]
+            for entry in history[-window:]
+            if isinstance(entry.get("results", {}).get(key), (int, float))
+        ]
+        if not prior:
+            report["skipped"].append(f"{key}: no prior history")
+            continue
+        report["checked"] += 1
+        reference = statistics.median(prior)
+        if reference > 0 and value > threshold * reference:
+            detail = {
+                "latest": value,
+                "median": reference,
+                "ratio": value / reference,
+                "threshold": threshold,
+                "window": len(prior),
+            }
+            report["regressions"][key] = detail
+            get_tracer().event("perf.regression", metric=key, **detail)
+    return report

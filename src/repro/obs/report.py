@@ -93,6 +93,99 @@ def _format_seconds(value: float) -> str:
     return f"{value * 1e6:8.1f} us"
 
 
+def job_records(
+    records: Sequence[dict], job_id: str
+) -> List[dict]:
+    """Every trace record belonging to one service job.
+
+    The supervisor stamps ingested worker spans and its own synthetic
+    ``client.submit``/``queue.wait`` spans with a top-level ``job_id``;
+    service events carry it in ``attrs`` — both spellings match.
+    """
+    from .live import record_job_id
+
+    return [r for r in records if record_job_id(r) == str(job_id)]
+
+
+def render_job_trace(
+    records: Sequence[dict], job_id: str, *, max_rows: int = 120
+) -> str:
+    """One job's stitched client → queue → worker span tree.
+
+    Input is the service's ``events.jsonl`` stream (or the ``trace``
+    socket verb's payload): the client-side submit span and queue wait
+    are synthetic records the service reconstructed from wire
+    timestamps, the worker subtree is the ingested telemetry of the
+    solving process.  All of them share the stamped ``job_id``, so the
+    render is a filter plus the standard seq/depth tree — re-rooted
+    under a virtual ``job <id>`` node so the three phases read as one
+    tree.
+    """
+    subset = job_records(records, job_id)
+    if not subset:
+        return f"job {job_id}: no trace records found"
+
+    trace_ids = sorted(
+        {str(r["trace_id"]) for r in subset if r.get("trace_id")}
+    )
+    lines: List[str] = [
+        f"job {job_id}"
+        + (f"  trace={','.join(trace_ids)}" if trace_ids else "")
+        + f"  ({len(subset)} records)"
+    ]
+
+    events = [
+        r
+        for r in subset
+        if r.get("type") == "event" and r.get("name") != "perf.regression"
+    ]
+    if events:
+        lines.append("events:")
+        for event in sorted(events, key=lambda r: r.get("t0", 0.0)):
+            attrs = event.get("attrs") or {}
+            extras = " ".join(
+                f"{k}={v}"
+                for k, v in attrs.items()
+                if k not in ("job_id", "trace_id")
+            )
+            lines.append(
+                f"  {event.get('name')}" + (f"  {extras}" if extras else "")
+            )
+
+    # Re-root every span one level under the virtual job node.  Spans
+    # already carry consistent depths (the supervisor ingests worker
+    # records under its ``service.job`` span), so a uniform shift keeps
+    # the tree shape intact.
+    shifted = []
+    for record in subset:
+        if record.get("type") != "span" or "seq" not in record:
+            continue
+        moved = dict(record)
+        moved["depth"] = int(record.get("depth", 0)) + 1
+        shifted.append(moved)
+    stats = span_tree(shifted)
+    if stats:
+        lines.append("")
+        lines.append(
+            f"{'span tree (client -> queue -> worker)':<52s} "
+            f"{'count':>7s} {'total':>11s} {'mean':>11s} {'max':>11s}"
+        )
+        lines.append(f"job {job_id}")
+        rows = list(stats.values())[:max_rows]
+        for entry in rows:
+            indent = "  " * len(entry.path)
+            label = indent + entry.path[-1]
+            lines.append(
+                f"{label:<52s} {entry.count:>7d} "
+                f"{_format_seconds(entry.total)} "
+                f"{_format_seconds(entry.mean)} "
+                f"{_format_seconds(entry.max)}"
+            )
+        if len(stats) > len(rows):
+            lines.append(f"  ... {len(stats) - len(rows)} more paths")
+    return "\n".join(lines)
+
+
 def render_trace(
     path: str, *, top_k: int = 10, max_rows: Optional[int] = 200
 ) -> str:

@@ -52,17 +52,34 @@ class JsonlSink(Sink):
     Lines are buffered by the underlying text stream and flushed on
     ``close`` (and by the interpreter at exit), so per-record cost is a
     ``json.dumps`` plus a buffered write.
+
+    Long-lived writers (the service's ``events.jsonl``) pass
+    ``append=True`` so restarts extend the log instead of truncating
+    it, and ``line_buffered=True`` so each record is flushed as it is
+    written — tails and post-kill readers then always see complete
+    history, at the cost of one ``flush`` per record.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        append: bool = False,
+        line_buffered: bool = False,
+    ) -> None:
         self.path = Path(path)
-        self._handle: Optional[TextIO] = open(self.path, "w")
+        self._line_buffered = line_buffered
+        self._handle: Optional[TextIO] = open(
+            self.path, "a" if append else "w"
+        )
 
     def write(self, record: dict) -> None:
         if self._handle is None:
             raise ValueError(f"JsonlSink({self.path}) is closed")
         self._handle.write(json.dumps(record, default=_json_default))
         self._handle.write("\n")
+        if self._line_buffered:
+            self._handle.flush()
 
     def close(self) -> None:
         if self._handle is not None:

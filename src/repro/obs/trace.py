@@ -149,6 +149,41 @@ class Tracer:
         """Current nesting depth (open spans on the stack)."""
         return len(self._stack)
 
+    def emit_span(
+        self,
+        name: str,
+        t0: float,
+        dur: float,
+        *,
+        depth: int = 0,
+        attrs: Optional[Dict[str, object]] = None,
+        **top: object,
+    ) -> None:
+        """Emit a synthetic span record without touching the stack.
+
+        For regions whose endpoints are only *observed*, not executed,
+        by this process — the service reconstructs ``client.submit``
+        and ``queue.wait`` spans from wall-clock timestamps carried on
+        the wire.  ``top`` lands on the record itself (``job_id``,
+        ``trace_id``), keeping it filterable without attr digging.
+        """
+        if not self._sinks:
+            return
+        record: Dict[str, object] = {
+            "type": "span",
+            "name": name,
+            "t0": float(t0),
+            "dur": float(dur),
+            "depth": int(depth),
+            "seq": self._seq,
+            "pid": os.getpid(),
+        }
+        self._seq += 1
+        if attrs:
+            record["attrs"] = dict(attrs)
+        record.update(top)
+        self.emit(record)
+
     def event(self, name: str, **attrs: object) -> None:
         """A zero-duration point event (e.g. a Krylov fallback)."""
         if not self._sinks:

@@ -71,6 +71,12 @@ class Job:
     error: Optional[str] = None
     worker_pid: Optional[int] = None
     attached: int = 0
+    # Trace-context propagation (DESIGN.md section 16): the id minted
+    # by `repro submit` and the client's wall-clock submit time, both
+    # journaled so a recovered job keeps its distributed trace.
+    trace_id: Optional[str] = None
+    client_t0: Optional[float] = None
+    profile: bool = False
 
     def describe(self) -> Dict[str, object]:
         """JSON-safe public view (the protocol's ``status`` payload)."""
@@ -85,11 +91,12 @@ class Job:
             "error": self.error,
             "worker_pid": self.worker_pid,
             "attached": self.attached,
+            "trace_id": self.trace_id,
         }
 
     def snapshot_record(self) -> Dict[str, object]:
         """Compacted WAL record carrying the full job (rotation)."""
-        return {
+        record: Dict[str, object] = {
             "type": "job",
             "job_id": self.job_id,
             "scenario": self.scenario.to_dict(),
@@ -99,6 +106,13 @@ class Job:
             "updated_at": self.updated_at,
             "error": self.error,
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.client_t0 is not None:
+            record["client_t0"] = self.client_t0
+        if self.profile:
+            record["profile"] = True
+        return record
 
 
 @dataclass
@@ -176,6 +190,9 @@ class JobStore:
                 submitted_at=float(record.get("submitted_at", 0.0)),
                 updated_at=float(record.get("updated_at", 0.0)),
                 error=record.get("error"),
+                trace_id=record.get("trace_id"),
+                client_t0=record.get("client_t0"),
+                profile=bool(record.get("profile", False)),
             )
             self.jobs[job_id] = job
             suffix = job_id.rsplit("-", 1)[-1]
@@ -246,7 +263,13 @@ class JobStore:
             job.error = str(error)
         job.updated_at = now
 
-    def submit(self, scenario: Scenario) -> Tuple[Job, str]:
+    def submit(
+        self,
+        scenario: Scenario,
+        *,
+        trace: Optional[dict] = None,
+        profile: bool = False,
+    ) -> Tuple[Job, str]:
         """Accept one spec; returns ``(job, disposition)``.
 
         ``disposition`` is ``"new"`` (journaled and enqueued),
@@ -254,7 +277,15 @@ class JobStore:
         the caller shares its job id) or ``"cached"`` (an identical
         spec already completed and its result is still in the cache —
         zero additional solves).
+
+        ``trace`` is the wire form of a client-minted
+        :class:`~repro.obs.live.TraceContext`; on dedupe the job keeps
+        its original trace (the first submitter owns the tree) and the
+        attaching client learns the id from the response.
         """
+        from ..obs.live import TraceContext
+
+        context = TraceContext.from_wire(trace)
         content = scenario.content_hash()
         live_id = self._active_by_hash.get(content)
         if live_id is not None:
@@ -277,18 +308,26 @@ class JobStore:
             state=JobState.PENDING,
             submitted_at=now,
             updated_at=now,
+            trace_id=context.trace_id if context else None,
+            client_t0=context.client_t0 if context else None,
+            profile=profile,
         )
-        self.wal.append(
-            {
-                "type": "submit",
-                "job_id": job.job_id,
-                "scenario": scenario.to_dict(),
-                "content_hash": content,
-                "state": job.state.value,
-                "submitted_at": now,
-                "updated_at": now,
-            }
-        )
+        record: Dict[str, object] = {
+            "type": "submit",
+            "job_id": job.job_id,
+            "scenario": scenario.to_dict(),
+            "content_hash": content,
+            "state": job.state.value,
+            "submitted_at": now,
+            "updated_at": now,
+        }
+        if job.trace_id is not None:
+            record["trace_id"] = job.trace_id
+        if job.client_t0 is not None:
+            record["client_t0"] = job.client_t0
+        if job.profile:
+            record["profile"] = True
+        self.wal.append(record)
         self.jobs[job.job_id] = job
         self._active_by_hash[content] = job.job_id
         self._c_submitted.inc()

@@ -13,12 +13,21 @@ evolution rides inside the request/response objects, guarded by
 
 Requests::
 
-    {"op": "submit", "scenario": {...}}          -> job_id + disposition
+    {"op": "submit", "scenario": {...},
+     "trace": {"trace_id": ..., "client_t0": ...},
+     "profile": false}                           -> job_id + disposition
     {"op": "status", "job_id": "job-000001"}     -> job view
     {"op": "result", "job_id": "job-000001"}     -> result summary
     {"op": "cancel", "job_id": "job-000001"}     -> job view
     {"op": "jobs"}                               -> every job + counts
     {"op": "health"}                             -> liveness + queue stats
+    {"op": "metrics", "window": 60}              -> live registry + ring
+    {"op": "trace", "job_id": "job-000001"}      -> the job's trace records
+
+The optional ``trace`` object on ``submit`` is the wire form of a
+client-minted :class:`~repro.obs.live.TraceContext`; the service
+journals it with the job so the client, queue and worker spans stitch
+into one tree (``repro report trace --job``).
 
 Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": msg}``.
 """
@@ -180,8 +189,19 @@ class ServiceClient:
 
     # -- operations ---------------------------------------------------------
 
-    def submit(self, scenario: Dict[str, object]) -> Dict[str, object]:
-        return self.request({"op": "submit", "scenario": scenario})
+    def submit(
+        self,
+        scenario: Dict[str, object],
+        *,
+        trace: Optional[Dict[str, object]] = None,
+        profile: bool = False,
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {"op": "submit", "scenario": scenario}
+        if trace is not None:
+            payload["trace"] = trace
+        if profile:
+            payload["profile"] = True
+        return self.request(payload)
 
     def status(self, job_id: str) -> Dict[str, object]:
         return self.request({"op": "status", "job_id": job_id})
@@ -197,6 +217,16 @@ class ServiceClient:
 
     def health(self) -> Dict[str, object]:
         return self.request({"op": "health"})
+
+    def metrics(self, window: int = 60) -> Dict[str, object]:
+        """Live registry snapshot + ring window + watchdog state."""
+        return self.request({"op": "metrics", "window": window})
+
+    def trace(self, job_id: str, limit: int = 5000) -> Dict[str, object]:
+        """The trace records of one job from the service event log."""
+        return self.request(
+            {"op": "trace", "job_id": job_id, "limit": limit}
+        )
 
     # -- convenience --------------------------------------------------------
 

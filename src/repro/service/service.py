@@ -24,8 +24,16 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from ..obs.live import (
+    MetricsRing,
+    PerfWatchdog,
+    json_safe_snapshot,
+    render_prometheus,
+)
 from ..obs.manifest import read_manifest
 from ..obs.metrics import get_registry
+from ..obs.report import job_records
+from ..obs.sinks import JsonlSink, read_jsonl
 from ..obs.trace import get_tracer
 from ..scenario.spec import Scenario, ScenarioError
 from .jobs import JobState, JobStore
@@ -66,6 +74,12 @@ class ScenarioJobService:
         Supervision policy (see :class:`Supervisor`).
     fsync:
         WAL fsync-per-append (tests turn it off for speed).
+    metrics_interval_s:
+        Metrics-ring sampling period (DESIGN.md section 16); samples
+        flush to ``root/metrics.jsonl`` every ``metrics_flush_every``
+        samples so a month-long uptime keeps its full trajectory.
+    metrics_http:
+        Optional ``host:port`` for a Prometheus-text HTTP endpoint.
     """
 
     def __init__(
@@ -82,6 +96,11 @@ class ScenarioJobService:
         rotate_after: int = 4096,
         poll_interval_s: float = 0.05,
         drain_timeout_s: float = 60.0,
+        metrics_interval_s: float = 5.0,
+        metrics_ring_capacity: int = 720,
+        metrics_flush_every: int = 12,
+        metrics_http: Optional[str] = None,
+        watchdog: Optional[PerfWatchdog] = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -94,6 +113,16 @@ class ScenarioJobService:
             self.root, fsync=fsync, rotate_after=rotate_after
         )
         self.run_log = self.root / "runs.jsonl"
+        self.events_path = self.root / "events.jsonl"
+        self.metrics_path = self.root / "metrics.jsonl"
+        self.profiles_dir = self.root / "profiles"
+        self.ring = MetricsRing(
+            capacity=metrics_ring_capacity, interval_s=metrics_interval_s
+        )
+        self.metrics_flush_every = int(metrics_flush_every)
+        self._samples_since_flush = 0
+        self.metrics_http = metrics_http
+        self._http_server = None
         self.supervisor = Supervisor(
             self.store,
             max_workers=max_workers,
@@ -102,6 +131,10 @@ class ScenarioJobService:
             timeout_s=timeout_s,
             heartbeat_timeout_s=heartbeat_timeout_s,
             run_log=str(self.run_log),
+            watchdog=(
+                watchdog if watchdog is not None else PerfWatchdog()
+            ),
+            profiles_dir=str(self.profiles_dir),
         )
         self.poll_interval_s = float(poll_interval_s)
         self.drain_timeout_s = float(drain_timeout_s)
@@ -140,6 +173,10 @@ class ScenarioJobService:
             }
         if op == "health":
             return self._op_health()
+        if op == "metrics":
+            return self._op_metrics(request)
+        if op == "trace":
+            return self._op_trace(request)
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     def _require_job(self, request: dict):
@@ -162,19 +199,40 @@ class ScenarioJobService:
             scenario = Scenario.from_dict(request.get("scenario"))
         except ScenarioError as exc:
             return {"ok": False, "error": str(exc)}
-        job, disposition = self.store.submit(scenario)
-        get_tracer().event(
+        job, disposition = self.store.submit(
+            scenario,
+            trace=request.get("trace"),
+            profile=bool(request.get("profile", False)),
+        )
+        tracer = get_tracer()
+        tracer.event(
             "service.submit",
             job_id=job.job_id,
+            trace_id=job.trace_id,
             disposition=disposition,
             content_hash=job.content_hash,
         )
+        if (
+            tracer.has_sinks
+            and disposition == "new"
+            and job.client_t0 is not None
+        ):
+            # Close the client-side phase of the trace: minted at the
+            # CLI, measured here as submit-arrival minus mint time.
+            tracer.emit_span(
+                "client.submit",
+                job.client_t0,
+                max(0.0, time.time() - job.client_t0),
+                job_id=job.job_id,
+                trace_id=job.trace_id,
+            )
         return {
             "ok": True,
             "job_id": job.job_id,
             "state": job.state.value,
             "disposition": disposition,
             "content_hash": job.content_hash,
+            "trace_id": job.trace_id,
         }
 
     def _op_result(self, request: dict) -> dict:
@@ -227,6 +285,105 @@ class ScenarioJobService:
             },
         }
 
+    def _op_metrics(self, request: dict) -> dict:
+        """Live metrics: registry snapshot + ring window + watchdog."""
+        window = request.get("window")
+        last = int(window) if isinstance(window, (int, float)) else 60
+        watchdog = self.supervisor.watchdog
+        return {
+            "ok": True,
+            "t": time.time(),
+            "uptime_s": time.time() - self.started_at,
+            "metrics": json_safe_snapshot(get_registry()),
+            "window": self.ring.window(last),
+            "ring": {
+                "samples": len(self.ring),
+                "capacity": self.ring.capacity,
+                "interval_s": self.ring.interval_s,
+                "evicted_unflushed": self.ring.evicted_unflushed,
+            },
+            "watchdog": watchdog.snapshot() if watchdog else {},
+            "counts": self.store.counts(),
+            "workers": {
+                "busy": self.supervisor.busy,
+                "max": self.supervisor.max_workers,
+            },
+            "breaker": self.supervisor.breaker.snapshot(),
+        }
+
+    def _op_trace(self, request: dict) -> dict:
+        """Trace records of one job from the service event log."""
+        job_id = str(request.get("job_id", ""))
+        if not job_id:
+            return {"ok": False, "error": "trace requires job_id"}
+        if not self.events_path.exists():
+            return {"ok": True, "job_id": job_id, "records": []}
+        records = job_records(read_jsonl(self.events_path), job_id)
+        limit = int(request.get("limit", 5000))
+        return {
+            "ok": True,
+            "job_id": job_id,
+            "records": records[-limit:],
+            "truncated": len(records) > limit,
+        }
+
+    # -- live metrics plumbing ----------------------------------------------
+
+    def _sample_metrics(self) -> None:
+        """Ring-sample the registry when due; flush on cadence."""
+        if not self.ring.due():
+            return
+        self.supervisor.update_gauges()
+        registry = get_registry()
+        breaker = self.supervisor.breaker.snapshot()
+        registry.gauge("service.breaker.open").set(
+            sum(1 for state in breaker.values() if state != "closed")
+        )
+        self.ring.sample(registry)
+        self._samples_since_flush += 1
+        if self._samples_since_flush >= self.metrics_flush_every:
+            self.ring.flush(self.metrics_path)
+            self._samples_since_flush = 0
+
+    def _start_metrics_http(self):
+        """Serve Prometheus text on ``metrics_http`` (daemon thread)."""
+        if not self.metrics_http:
+            return None
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(handler) -> None:  # noqa: N805 - stdlib API
+                if handler.path.rstrip("/") not in ("", "/metrics"):
+                    handler.send_error(404)
+                    return
+                body = render_prometheus(
+                    json_safe_snapshot(get_registry())
+                ).encode("utf-8")
+                handler.send_response(200)
+                handler.send_header(
+                    "Content-Type", "text/plain; version=0.0.4"
+                )
+                handler.send_header("Content-Length", str(len(body)))
+                handler.end_headers()
+                handler.wfile.write(body)
+
+            def log_message(handler, *args) -> None:  # noqa: N805
+                pass
+
+        host, _, port = self.metrics_http.rpartition(":")
+        server = ThreadingHTTPServer(
+            (host or "127.0.0.1", int(port)), Handler
+        )
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        return server
+
+    @property
+    def metrics_http_port(self) -> Optional[int]:
+        """Bound port of the Prometheus endpoint (``None`` when off)."""
+        if self._http_server is None:
+            return None
+        return self._http_server.server_address[1]
+
     # -- lifecycle ----------------------------------------------------------
 
     def request_stop(self) -> None:
@@ -256,7 +413,17 @@ class ScenarioJobService:
             self._stop.set()
         self._install_signal_handlers(self._loop)
         await self._server.start()
-        get_tracer().event(
+        # The always-on event log: every span/event the service emits
+        # or ingests (including worker telemetry stitched per job) goes
+        # to root/events.jsonl, appended across restarts and flushed
+        # per record so post-kill readers see complete history.
+        tracer = get_tracer()
+        events_sink = JsonlSink(
+            self.events_path, append=True, line_buffered=True
+        )
+        tracer.add_sink(events_sink)
+        self._http_server = self._start_metrics_http()
+        tracer.event(
             "service.start",
             root=str(self.root),
             address=str(self.address),
@@ -266,6 +433,7 @@ class ScenarioJobService:
         try:
             while not self._stop.is_set():
                 self.supervisor.tick()
+                self._sample_metrics()
                 try:
                     await asyncio.wait_for(
                         self._stop.wait(), timeout=self.poll_interval_s
@@ -277,6 +445,16 @@ class ScenarioJobService:
             # the rest back to PENDING, stop answering, release the WAL.
             self.supervisor.drain(self.drain_timeout_s)
             await self._server.stop()
+            try:
+                self.ring.flush(self.metrics_path)
+            except OSError:
+                pass
+            if self._http_server is not None:
+                self._http_server.shutdown()
+                self._http_server.server_close()
+                self._http_server = None
+            tracer.remove_sink(events_sink)
+            events_sink.close()
             self.store.close()
 
     def serve_forever(self) -> int:

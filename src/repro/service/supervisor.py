@@ -45,6 +45,14 @@ from typing import Dict, List, Optional
 
 from ..analysis.sweep import jittered_delay
 from ..obs import capture_telemetry, is_obs_payload
+from ..obs.live import (
+    PerfWatchdog,
+    SamplingProfiler,
+    TraceContext,
+    annotate_records,
+    profile_requested,
+    set_current_trace,
+)
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..scenario.cache import ResultCache
@@ -94,6 +102,8 @@ def worker_main(
     scenario_dict: dict,
     cache_dir: str,
     run_log: Optional[str] = None,
+    trace_id: Optional[str] = None,
+    profile_path: Optional[str] = None,
 ) -> None:
     """Process-worker entry: solve one scenario, report, exit.
 
@@ -101,9 +111,18 @@ def worker_main(
     :class:`ResultCache` (and its run manifest next to it) *before*
     the ``done`` message is sent, so a crash after the cache write at
     worst reruns a job whose rerun is a pure cache hit.
+
+    ``trace_id`` is the propagated client trace context — stamped on
+    heartbeats (the supervisor's only live view into the worker) and
+    installed as the process-wide current trace.  ``profile_path``
+    turns on the sampling profiler for the solve and writes the
+    collapsed stacks there; hot frames ride back in the ``done``
+    message.
     """
     send_lock = threading.Lock()
     stop = threading.Event()
+    if trace_id:
+        set_current_trace(TraceContext(trace_id))
 
     def send(message: dict) -> None:
         with send_lock:
@@ -113,8 +132,12 @@ def worker_main(
                 pass
 
     def heartbeat() -> None:
+        beat: Dict[str, object] = {"kind": "hb", "t": 0.0}
+        if trace_id:
+            beat["trace_id"] = trace_id
         while not stop.wait(HEARTBEAT_INTERVAL_S):
-            send({"kind": "hb", "t": time.time()})
+            beat["t"] = time.time()
+            send(dict(beat))
 
     ticker = threading.Thread(target=heartbeat, daemon=True)
     ticker.start()
@@ -124,12 +147,27 @@ def worker_main(
             time.sleep(delay)
         scenario = Scenario.from_dict(scenario_dict)
         cache = ResultCache(cache_dir)
+        profiler: Optional[SamplingProfiler] = None
+        if (profile_path or profile_requested()) and SamplingProfiler.available():
+            profiler = SamplingProfiler()
         telemetry: Dict[str, object] = {}
         with capture_telemetry(telemetry):
             runner = Runner(scenario, cache=cache)
-            runner.run()
+            if profiler is not None:
+                with profiler:
+                    runner.run()
+            else:
+                runner.run()
         manifest = runner.last_manifest or {}
         cached = bool(manifest.get("cached", False))
+        profile_info: Optional[dict] = None
+        if profiler is not None and profiler.total_samples:
+            profile_info = {
+                "samples": profiler.total_samples,
+                "hot_frames": profiler.hot_frames(5),
+            }
+            if profile_path:
+                profile_info["path"] = str(profiler.write(profile_path))
         if run_log:
             _append_run_log(
                 run_log,
@@ -146,6 +184,8 @@ def worker_main(
                 "kind": "done",
                 "cached": cached,
                 "wall_s": float(manifest.get("wall_s", 0.0)),
+                "backend": manifest.get("solver_backend"),
+                "profile": profile_info,
                 "telemetry": telemetry if is_obs_payload(telemetry) else None,
             }
         )
@@ -263,6 +303,13 @@ class _Running:
     conn: object
     started: float
     last_heartbeat: float
+    # Wall-clock twin of ``last_heartbeat`` (monotonic): the synthetic
+    # ``worker.killed`` event reports *when* the worker was last known
+    # alive, which must be comparable across processes and restarts.
+    last_heartbeat_wall: float = 0.0
+    # Wall-clock dispatch time: the reconstructed ``service.job`` span
+    # must cover the worker's whole run, not the parent's bookkeeping.
+    started_wall: float = 0.0
     outcome: Optional[dict] = None
 
 
@@ -293,6 +340,8 @@ class Supervisor:
         heartbeat_timeout_s: float = 10.0,
         run_log: Optional[str] = None,
         rng: Optional[random.Random] = None,
+        watchdog: Optional[PerfWatchdog] = None,
+        profiles_dir: Optional[str] = None,
     ) -> None:
         self.store = store
         self.max_workers = int(max_workers)
@@ -302,6 +351,8 @@ class Supervisor:
         self.heartbeat_timeout_s = float(heartbeat_timeout_s)
         self.run_log = run_log
         self.rng = rng if rng is not None else random.Random()
+        self.watchdog = watchdog
+        self.profiles_dir = profiles_dir
         self.draining = False
         self._running: Dict[str, _Running] = {}
         self._not_before: Dict[str, float] = {}
@@ -315,6 +366,9 @@ class Supervisor:
         self._c_timeouts = registry.counter("service.jobs.timeouts")
         self._c_quarantined = registry.counter("service.jobs.quarantined")
         self._h_wall = registry.histogram("service.job.wall_s")
+        self._g_queue_depth = registry.gauge("service.queue.depth")
+        self._g_workers_alive = registry.gauge("service.workers.alive")
+        self._g_wal_bytes = registry.gauge("service.wal.bytes")
 
     # -- dispatch -----------------------------------------------------------
 
@@ -324,6 +378,11 @@ class Supervisor:
 
     def _dispatch(self, job: Job) -> None:
         parent_conn, child_conn = self._context.Pipe(duplex=False)
+        profile_path: Optional[str] = None
+        if self.profiles_dir and (job.profile or profile_requested()):
+            profile_path = str(
+                os.path.join(self.profiles_dir, f"{job.job_id}.collapsed")
+            )
         process = self._context.Process(
             target=worker_main,
             args=(
@@ -332,6 +391,8 @@ class Supervisor:
                 job.scenario.to_dict(),
                 str(self.store.cache.root),
                 self.run_log,
+                job.trace_id,
+                profile_path,
             ),
             daemon=True,
         )
@@ -348,9 +409,23 @@ class Supervisor:
             conn=parent_conn,
             started=now,
             last_heartbeat=now,
+            last_heartbeat_wall=time.time(),
+            started_wall=time.time(),
         )
         self._c_dispatched.inc()
-        get_tracer().event(
+        tracer = get_tracer()
+        if tracer.has_sinks and job.attempts == 1 and job.submitted_at:
+            # First dispatch closes the queue-wait phase of the trace:
+            # the span existed only as two wall-clock timestamps, so it
+            # is reconstructed here rather than measured.
+            tracer.emit_span(
+                "queue.wait",
+                job.submitted_at,
+                max(0.0, time.time() - job.submitted_at),
+                job_id=job.job_id,
+                trace_id=job.trace_id,
+            )
+        tracer.event(
             "service.dispatch", job_id=job.job_id, pid=process.pid
         )
 
@@ -384,9 +459,13 @@ class Supervisor:
             kind = message.get("kind")
             if kind == "hb":
                 handle.last_heartbeat = time.monotonic()
+                handle.last_heartbeat_wall = float(
+                    message.get("t", time.time())
+                )
             elif kind in ("done", "error"):
                 handle.outcome = message
                 handle.last_heartbeat = time.monotonic()
+                handle.last_heartbeat_wall = time.time()
 
     def _reap(self, handle: _Running) -> None:
         try:
@@ -420,19 +499,57 @@ class Supervisor:
     def _finish_success(self, handle: _Running, outcome: dict) -> None:
         job = self.store.jobs[handle.job_id]
         telemetry = outcome.get("telemetry")
+        backend = str(outcome.get("backend") or "unknown")
+        profile = outcome.get("profile")
         if is_obs_payload(telemetry):
             tracer = get_tracer()
             if tracer.has_sinks:
-                with tracer.span(
-                    "service.job", job_id=job.job_id
-                ) as job_span:
-                    tracer.ingest(
-                        telemetry.get("spans", ()),
-                        depth_offset=job_span.depth + 1,
+                attrs: Dict[str, object] = {
+                    "job_id": job.job_id,
+                    "backend": backend,
+                }
+                if job.trace_id:
+                    attrs["trace_id"] = job.trace_id
+                if isinstance(profile, dict) and profile.get("hot_frames"):
+                    # Fold the hottest profiled frames into the span so
+                    # a trace alone answers "where did the time go".
+                    attrs["profile_hot"] = ",".join(
+                        f"{f['frame']}:{f['samples']}"
+                        for f in profile["hot_frames"][:3]
                     )
+                # Reconstructed rather than measured: the span must
+                # cover dispatch -> completion, and no tracer context
+                # was open across that whole window.  Emitted before
+                # the ingest so its seq precedes its children's — the
+                # tree builder nests strictly by (seq, depth).
+                top: Dict[str, object] = {"job_id": job.job_id}
+                if job.trace_id:
+                    top["trace_id"] = job.trace_id
+                tracer.emit_span(
+                    "service.job",
+                    handle.started_wall or time.time(),
+                    max(0.0, time.monotonic() - handle.started),
+                    attrs=attrs,
+                    **top,
+                )
+                tracer.ingest(
+                    annotate_records(
+                        telemetry.get("spans", ()),
+                        job_id=job.job_id,
+                        trace_id=job.trace_id,
+                    ),
+                    depth_offset=1,
+                )
             get_registry().merge(telemetry.get("metrics", {}))
         wall = time.monotonic() - handle.started
         self._h_wall.observe(wall)
+        solve_wall = float(outcome.get("wall_s", wall))
+        if not outcome.get("cached", False):
+            get_registry().histogram(
+                f"service.solve.wall_s.{backend}"
+            ).observe(solve_wall)
+            if self.watchdog is not None:
+                self.watchdog.observe(backend, solve_wall)
         self.breaker.record_success(scenario_class(job.scenario))
         self._reap(handle)
         self.store.transition(job.job_id, JobState.DONE)
@@ -449,6 +566,26 @@ class Supervisor:
         else:
             self._schedule_retry(job)
 
+    def _emit_worker_killed(
+        self, handle: _Running, job: Job, reason: str
+    ) -> None:
+        """Synthesize the terminal trace event of a killed worker.
+
+        A SIGKILLed worker never flushes its captured telemetry, so
+        without this the job simply vanishes from the trace.  The
+        event carries the last heartbeat wall timestamp — the moment
+        the worker was last provably alive.
+        """
+        get_tracer().event(
+            "worker.killed",
+            job_id=job.job_id,
+            trace_id=job.trace_id,
+            reason=reason,
+            last_heartbeat=handle.last_heartbeat_wall,
+            attempts=job.attempts,
+            pid=job.worker_pid,
+        )
+
     def _finish_death(self, handle: _Running, reason: str) -> None:
         job = self.store.jobs[handle.job_id]
         key = scenario_class(job.scenario)
@@ -460,6 +597,7 @@ class Supervisor:
             reason=reason,
             scenario_class=key,
         )
+        self._emit_worker_killed(handle, job, reason)
         self._reap(handle)
         if job.attempts >= self.retry.max_attempts:
             self._c_quarantined.inc()
@@ -475,6 +613,7 @@ class Supervisor:
     def _finish_timeout(self, handle: _Running, reason: str) -> None:
         job = self.store.jobs[handle.job_id]
         self._c_timeouts.inc()
+        self._emit_worker_killed(handle, job, reason)
         self._kill(handle)
         if job.attempts >= self.retry.max_attempts:
             self._c_failed.inc()
@@ -528,6 +667,19 @@ class Supervisor:
         """One service-loop step: reap finished work, start new work."""
         self.poll()
         self.dispatch_pending()
+        self.update_gauges()
+
+    def update_gauges(self) -> None:
+        """Refresh the live operational gauges from current state."""
+        self._g_queue_depth.set(
+            sum(
+                1
+                for job in self.store.jobs.values()
+                if job.state == JobState.PENDING
+            )
+        )
+        self._g_workers_alive.set(len(self._running))
+        self._g_wal_bytes.set(self.store.wal.size_bytes())
 
     # -- control ------------------------------------------------------------
 

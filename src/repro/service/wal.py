@@ -150,6 +150,20 @@ class WriteAheadLog:
         self._records_in_segment += 1
         self._c_appends.inc()
 
+    def size_bytes(self) -> int:
+        """Total on-disk bytes across segments (the WAL-bytes gauge).
+
+        Stat-based, so the cost is one ``stat`` per segment — cheap
+        enough to sample every metrics interval.
+        """
+        total = 0
+        for path in self.segments():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
     # -- replay -------------------------------------------------------------
 
     def _replay_segment(

@@ -350,6 +350,29 @@ def test_worker_result_lands_in_shared_cache(service):
     assert runner.last_manifest["cached"] is True
 
 
+def test_service_gauges_track_queue_wal_and_workers(service, monkeypatch):
+    """The live gauges follow the supervisor's state every tick."""
+    import time as _time
+
+    monkeypatch.setenv("REPRO_SERVICE_TEST_DELAY_S", "0.4")
+    client = ServiceClient(service.address)
+    first = client.submit(make_scenario("g1", "database").to_dict())
+    client.submit(make_scenario("g2", "web").to_dict())
+
+    registry = get_registry()
+    saw_depth = saw_worker = False
+    deadline = _time.monotonic() + 30.0
+    while _time.monotonic() < deadline and not (saw_depth and saw_worker):
+        saw_depth |= registry.gauge("service.queue.depth").value >= 1.0
+        saw_worker |= registry.gauge("service.workers.alive").value >= 1.0
+        _time.sleep(0.02)
+    assert saw_depth, "queue-depth gauge never saw the queued job"
+    assert saw_worker, "workers-alive gauge never saw the busy worker"
+    # The WAL gauge tracks journal growth from the submit records on.
+    assert registry.gauge("service.wal.bytes").value > 0
+    client.wait_for(first["job_id"], timeout=120.0)
+
+
 def test_wal_records_are_pickle_free_json(tmp_path):
     """The journal must stay greppable plain text (ops requirement)."""
     store = JobStore(tmp_path, cache=_StubCache(), fsync=False)

@@ -93,6 +93,27 @@ def test_kill9_worker_then_kill9_service_every_job_done_exactly_once(
         assert count_solves(root, first["content_hash"]) == 1
         assert count_solves(root, second["content_hash"]) == 1
         assert count_solves(root) == 2
+
+        # The SIGKILLed worker never flushed its telemetry, but the
+        # supervisor synthesized its terminal trace event — with the
+        # last heartbeat timestamp it was provably alive at — and the
+        # line-buffered event log survived the service kill too.
+        import json
+
+        events = root / "events.jsonl"
+        assert events.exists()
+        killed = [
+            record
+            for line in events.read_text().splitlines()
+            for record in (json.loads(line),)
+            if record.get("name") == "worker.killed"
+        ]
+        assert killed, "no worker.killed event in events.jsonl"
+        attrs = killed[0]["attrs"]
+        assert attrs["job_id"] == first["job_id"]
+        assert "exitcode" in attrs["reason"]
+        assert attrs["last_heartbeat"] > 0
+        assert attrs["pid"] == killed_pid
     finally:
         restarted.stop()
 
